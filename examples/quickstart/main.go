@@ -1,0 +1,135 @@
+// Command quickstart is the smallest end-to-end Ray program: it starts an
+// in-process cluster, registers a remote function and an actor class, and
+// exercises the whole API of the paper's Table 1 — f.remote, ray.get,
+// ray.wait, actor creation, and actor method calls.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"ray/internal/codec"
+	"ray/internal/core"
+	"ray/internal/worker"
+)
+
+// counter is a tiny stateful actor.
+type counter struct{ value int }
+
+func (c *counter) Call(ctx *core.TaskContext, method string, args [][]byte) ([][]byte, error) {
+	switch method {
+	case "add":
+		var delta int
+		if err := codec.Decode(args[0], &delta); err != nil {
+			return nil, err
+		}
+		c.value += delta
+		return [][]byte{codec.MustEncode(c.value)}, nil
+	case "value":
+		return [][]byte{codec.MustEncode(c.value)}, nil
+	default:
+		return nil, errors.New("unknown method " + method)
+	}
+}
+
+func main() {
+	ctx := context.Background()
+
+	// Start a 3-node cluster with 4 CPUs per node.
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 3
+	rt, err := core.Init(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	// Register a remote function: square(x) = x².
+	err = rt.Register("square", "squares a float64", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
+		var x float64
+		if err := codec.Decode(args[0], &x); err != nil {
+			return nil, err
+		}
+		return [][]byte{codec.MustEncode(x * x)}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Register a slow function so ray.wait has something to race.
+	err = rt.Register("slow_square", "squares a float64, slowly", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
+		time.Sleep(200 * time.Millisecond)
+		var x float64
+		if err := codec.Decode(args[0], &x); err != nil {
+			return nil, err
+		}
+		return [][]byte{codec.MustEncode(x * x)}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Register the Counter actor class.
+	err = rt.RegisterActor("Counter", "a stateful counter", func(tc *core.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+		return &counter{}, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A driver is the process running the user program (this one).
+	driver, err := rt.NewDriver(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Tasks: futures = f.remote(args); values = ray.get(futures) --------
+	fut, err := driver.Call1("square", core.CallOptions{}, 7.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	squared, err := core.Get[float64](driver.TaskContext, fut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("square(7) = %v\n", squared)
+
+	// Futures chain without blocking: square(square(7)).
+	fut2, err := driver.Call1("square", core.CallOptions{}, fut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chained, _ := core.Get[float64](driver.TaskContext, fut2)
+	fmt.Printf("square(square(7)) = %v\n", chained)
+
+	// --- ray.wait: react to whichever result is ready first -----------------
+	fast, _ := driver.Call1("square", core.CallOptions{}, 3.0)
+	slow, _ := driver.Call1("slow_square", core.CallOptions{}, 4.0)
+	ready, notReady, err := driver.Wait([]core.ObjectRef{fast, slow}, 1, time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ray.wait: %d ready, %d still running\n", len(ready), len(notReady))
+
+	// --- Actors: stateful computation ---------------------------------------
+	handle, err := driver.CreateActor("Counter", core.CallOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if _, err := driver.CallActor1(handle, "add", core.CallOptions{}, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	valueRef, _ := driver.CallActor1(handle, "value", core.CallOptions{})
+	total, _ := core.Get[int](driver.TaskContext, valueRef)
+	fmt.Printf("counter value after 5 adds = %d (expected 15)\n", total)
+
+	// Cluster statistics: how much work each node did.
+	for i, n := range rt.Cluster().NodeList() {
+		st := n.Stats()
+		fmt.Printf("node %d: %d tasks run, %d actor methods, %d objects resident\n",
+			i, st.Workers.TasksRun, st.Workers.MethodsRun, st.Objects.Objects)
+	}
+}

@@ -1,0 +1,102 @@
+// Package bsp implements the bulk-synchronous-parallel baseline used in the
+// paper's simulation comparison (Table 4): rollouts are executed in fixed
+// rounds with a global barrier between rounds, the way an MPI program with
+// collective synchronization would run them. Because every round waits for
+// its slowest rollout, heterogeneous episode lengths leave workers idle —
+// which is exactly the effect the Ray asynchronous-task version avoids.
+package bsp
+
+import (
+	"sync"
+	"time"
+
+	"ray/internal/rl"
+	"ray/internal/sim"
+)
+
+// Config describes a BSP simulation run.
+type Config struct {
+	// Workers is the number of parallel ranks (one goroutine each, standing
+	// in for MPI processes pinned to cores).
+	Workers int
+	// Rounds is the number of barrier-separated rounds.
+	Rounds int
+	// RolloutsPerWorkerPerRound is how many rollouts each rank runs per round.
+	RolloutsPerWorkerPerRound int
+	// Environment names the simulator ("pendulum", "humanoid-like", ...).
+	Environment string
+	// MaxSteps caps each rollout's length (0 = environment default).
+	MaxSteps int
+	// Seed controls rollout seeds.
+	Seed int64
+}
+
+// Result summarizes a BSP simulation run.
+type Result struct {
+	// Timesteps is the total number of simulator steps executed.
+	Timesteps int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// TimestepsPerSecond is the headline Table 4 metric.
+	TimestepsPerSecond float64
+	// Rollouts is the number of completed rollouts.
+	Rollouts int
+}
+
+// Run executes the BSP simulation workload: Rounds rounds, each launching
+// Workers × RolloutsPerWorkerPerRound rollouts and ending with a barrier.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Rounds < 1 {
+		cfg.Rounds = 1
+	}
+	if cfg.RolloutsPerWorkerPerRound < 1 {
+		cfg.RolloutsPerWorkerPerRound = 1
+	}
+	// Each rank owns its environment and a zero policy, as an MPI program
+	// would initialize per-process state once.
+	envs := make([]sim.Environment, cfg.Workers)
+	policies := make([]rl.Policy, cfg.Workers)
+	for i := range envs {
+		env, err := sim.New(cfg.Environment)
+		if err != nil {
+			return nil, err
+		}
+		envs[i] = env
+		policies[i] = rl.NewLinearPolicy(env.ObservationSize(), env.ActionSize())
+	}
+
+	res := &Result{}
+	var mu sync.Mutex
+	start := time.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w, round int) {
+				defer wg.Done()
+				steps, rollouts := 0, 0
+				for r := 0; r < cfg.RolloutsPerWorkerPerRound; r++ {
+					seed := cfg.Seed + int64(round*cfg.Workers*cfg.RolloutsPerWorkerPerRound+w*cfg.RolloutsPerWorkerPerRound+r)
+					traj := rl.Rollout(envs[w], policies[w], seed, cfg.MaxSteps, false)
+					steps += traj.Steps
+					rollouts++
+				}
+				mu.Lock()
+				res.Timesteps += steps
+				res.Rollouts += rollouts
+				mu.Unlock()
+			}(w, round)
+		}
+		// The global barrier: no rank starts round r+1 until every rank has
+		// finished round r.
+		wg.Wait()
+	}
+	res.Elapsed = time.Since(start)
+	if secs := res.Elapsed.Seconds(); secs > 0 {
+		res.TimestepsPerSecond = float64(res.Timesteps) / secs
+	}
+	return res, nil
+}

@@ -1,0 +1,61 @@
+package bsp
+
+import "testing"
+
+func TestRunCountsTimesteps(t *testing.T) {
+	res, err := Run(Config{
+		Workers:                   4,
+		Rounds:                    3,
+		RolloutsPerWorkerPerRound: 2,
+		Environment:               "pendulum",
+		MaxSteps:                  50,
+		Seed:                      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRollouts := 4 * 3 * 2
+	if res.Rollouts != wantRollouts {
+		t.Fatalf("rollouts = %d, want %d", res.Rollouts, wantRollouts)
+	}
+	// Pendulum never terminates early, so every rollout is exactly MaxSteps.
+	if res.Timesteps != wantRollouts*50 {
+		t.Fatalf("timesteps = %d, want %d", res.Timesteps, wantRollouts*50)
+	}
+	if res.TimestepsPerSecond <= 0 || res.Elapsed <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+}
+
+func TestRunDefaultsAndErrors(t *testing.T) {
+	if _, err := Run(Config{Environment: "no-such-env"}); err == nil {
+		t.Fatal("unknown environment must error")
+	}
+	res, err := Run(Config{Environment: "cartpole", MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollouts != 1 {
+		t.Fatalf("defaults should produce one rollout, got %d", res.Rollouts)
+	}
+}
+
+func TestHeterogeneousRolloutsLimitThroughput(t *testing.T) {
+	// With highly variable episode lengths (humanoid-like), per-round
+	// barriers mean the round takes as long as its slowest member. Verify the
+	// run completes and counts a plausible number of steps.
+	res, err := Run(Config{
+		Workers:                   8,
+		Rounds:                    2,
+		RolloutsPerWorkerPerRound: 1,
+		Environment:               "humanoid-like",
+		MaxSteps:                  200,
+		Seed:                      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timesteps <= 0 || res.Timesteps > 8*2*200 {
+		t.Fatalf("timesteps implausible: %d", res.Timesteps)
+	}
+}

@@ -1,0 +1,75 @@
+// Package mpi models the OpenMPI allreduce baseline of the paper's Figure 12a.
+// The paper attributes OpenMPI's loss on large payloads to its single-threaded
+// transfers (one send and one receive thread, unable to saturate a 25 Gbps
+// link) and its win on small payloads to switching to a lower-overhead
+// algorithm (recursive doubling) below a message-size threshold. This package
+// reproduces both behaviours analytically on top of the same simulated network
+// the Ray implementation uses, so the comparison isolates the algorithmic and
+// threading differences rather than differences in the underlying link model.
+package mpi
+
+import (
+	"math"
+	"time"
+
+	"ray/internal/netsim"
+)
+
+// Config describes the modelled MPI job.
+type Config struct {
+	// Nodes is the number of ranks (one per node).
+	Nodes int
+	// VectorBytes is the payload size being allreduced.
+	VectorBytes int64
+	// Network is the shared link model.
+	Network *netsim.Network
+	// SmallMessageThreshold is the payload size below which MPI switches to
+	// recursive doubling. Defaults to 1 MiB.
+	SmallMessageThreshold int64
+	// PerMessageOverhead models MPI's per-message software overhead
+	// (matching, progress engine). Defaults to 20µs.
+	PerMessageOverhead time.Duration
+}
+
+// AllreduceDuration returns the modelled wall-clock time of one allreduce.
+func AllreduceDuration(cfg Config) time.Duration {
+	if cfg.Nodes < 2 {
+		return 0
+	}
+	if cfg.Network == nil {
+		cfg.Network = netsim.New(netsim.DefaultConfig())
+	}
+	if cfg.SmallMessageThreshold <= 0 {
+		cfg.SmallMessageThreshold = 1 << 20
+	}
+	if cfg.PerMessageOverhead <= 0 {
+		cfg.PerMessageOverhead = 20 * time.Microsecond
+	}
+	n := int64(cfg.Nodes)
+
+	if cfg.VectorBytes <= cfg.SmallMessageThreshold {
+		// Recursive doubling: log2(n) rounds, each exchanging the full
+		// payload once, single-threaded transfers.
+		rounds := int64(math.Ceil(math.Log2(float64(cfg.Nodes))))
+		perRound := cfg.Network.TransferDuration(cfg.VectorBytes, 1) + cfg.PerMessageOverhead
+		return time.Duration(rounds) * perRound
+	}
+	// Ring allreduce: 2(n-1) rounds each moving one chunk of size S/n over a
+	// single-threaded connection.
+	chunk := cfg.VectorBytes / n
+	perRound := cfg.Network.TransferDuration(chunk, 1) + cfg.PerMessageOverhead
+	return time.Duration(2*(n-1)) * perRound
+}
+
+// RunAllreduce blocks for the scaled duration of one modelled allreduce and
+// returns the unscaled duration (what a real cluster would have measured).
+func RunAllreduce(cfg Config) time.Duration {
+	d := AllreduceDuration(cfg)
+	if cfg.Network != nil {
+		scaled := cfg.Network.Scale(d)
+		if scaled > 0 {
+			time.Sleep(scaled)
+		}
+	}
+	return d
+}

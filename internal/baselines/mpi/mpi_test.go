@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"ray/internal/netsim"
+)
+
+func testNetwork() *netsim.Network {
+	return netsim.New(netsim.Config{
+		BandwidthBytesPerSec: 3.125e9,
+		LatencyPerMessage:    100 * time.Microsecond,
+		MaxParallelStreams:   8,
+		TimeScale:            0, // analytic only; no sleeping in tests
+	})
+}
+
+func TestAllreduceDurationScalesWithSize(t *testing.T) {
+	net := testNetwork()
+	small := AllreduceDuration(Config{Nodes: 16, VectorBytes: 10 << 20, Network: net})
+	large := AllreduceDuration(Config{Nodes: 16, VectorBytes: 1 << 30, Network: net})
+	if large <= small {
+		t.Fatalf("1GB allreduce must take longer than 10MB: %v vs %v", small, large)
+	}
+	// Single-threaded ring on 16 nodes at ~3.1GB/s effective/8 per stream:
+	// the 1GB case should land in the hundreds of milliseconds to seconds
+	// range, not microseconds or minutes.
+	if large < 100*time.Millisecond || large > time.Minute {
+		t.Fatalf("1GB modelled duration implausible: %v", large)
+	}
+}
+
+func TestSmallMessagesUseRecursiveDoubling(t *testing.T) {
+	net := testNetwork()
+	// Just below and above the threshold: the small-message algorithm does
+	// log2(n) rounds of the full payload; the ring does 2(n-1) rounds of
+	// payload/n. For tiny payloads the former must win (fewer rounds of
+	// latency), which is the crossover the paper describes.
+	small := AllreduceDuration(Config{Nodes: 16, VectorBytes: 64 << 10, Network: net})
+	ringSmall := AllreduceDuration(Config{Nodes: 16, VectorBytes: 64 << 10, Network: net, SmallMessageThreshold: 1})
+	if small >= ringSmall {
+		t.Fatalf("recursive doubling should beat ring for small payloads: %v vs %v", small, ringSmall)
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	if AllreduceDuration(Config{Nodes: 1, VectorBytes: 1 << 20}) != 0 {
+		t.Fatal("single-node allreduce must be free")
+	}
+	// Nil network falls back to defaults without panicking.
+	if AllreduceDuration(Config{Nodes: 4, VectorBytes: 1 << 20}) <= 0 {
+		t.Fatal("default network must give a positive duration")
+	}
+	// RunAllreduce with zero time-scale returns immediately but still reports
+	// the unscaled duration.
+	start := time.Now()
+	d := RunAllreduce(Config{Nodes: 8, VectorBytes: 100 << 20, Network: testNetwork()})
+	if d <= 0 {
+		t.Fatal("duration must be positive")
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("zero time-scale run must not sleep")
+	}
+}
+
+func TestMoreNodesMoreRounds(t *testing.T) {
+	net := testNetwork()
+	d4 := AllreduceDuration(Config{Nodes: 4, VectorBytes: 1 << 30, Network: net})
+	d16 := AllreduceDuration(Config{Nodes: 16, VectorBytes: 1 << 30, Network: net})
+	// Ring allreduce total data moved per node is ~2S(n-1)/n, which grows
+	// slightly with n; with per-message overhead the 16-node run is longer.
+	if d16 <= d4/2 {
+		t.Fatalf("implausible scaling: 4 nodes %v vs 16 nodes %v", d4, d16)
+	}
+}

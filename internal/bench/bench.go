@@ -1,0 +1,204 @@
+// Package bench contains the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section 5). Each experiment is a
+// function returning a Table of results; the root-level bench_test.go wraps
+// them as testing.B benchmarks and cmd/raybench prints them as text tables.
+//
+// Scale: the paper's experiments ran on up to 100 AWS nodes for minutes to
+// hours. Each runner here accepts a Scale knob; Quick (the default used by
+// benchmarks and CI) shrinks object sizes, task counts, and cluster sizes so
+// every experiment finishes in seconds on a laptop while preserving the
+// *shape* of the result — who wins, by roughly what factor, and where the
+// crossovers are. EXPERIMENTS.md records the paper-reported numbers next to
+// the measured ones.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"ray/internal/codec"
+	"ray/internal/core"
+	"ray/internal/netsim"
+	"ray/internal/worker"
+)
+
+// Scale selects how much work an experiment does.
+type Scale int
+
+const (
+	// Quick is laptop-scale: seconds per experiment.
+	Quick Scale = iota
+	// Full is closer to the paper's configuration where feasible in-process.
+	Full
+)
+
+// Table is one experiment's result in row/column form.
+type Table struct {
+	// Name is the experiment identifier ("Figure 8a", "Table 3", ...).
+	Name string
+	// Description says what is being measured.
+	Description string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the result rows, one string per column.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(values ...string) {
+	t.Rows = append(t.Rows, values)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.Name, t.Description)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f formats a float with sensible precision for table cells.
+func f(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// ms formats a duration as milliseconds.
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+
+// newCluster builds a runtime with common benchmark defaults.
+func newCluster(cfg core.Config) (*core.Runtime, *core.Driver, error) {
+	ctx := context.Background()
+	rt, err := core.Init(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := rt.NewDriver(ctx)
+	if err != nil {
+		rt.Shutdown()
+		return nil, nil, err
+	}
+	return rt, d, nil
+}
+
+// Benchmark remote functions shared by several experiments.
+const (
+	noopTaskName    = "bench.noop"
+	dependerName    = "bench.consume"
+	makeBytesName   = "bench.make_bytes"
+	chainStepName   = "bench.chain_step"
+	simRolloutName  = "bench.sim_rollout"
+	benchCounterCls = "bench.Counter"
+)
+
+// registerBenchFunctions publishes the small remote functions the
+// microbenchmarks use.
+func registerBenchFunctions(rt *core.Runtime) error {
+	if err := rt.Register(noopTaskName, "empty task (throughput microbenchmark)",
+		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+			return [][]byte{codec.MustEncode(true)}, nil
+		}); err != nil {
+		return err
+	}
+	if err := rt.Register(dependerName, "consumes one object and returns its size",
+		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+			var payload []byte
+			if err := codec.Decode(args[0], &payload); err != nil {
+				return nil, err
+			}
+			return [][]byte{codec.MustEncode(len(payload))}, nil
+		}); err != nil {
+		return err
+	}
+	if err := rt.Register(makeBytesName, "produces a payload of the requested size",
+		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+			var size int
+			if err := codec.Decode(args[0], &size); err != nil {
+				return nil, err
+			}
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			return [][]byte{codec.MustEncode(payload)}, nil
+		}); err != nil {
+		return err
+	}
+	if err := rt.Register(chainStepName, "sleeps briefly and passes a token along a chain",
+		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+			var token int
+			if err := codec.Decode(args[0], &token); err != nil {
+				return nil, err
+			}
+			var sleepMillis int
+			if err := codec.Decode(args[1], &sleepMillis); err != nil {
+				return nil, err
+			}
+			if sleepMillis > 0 {
+				time.Sleep(time.Duration(sleepMillis) * time.Millisecond)
+			}
+			return [][]byte{codec.MustEncode(token + 1)}, nil
+		}); err != nil {
+		return err
+	}
+	if err := rt.Register(simRolloutName, "runs one simulator rollout and returns its step count",
+		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+			var envName string
+			if err := codec.Decode(args[0], &envName); err != nil {
+				return nil, err
+			}
+			var seed int64
+			if err := codec.Decode(args[1], &seed); err != nil {
+				return nil, err
+			}
+			var maxSteps int
+			if err := codec.Decode(args[2], &maxSteps); err != nil {
+				return nil, err
+			}
+			return runSimRollout(envName, seed, maxSteps)
+		}); err != nil {
+		return err
+	}
+	return rt.RegisterActor(benchCounterCls, "checkpointable counter actor (fault-tolerance experiments)", newBenchCounter)
+}
+
+// realisticNetwork returns a data-plane model matching the paper's testbed
+// (25 Gbps, 100µs latency) at the requested time scale.
+func realisticNetwork(timeScale float64) netsim.Config {
+	cfg := netsim.DefaultConfig()
+	cfg.TimeScale = timeScale
+	return cfg
+}

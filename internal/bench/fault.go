@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ray/internal/codec"
+	"ray/internal/core"
+	"ray/internal/worker"
+)
+
+// benchCounter is a checkpointable counter actor used by the actor
+// fault-tolerance experiment.
+type benchCounter struct {
+	mu    sync.Mutex
+	value int
+}
+
+func newBenchCounter(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+	return &benchCounter{}, nil
+}
+
+// Call implements worker.ActorInstance.
+func (c *benchCounter) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch method {
+	case "inc":
+		c.value++
+		return [][]byte{codec.MustEncode(c.value)}, nil
+	case "value":
+		return [][]byte{codec.MustEncode(c.value)}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown counter method %q", method)
+	}
+}
+
+// Checkpoint implements worker.Checkpointable.
+func (c *benchCounter) Checkpoint() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return codec.Encode(c.value)
+}
+
+// Restore implements worker.Checkpointable.
+func (c *benchCounter) Restore(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return codec.Decode(data, &c.value)
+}
+
+// Fig11aTaskReconstruction reproduces Figure 11a: a driver executes chains of
+// short tasks; part-way through, a node is killed (losing intermediate
+// objects); the chains keep making progress because lost dependencies are
+// reconstructed from lineage, and throughput recovers when a node is added.
+func Fig11aTaskReconstruction(scale Scale) (*Table, error) {
+	chains := 8
+	stepsPerChain := 20
+	stepMillis := 5
+	if scale == Full {
+		chains = 32
+		stepsPerChain = 60
+		stepMillis = 20
+	}
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CPUsPerNode = 4
+	cfg.SpilloverThreshold = 2
+	rt, d, err := newCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Shutdown()
+	if err := registerBenchFunctions(rt); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	// Phase 1: run the first half of every chain.
+	half := stepsPerChain / 2
+	phase1Start := time.Now()
+	heads := make([]core.ObjectRef, chains)
+	for c := 0; c < chains; c++ {
+		token, err := d.Put(0)
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < half; s++ {
+			token, err = d.Call1(chainStepName, core.CallOptions{}, token, stepMillis)
+			if err != nil {
+				return nil, err
+			}
+		}
+		heads[c] = token
+	}
+	for _, h := range heads {
+		var v int
+		if err := d.Get(h, &v); err != nil {
+			return nil, err
+		}
+	}
+	phase1 := time.Since(phase1Start)
+
+	// Kill a non-driver node: its intermediate objects disappear.
+	var killed bool
+	for _, n := range rt.Cluster().NodeList() {
+		if n.ID() != d.Node.ID() {
+			if err := rt.Cluster().KillNode(ctx, n.ID()); err != nil {
+				return nil, err
+			}
+			killed = true
+			break
+		}
+	}
+	if !killed {
+		return nil, fmt.Errorf("bench: no node available to kill")
+	}
+
+	// Phase 2: continue every chain; consuming the (possibly lost) chain head
+	// forces lineage reconstruction of the missing prefix.
+	phase2Start := time.Now()
+	for c := 0; c < chains; c++ {
+		token := heads[c]
+		var err error
+		for s := half; s < stepsPerChain; s++ {
+			token, err = d.Call1(chainStepName, core.CallOptions{}, token, stepMillis)
+			if err != nil {
+				return nil, err
+			}
+		}
+		heads[c] = token
+	}
+	// Add a replacement node mid-phase (elastic recovery, as in the paper).
+	if _, err := rt.Cluster().AddNode(ctx, rt.Cluster().HeadNode().Config()); err != nil {
+		return nil, err
+	}
+	var finalSum int
+	for _, h := range heads {
+		var v int
+		if err := d.Get(h, &v); err != nil {
+			return nil, err
+		}
+		finalSum += v
+	}
+	phase2 := time.Since(phase2Start)
+
+	// Correctness: every chain must have counted every step exactly once.
+	wantSum := chains * stepsPerChain
+	reexecuted := int64(0)
+	for _, n := range rt.Cluster().AliveNodes() {
+		reexecuted += n.Stats().Lineage.ReconstructedTasks
+	}
+
+	table := &Table{
+		Name:        "Figure 11a",
+		Description: "task reconstruction after a node failure (chains of short tasks)",
+		Columns:     []string{"phase", "elapsed (ms)", "chains OK", "tasks re-executed"},
+	}
+	table.AddRow("before failure", ms(phase1), "yes", "0")
+	ok := "yes"
+	if finalSum != wantSum {
+		ok = fmt.Sprintf("NO (%d != %d)", finalSum, wantSum)
+	}
+	table.AddRow("after failure + reconstruction", ms(phase2), ok, fmt.Sprintf("%d", reexecuted))
+	return table, nil
+}
+
+// Fig11bActorReconstruction reproduces Figure 11b: actors are killed with a
+// node and reconstructed elsewhere; checkpointing bounds how many methods
+// must be replayed.
+func Fig11bActorReconstruction(scale Scale) (*Table, error) {
+	actors := 8
+	methodsBefore := 40
+	if scale == Full {
+		actors = 40
+		methodsBefore = 200
+	}
+	table := &Table{
+		Name:        "Figure 11b",
+		Description: "actor reconstruction after a node failure, with and without checkpointing",
+		Columns:     []string{"mode", "lost actors", "methods replayed", "recovery (ms)", "state correct"},
+	}
+	for _, checkpoint := range []bool{false, true} {
+		row, err := actorReconstructionRun(actors, methodsBefore, checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(row...)
+	}
+	return table, nil
+}
+
+func actorReconstructionRun(actors, methodsBefore int, checkpoint bool) ([]string, error) {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	// Four CPUs per node: each actor holds one CPU, so the eight actors are
+	// forced to spread beyond the driver's node (killing a node then actually
+	// loses some) while leaving spare capacity to host the reconstructions.
+	cfg.CPUsPerNode = 4
+	if checkpoint {
+		cfg.CheckpointInterval = 10
+	}
+	rt, d, err := newCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Shutdown()
+	if err := registerBenchFunctions(rt); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	handles := make([]*worker.ActorHandle, actors)
+	for i := range handles {
+		h, err := d.CreateActor(benchCounterCls, core.CallOptions{})
+		if err != nil {
+			return nil, err
+		}
+		handles[i] = h
+	}
+	// Run the pre-failure methods.
+	for m := 0; m < methodsBefore; m++ {
+		for _, h := range handles {
+			ref, err := d.CallActor1(h, "inc", core.CallOptions{})
+			if err != nil {
+				return nil, err
+			}
+			var v int
+			if err := d.Get(ref, &v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	methodsRunBefore := totalMethodsRun(rt)
+
+	// Kill a non-driver node hosting actors.
+	lost := 0
+	for _, n := range rt.Cluster().NodeList() {
+		if n.ID() == d.Node.ID() {
+			continue
+		}
+		if hosted := n.Workers().Stats().ActorsHosted; hosted > 0 {
+			lost = hosted
+			if err := rt.Cluster().KillNode(ctx, n.ID()); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+
+	// Touch every actor once more; lost ones reconstruct transparently.
+	recoveryStart := time.Now()
+	correct := true
+	for _, h := range handles {
+		ref, err := d.CallActor1(h, "inc", core.CallOptions{})
+		if err != nil {
+			return nil, err
+		}
+		var v int
+		if err := d.Get(ref, &v); err != nil {
+			return nil, err
+		}
+		if v != methodsBefore+1 {
+			correct = false
+		}
+	}
+	recovery := time.Since(recoveryStart)
+	// Replayed methods = methods executed after the failure beyond the one
+	// new "inc" per actor.
+	replayed := totalMethodsRun(rt) - methodsRunBefore - int64(actors)
+
+	mode := "no checkpoint"
+	if checkpoint {
+		mode = "checkpoint every 10"
+	}
+	okStr := "yes"
+	if !correct {
+		okStr = "NO"
+	}
+	return []string{mode, fmt.Sprintf("%d", lost), fmt.Sprintf("%d", replayed), ms(recovery), okStr}, nil
+}
+
+func totalMethodsRun(rt *core.Runtime) int64 {
+	var total int64
+	for _, n := range rt.Cluster().NodeList() {
+		total += n.Stats().Workers.MethodsRun
+	}
+	return total
+}

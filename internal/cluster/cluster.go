@@ -1,0 +1,485 @@
+// Package cluster wires nodes, the Global Control Store, and the global
+// scheduler replicas into one runnable Ray cluster, and implements the
+// cluster-wide concerns no single node can handle alone: routing forwarded
+// tasks to the node the global scheduler picked, routing actor method calls
+// to the node hosting the actor, reconstructing actors after node failures,
+// and failure injection for the fault-tolerance experiments.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ray/internal/gcs"
+	"ray/internal/netsim"
+	"ray/internal/node"
+	"ray/internal/objectstore"
+	"ray/internal/scheduler"
+	"ray/internal/task"
+	"ray/internal/types"
+	"ray/internal/worker"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the initial node count.
+	Nodes int
+	// Node is the per-node configuration applied to every initial node.
+	Node node.Config
+	// GCS configures the Global Control Store.
+	GCS gcs.Config
+	// Network configures the simulated data plane.
+	Network netsim.Config
+	// GlobalSchedulers is the number of global scheduler replicas.
+	GlobalSchedulers int
+	// Scheduling configures global scheduler policy.
+	Scheduling scheduler.GlobalConfig
+	// ActorWaitTimeout bounds how long an actor method call waits for the
+	// actor to come alive before failing. Zero means 30s.
+	ActorWaitTimeout time.Duration
+	// LabelNodes, when true, gives node i a custom resource "node<i>" so
+	// applications can pin tasks and actors to specific nodes (Ray's custom
+	// resource mechanism). The collective and training workloads use it to
+	// place one participant per node.
+	LabelNodes bool
+}
+
+// NodeLabel is the custom resource name that pins work to the i-th node when
+// the cluster was built with LabelNodes.
+func NodeLabel(i int) string { return fmt.Sprintf("node%d", i) }
+
+// DefaultConfig returns a 4-node cluster with instant (zero-delay) data plane,
+// suitable for tests.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:            4,
+		Node:             node.DefaultConfig(),
+		GCS:              gcs.DefaultConfig(),
+		Network:          netsim.InstantConfig(),
+		GlobalSchedulers: 1,
+		Scheduling:       scheduler.DefaultGlobalConfig(),
+	}
+}
+
+// Cluster is a running Ray cluster.
+type Cluster struct {
+	cfg      Config
+	gcs      *gcs.Store
+	network  *netsim.Network
+	registry *worker.Registry
+	globals  *scheduler.Pool
+
+	mu    sync.RWMutex
+	nodes map[types.NodeID]*node.Node
+	order []types.NodeID
+
+	// actor reconstruction dedup
+	reconMu       sync.Mutex
+	reconInflight map[types.ActorID]chan error
+
+	forwards       atomic.Int64
+	actorRoutes    atomic.Int64
+	reconstructedA atomic.Int64
+}
+
+// New builds a cluster (nodes are created but not started; call Start).
+func New(cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.GlobalSchedulers < 1 {
+		cfg.GlobalSchedulers = 1
+	}
+	if cfg.ActorWaitTimeout <= 0 {
+		cfg.ActorWaitTimeout = 30 * time.Second
+	}
+	c := &Cluster{
+		cfg:           cfg,
+		gcs:           gcs.New(cfg.GCS),
+		network:       netsim.New(cfg.Network),
+		registry:      worker.NewRegistry(),
+		nodes:         make(map[types.NodeID]*node.Node),
+		reconInflight: make(map[types.ActorID]chan error),
+	}
+	c.globals = scheduler.NewPool(cfg.GlobalSchedulers, cfg.Scheduling, c.gcs)
+	for i := 0; i < cfg.Nodes; i++ {
+		ncfg := cfg.Node
+		if cfg.LabelNodes {
+			custom := make(map[string]float64, len(ncfg.CustomResources)+1)
+			for k, v := range ncfg.CustomResources {
+				custom[k] = v
+			}
+			custom[NodeLabel(i)] = 1e6
+			ncfg.CustomResources = custom
+		}
+		c.addNodeLocked(ncfg)
+	}
+	return c
+}
+
+func (c *Cluster) addNodeLocked(cfg node.Config) *node.Node {
+	n := node.New(cfg, c.gcs, c.network, c.registry, c, c)
+	c.mu.Lock()
+	c.nodes[n.ID()] = n
+	c.order = append(c.order, n.ID())
+	c.mu.Unlock()
+	return n
+}
+
+// Start registers every node with the GCS and begins heartbeating.
+func (c *Cluster) Start(ctx context.Context) error {
+	for _, n := range c.NodeList() {
+		if err := n.Start(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Shutdown stops every node gracefully.
+func (c *Cluster) Shutdown() {
+	for _, n := range c.NodeList() {
+		if !n.Dead() {
+			n.Stop()
+		}
+	}
+}
+
+// GCS returns the cluster's Global Control Store.
+func (c *Cluster) GCS() *gcs.Store { return c.gcs }
+
+// Network returns the simulated data plane.
+func (c *Cluster) Network() *netsim.Network { return c.network }
+
+// Registry returns the shared function/actor registry.
+func (c *Cluster) Registry() *worker.Registry { return c.registry }
+
+// GlobalSchedulers returns the global scheduler pool.
+func (c *Cluster) GlobalSchedulers() *scheduler.Pool { return c.globals }
+
+// Node returns the node with the given ID (nil if unknown).
+func (c *Cluster) Node(id types.NodeID) *node.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
+
+// NodeList returns every node in creation order (including dead ones).
+func (c *Cluster) NodeList() []*node.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*node.Node, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// AliveNodes returns the nodes that have not been killed.
+func (c *Cluster) AliveNodes() []*node.Node {
+	var out []*node.Node
+	for _, n := range c.NodeList() {
+		if !n.Dead() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// HeadNode returns the first alive node (where drivers attach by default).
+func (c *Cluster) HeadNode() *node.Node {
+	alive := c.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	return alive[0]
+}
+
+// AddNode adds and starts a new node with the given configuration
+// (elastic scale-out, used by the Figure 11a experiment).
+func (c *Cluster) AddNode(ctx context.Context, cfg node.Config) (*node.Node, error) {
+	n := c.addNodeLocked(cfg)
+	if err := n.Start(ctx); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// KillNode simulates the failure of a node: its objects and actors are lost
+// and the GCS learns it is dead. Lost actors are reconstructed lazily, on the
+// next method call routed to them.
+func (c *Cluster) KillNode(ctx context.Context, id types.NodeID) error {
+	n := c.Node(id)
+	if n == nil {
+		return types.ErrNodeNotFound
+	}
+	n.Kill(ctx)
+	return nil
+}
+
+// --- objectmanager.PeerResolver ------------------------------------------------
+
+// ResolveStore returns the object store of a peer node if the node is alive.
+func (c *Cluster) ResolveStore(id types.NodeID) (*objectstore.Store, bool) {
+	n := c.Node(id)
+	if n == nil || n.Dead() {
+		return nil, false
+	}
+	return n.Store(), true
+}
+
+// --- scheduler.Forwarder / node.Router -------------------------------------------
+
+// ForwardTask implements bottom-up spillover: a local scheduler declined the
+// task, so a global scheduler replica picks a node and the task is delivered
+// to that node's local scheduler.
+func (c *Cluster) ForwardTask(ctx context.Context, spec *task.Spec) error {
+	c.forwards.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		target, err := c.globals.Schedule(ctx, spec)
+		if err != nil {
+			return err
+		}
+		n := c.Node(target)
+		if n == nil || n.Dead() {
+			lastErr = fmt.Errorf("cluster: scheduled node %s unavailable: %w", target, types.ErrNodeDead)
+			// The GCS may not have caught up; mark and retry.
+			_ = c.gcs.MarkNodeDead(ctx, target)
+			continue
+		}
+		if err := n.LocalScheduler().SubmitPlaced(ctx, spec); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: could not place task %s: %w", spec.ID, lastErr)
+}
+
+// RouteActorTask delivers an actor method call to the node hosting the actor,
+// waiting for pending actors to come alive and reconstructing actors whose
+// node has died.
+func (c *Cluster) RouteActorTask(ctx context.Context, spec *task.Spec) error {
+	c.actorRoutes.Add(1)
+	deadline := time.Now().Add(c.cfg.ActorWaitTimeout)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: actor %s not available within %v: %w",
+				spec.ActorID, c.cfg.ActorWaitTimeout, types.ErrTimeout)
+		}
+		entry, ok, err := c.gcs.GetActor(ctx, spec.ActorID)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Creation task has not completed yet; wait for the actor table
+			// entry to appear.
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		switch entry.State {
+		case types.ActorDead:
+			return fmt.Errorf("cluster: actor %s: %w", spec.ActorID, types.ErrActorDead)
+		case types.ActorPending:
+			time.Sleep(time.Millisecond)
+			continue
+		case types.ActorReconstructing:
+			if err := c.reconstructActor(ctx, spec.ActorID); err != nil {
+				return err
+			}
+			continue
+		case types.ActorAlive:
+			host := c.Node(entry.Node)
+			if host == nil || host.Dead() || !host.Workers().HasActor(spec.ActorID) {
+				if err := c.reconstructActor(ctx, spec.ActorID); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := host.LocalScheduler().Submit(ctx, spec); err != nil {
+				if errors.Is(err, types.ErrNodeDead) {
+					continue
+				}
+				return err
+			}
+			return nil
+		}
+	}
+}
+
+// --- Actor reconstruction ----------------------------------------------------------
+
+// reconstructActor recreates a lost actor on a live node by replaying its
+// creation task, restoring its most recent checkpoint (if any), and replaying
+// the method calls after the checkpoint — the stateful-edge replay of paper
+// Section 4.2.3 and Figure 11b.
+func (c *Cluster) reconstructActor(ctx context.Context, id types.ActorID) error {
+	// Deduplicate concurrent reconstructions.
+	c.reconMu.Lock()
+	if ch, ok := c.reconInflight[id]; ok {
+		c.reconMu.Unlock()
+		select {
+		case err := <-ch:
+			select {
+			case ch <- err:
+			default:
+			}
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ch := make(chan error, 1)
+	c.reconInflight[id] = ch
+	c.reconMu.Unlock()
+
+	err := c.doReconstructActor(ctx, id)
+
+	c.reconMu.Lock()
+	delete(c.reconInflight, id)
+	c.reconMu.Unlock()
+	ch <- err
+	return err
+}
+
+func (c *Cluster) doReconstructActor(ctx context.Context, id types.ActorID) error {
+	entry, ok, err := c.gcs.GetActor(ctx, id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("cluster: reconstruct unknown actor %s: %w", id, types.ErrActorNotFound)
+	}
+	// Someone may have already reconstructed it.
+	if entry.State == types.ActorAlive {
+		if host := c.Node(entry.Node); host != nil && !host.Dead() && host.Workers().HasActor(id) {
+			return nil
+		}
+	}
+	entry.State = types.ActorReconstructing
+	if err := c.gcs.PutActor(ctx, id, entry); err != nil {
+		return err
+	}
+
+	creation, ok, err := c.gcs.GetTask(ctx, entry.CreationTask)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("cluster: creation task %s of actor %s missing: %w",
+			entry.CreationTask, id, types.ErrTaskNotFound)
+	}
+
+	// Collect the replay chain: walk stateful edges back from the last
+	// executed method until the creation task or the checkpointed counter.
+	var replay []*task.Spec
+	cursor := entry.LastTask
+	for !cursor.IsNil() && cursor != entry.CreationTask {
+		te, ok, err := c.gcs.GetTask(ctx, cursor)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("cluster: lineage for actor %s broken at task %s: %w",
+				id, cursor, types.ErrTaskNotFound)
+		}
+		if te.Spec.ActorCounter <= entry.CheckpointCounter {
+			break
+		}
+		replay = append(replay, te.Spec)
+		cursor = te.Spec.PreviousActorTask
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(replay)-1; i < j; i, j = i+1, j-1 {
+		replay[i], replay[j] = replay[j], replay[i]
+	}
+
+	// Pick a new home for the actor and replay its creation there.
+	target, err := c.globals.Schedule(ctx, creation.Spec)
+	if err != nil {
+		return err
+	}
+	host := c.Node(target)
+	if host == nil || host.Dead() {
+		return fmt.Errorf("cluster: reconstruction target %s unavailable: %w", target, types.ErrNodeDead)
+	}
+	if err := host.LocalScheduler().SubmitPlaced(ctx, creation.Spec); err != nil {
+		return err
+	}
+	// Wait for the instance to exist on the new node.
+	waitDeadline := time.Now().Add(c.cfg.ActorWaitTimeout)
+	for !host.Workers().HasActor(id) {
+		if time.Now().After(waitDeadline) {
+			return fmt.Errorf("cluster: actor %s creation replay did not finish: %w", id, types.ErrTimeout)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Restore the checkpoint (it lives in the GCS, so it survived the node).
+	if len(entry.CheckpointData) > 0 {
+		if err := host.Workers().RestoreActorCheckpoint(id, entry.CheckpointData, entry.CheckpointCounter); err != nil {
+			return err
+		}
+	}
+
+	// The creation replay overwrote the actor entry; restore the checkpoint
+	// fields so a second failure can still use them.
+	fresh, ok, err := c.gcs.GetActor(ctx, id)
+	if err != nil || !ok {
+		return fmt.Errorf("cluster: actor entry missing after creation replay: %w", err)
+	}
+	fresh.CheckpointData = entry.CheckpointData
+	fresh.CheckpointCounter = entry.CheckpointCounter
+	fresh.State = types.ActorAlive
+	if err := c.gcs.PutActor(ctx, id, fresh); err != nil {
+		return err
+	}
+
+	// Replay the methods after the checkpoint, in order. Their outputs are
+	// rewritten into the object store (idempotent) and the actor table's
+	// progress markers advance as they complete.
+	for _, spec := range replay {
+		if err := host.LocalScheduler().Submit(ctx, spec); err != nil {
+			return err
+		}
+	}
+	c.reconstructedA.Add(1)
+	_ = c.gcs.AppendEvent(ctx, "actor_reconstructed", id.String())
+	return nil
+}
+
+// Stats summarizes cluster-level routing activity.
+type Stats struct {
+	Forwards            int64
+	ActorRoutes         int64
+	ActorsReconstructed int64
+	GlobalDecisions     int64
+}
+
+// Stats returns a snapshot of cluster counters.
+func (c *Cluster) Stats() Stats {
+	var decisions int64
+	for _, g := range c.globals.Replicas() {
+		decisions += g.Decisions()
+	}
+	return Stats{
+		Forwards:            c.forwards.Load(),
+		ActorRoutes:         c.actorRoutes.Load(),
+		ActorsReconstructed: c.reconstructedA.Load(),
+		GlobalDecisions:     decisions,
+	}
+}

@@ -1,0 +1,263 @@
+// Package core is the user-facing entry point of the Ray reproduction: it
+// builds a cluster (Init), registers remote functions and actor classes, and
+// hands out Drivers — the processes that execute user programs and submit the
+// root of the dynamic task graph (paper Section 4.1).
+//
+// The API mirrors Table 1 of the paper:
+//
+//	futures = f.remote(args)        -> Driver.Call / Call1
+//	objects = ray.get(futures)      -> Driver.Get / GetAll / core.Get[T]
+//	ready   = ray.wait(futures,k,t) -> Driver.Wait
+//	actor   = Class.remote(args)    -> Driver.CreateActor
+//	futures = actor.method.remote() -> Driver.CallActor
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ray/internal/cluster"
+	"ray/internal/codec"
+	"ray/internal/gcs"
+	"ray/internal/netsim"
+	"ray/internal/node"
+	"ray/internal/resources"
+	"ray/internal/scheduler"
+	"ray/internal/types"
+	"ray/internal/worker"
+)
+
+// Re-exported names so applications and examples only import core and worker.
+type (
+	// ObjectRef is a future: a reference to an object that a task will produce.
+	ObjectRef = types.ObjectID
+	// CallOptions configure a remote invocation (resources, return count).
+	CallOptions = worker.CallOptions
+	// ActorHandle is a reference to a remote actor.
+	ActorHandle = worker.ActorHandle
+	// TaskContext is the API surface available inside remote functions.
+	TaskContext = worker.TaskContext
+)
+
+// Config describes the cluster a Runtime manages. The zero value is unusable;
+// start from DefaultConfig.
+type Config struct {
+	// Nodes is the number of nodes in the simulated cluster.
+	Nodes int
+	// CPUsPerNode and GPUsPerNode set each node's capacity.
+	CPUsPerNode float64
+	GPUsPerNode float64
+	// ObjectStoreBytes is each node's object store capacity (0 = 1 GiB).
+	ObjectStoreBytes int64
+	// GCSShards and GCSReplication configure the Global Control Store.
+	GCSShards      int
+	GCSReplication int
+	// GlobalSchedulers is the number of global scheduler replicas.
+	GlobalSchedulers int
+	// LocalityAware toggles locality-aware global placement (Figure 8a).
+	LocalityAware bool
+	// SpilloverThreshold is the local queue length that triggers forwarding.
+	SpilloverThreshold int
+	// CheckpointInterval is the actor checkpoint period in method calls
+	// (0 disables checkpointing).
+	CheckpointInterval int64
+	// RecordLineage toggles task-table writes (leave on except for the raw
+	// throughput microbenchmark).
+	RecordLineage bool
+	// TransferStreams is the number of parallel streams per object transfer.
+	TransferStreams int
+	// InjectedSchedulerLatency adds artificial scheduling latency (Fig 12b).
+	InjectedSchedulerLatency time.Duration
+	// Network configures the simulated data plane.
+	Network netsim.Config
+	// HeartbeatInterval is how often nodes report load to the GCS.
+	HeartbeatInterval time.Duration
+	// LabelNodes gives node i a custom resource named NodeLabel(i) so
+	// applications can pin actors or tasks to specific nodes.
+	LabelNodes bool
+	// CustomResourcesPerNode adds extra named resources to every node.
+	CustomResourcesPerNode map[string]float64
+}
+
+// NodeLabel is the custom resource that pins work to the i-th node when the
+// runtime was built with LabelNodes.
+func NodeLabel(i int) string { return cluster.NodeLabel(i) }
+
+// OnNode returns a resource request that pins a task or actor to node i
+// (requires Config.LabelNodes).
+func OnNode(i int) resources.Request {
+	return resources.NewRequest(map[string]float64{NodeLabel(i): 1})
+}
+
+// DefaultConfig returns a small test-friendly cluster: 4 nodes × 4 CPUs,
+// instant data plane, lineage recording on.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:            4,
+		CPUsPerNode:      4,
+		GCSShards:        4,
+		GCSReplication:   2,
+		GlobalSchedulers: 1,
+		LocalityAware:    true,
+		RecordLineage:    true,
+		TransferStreams:  8,
+		Network:          netsim.InstantConfig(),
+	}
+}
+
+// Runtime owns a running cluster and its function registry.
+type Runtime struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	drivers atomic.Int64
+}
+
+// Init builds and starts a cluster.
+func Init(ctx context.Context, cfg Config) (*Runtime, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.CPUsPerNode <= 0 {
+		cfg.CPUsPerNode = 4
+	}
+	ccfg := cluster.Config{
+		Nodes:      cfg.Nodes,
+		LabelNodes: cfg.LabelNodes,
+		Node: node.Config{
+			CPUs:                     cfg.CPUsPerNode,
+			GPUs:                     cfg.GPUsPerNode,
+			CustomResources:          cfg.CustomResourcesPerNode,
+			ObjectStoreBytes:         cfg.ObjectStoreBytes,
+			SpilloverThreshold:       cfg.SpilloverThreshold,
+			TransferStreams:          cfg.TransferStreams,
+			CheckpointInterval:       cfg.CheckpointInterval,
+			RecordLineage:            cfg.RecordLineage,
+			InjectedSchedulerLatency: cfg.InjectedSchedulerLatency,
+			HeartbeatInterval:        cfg.HeartbeatInterval,
+		},
+		GCS: gcs.Config{
+			Shards:            max(cfg.GCSShards, 1),
+			ReplicationFactor: max(cfg.GCSReplication, 1),
+		},
+		Network:          cfg.Network,
+		GlobalSchedulers: cfg.GlobalSchedulers,
+		Scheduling: scheduler.GlobalConfig{
+			LocalityAware:        cfg.LocalityAware,
+			BandwidthBytesPerSec: cfg.Network.BandwidthBytesPerSec,
+			InjectedLatency:      cfg.InjectedSchedulerLatency,
+		},
+	}
+	cl := cluster.New(ccfg)
+	if err := cl.Start(ctx); err != nil {
+		return nil, fmt.Errorf("core: start cluster: %w", err)
+	}
+	return &Runtime{cfg: cfg, cluster: cl}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Cluster exposes the underlying cluster (failure injection, stats).
+func (r *Runtime) Cluster() *cluster.Cluster { return r.cluster }
+
+// Config returns the configuration the runtime was built with.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Shutdown stops the cluster.
+func (r *Runtime) Shutdown() { r.cluster.Shutdown() }
+
+// Register publishes a remote function under the given name on every node and
+// records it in the GCS function table.
+func (r *Runtime) Register(name string, doc string, fn worker.Function) error {
+	if err := r.cluster.Registry().Register(name, fn); err != nil {
+		return err
+	}
+	return r.cluster.GCS().RegisterFunction(context.Background(),
+		&gcs.FunctionEntry{Name: name, Doc: doc, NumReturns: 1})
+}
+
+// RegisterActor publishes an actor class under the given name.
+func (r *Runtime) RegisterActor(name string, doc string, ctor worker.ActorConstructor) error {
+	if err := r.cluster.Registry().RegisterActor(name, ctor); err != nil {
+		return err
+	}
+	return r.cluster.GCS().RegisterFunction(context.Background(),
+		&gcs.FunctionEntry{Name: name, Doc: doc, IsActorClass: true})
+}
+
+// Driver is a user program connected to the cluster. It embeds a TaskContext
+// whose task is the driver's root task, so the full in-task API (Call, Get,
+// Wait, Put, CreateActor, CallActor) is available directly on the driver.
+type Driver struct {
+	*worker.TaskContext
+	// ID identifies the driver.
+	ID types.DriverID
+	// Node is the node the driver is attached to.
+	Node *node.Node
+
+	runtime *Runtime
+}
+
+// NewDriver attaches a driver to the cluster's head node.
+func (r *Runtime) NewDriver(ctx context.Context) (*Driver, error) {
+	head := r.cluster.HeadNode()
+	if head == nil {
+		return nil, types.ErrNodeDead
+	}
+	return r.NewDriverOn(ctx, head)
+}
+
+// NewDriverOn attaches a driver to a specific node.
+func (r *Runtime) NewDriverOn(ctx context.Context, n *node.Node) (*Driver, error) {
+	if n == nil || n.Dead() {
+		return nil, types.ErrNodeDead
+	}
+	r.drivers.Add(1)
+	driverID := types.NewDriverID()
+	rootTask := n.IDs().NextTaskID()
+	tctx := worker.NewTaskContext(ctx, rootTask, driverID, n.ID(), n, n.IDs())
+	return &Driver{TaskContext: tctx, ID: driverID, Node: n, runtime: r}, nil
+}
+
+// Runtime returns the runtime the driver belongs to.
+func (d *Driver) Runtime() *Runtime { return d.runtime }
+
+// Get is a generic convenience wrapper over TaskContext.Get: it fetches and
+// decodes a future into a value of type T.
+func Get[T any](ctx *worker.TaskContext, ref ObjectRef) (T, error) {
+	var out T
+	err := ctx.Get(ref, &out)
+	return out, err
+}
+
+// Put stores a value and returns a reference, mirroring ray.put.
+func Put(ctx *worker.TaskContext, value any) (ObjectRef, error) {
+	return ctx.Put(value)
+}
+
+// CPUs builds a CPU-only resource request (helper for CallOptions).
+func CPUs(n float64) resources.Request { return resources.CPUs(n) }
+
+// GPUs builds a GPU+CPU resource request (helper for CallOptions).
+func GPUs(n float64) resources.Request { return resources.GPUs(n) }
+
+// Resources builds an arbitrary resource request.
+func Resources(quantities map[string]float64) resources.Request {
+	return resources.NewRequest(quantities)
+}
+
+// EncodeValue exposes the codec for applications that pre-serialize payloads
+// (e.g. to reuse one serialized policy across thousands of task submissions).
+func EncodeValue(v any) ([]byte, error) { return codec.Encode(v) }
+
+// DecodeValue decodes a payload produced by EncodeValue.
+func DecodeValue(data []byte, out any) error { return codec.Decode(data, out) }
+
+// Raw marks a pre-serialized payload so it is passed to the callee unchanged.
+func Raw(data []byte) worker.RawValue { return worker.RawValue(data) }

@@ -1,0 +1,428 @@
+package gcs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+// ObjectEntry is the object table record: where an object's replicas live and
+// how large it is. The global scheduler reads it to estimate transfer costs;
+// object managers read it to locate a source replica.
+type ObjectEntry struct {
+	// Locations are the nodes currently holding a copy of the object.
+	Locations []types.NodeID
+	// Size is the object payload size in bytes.
+	Size int64
+	// Creator is the task that produced the object (the lineage pointer).
+	Creator types.TaskID
+}
+
+func (e *ObjectEntry) marshal() []byte {
+	var buf bytes.Buffer
+	writeU64(&buf, uint64(e.Size))
+	buf.Write(e.Creator[:])
+	writeU32(&buf, uint32(len(e.Locations)))
+	for _, n := range e.Locations {
+		buf.Write(n[:])
+	}
+	return buf.Bytes()
+}
+
+func unmarshalObjectEntry(data []byte) (*ObjectEntry, error) {
+	if len(data) < 8+16+4 {
+		return nil, fmt.Errorf("gcs: truncated object entry (%d bytes)", len(data))
+	}
+	e := &ObjectEntry{Size: int64(binary.BigEndian.Uint64(data[:8]))}
+	copy(e.Creator[:], data[8:24])
+	n := int(binary.BigEndian.Uint32(data[24:28]))
+	off := 28
+	if len(data) < off+16*n {
+		return nil, fmt.Errorf("gcs: truncated object entry locations")
+	}
+	for i := 0; i < n; i++ {
+		var id types.NodeID
+		copy(id[:], data[off:off+16])
+		e.Locations = append(e.Locations, id)
+		off += 16
+	}
+	return e, nil
+}
+
+// HasLocation reports whether node already holds a replica.
+func (e *ObjectEntry) HasLocation(node types.NodeID) bool {
+	for _, n := range e.Locations {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// TaskEntry is the task (lineage) table record.
+type TaskEntry struct {
+	// Spec is the immutable task description.
+	Spec *task.Spec
+	// Status is the task's most recently recorded lifecycle state.
+	Status types.TaskStatus
+	// Node is the node the task was scheduled on (nil until placed).
+	Node types.NodeID
+}
+
+func (e *TaskEntry) marshal() []byte {
+	var buf bytes.Buffer
+	// Status is the first byte so flush predicates can read it without a
+	// full decode.
+	buf.WriteByte(byte(e.Status))
+	buf.Write(e.Node[:])
+	spec := e.Spec.Marshal()
+	writeU32(&buf, uint32(len(spec)))
+	buf.Write(spec)
+	return buf.Bytes()
+}
+
+func unmarshalTaskEntry(data []byte) (*TaskEntry, error) {
+	if len(data) < 1+16+4 {
+		return nil, fmt.Errorf("gcs: truncated task entry (%d bytes)", len(data))
+	}
+	e := &TaskEntry{Status: types.TaskStatus(data[0])}
+	copy(e.Node[:], data[1:17])
+	n := int(binary.BigEndian.Uint32(data[17:21]))
+	if len(data) < 21+n {
+		return nil, fmt.Errorf("gcs: truncated task entry spec")
+	}
+	spec, err := task.Unmarshal(data[21 : 21+n])
+	if err != nil {
+		return nil, err
+	}
+	e.Spec = spec
+	return e, nil
+}
+
+// taskEntryTerminal reports whether a raw task entry records a terminal
+// status. Used by the flush policy without decoding the whole entry.
+func taskEntryTerminal(value []byte) bool {
+	if len(value) == 0 {
+		return false
+	}
+	return types.TaskStatus(value[0]).Terminal()
+}
+
+// ActorEntry is the actor table record. Together with the task table's
+// stateful-edge chain it is everything needed to reconstruct an actor after a
+// node failure.
+type ActorEntry struct {
+	// State is the actor's lifecycle state.
+	State types.ActorState
+	// Node is the node currently hosting the actor.
+	Node types.NodeID
+	// CreationTask is the task that instantiated the actor; replay starts
+	// from it (or from the last checkpoint).
+	CreationTask types.TaskID
+	// ExecutedCounter is the highest ActorCounter whose method has finished.
+	ExecutedCounter int64
+	// LastTask is the most recently executed method task; walking its
+	// PreviousActorTask chain yields the replay sequence for reconstruction.
+	LastTask types.TaskID
+	// CheckpointData is the most recent user-defined checkpoint of the
+	// actor's state. It lives in the GCS (not in the failed node's object
+	// store) so it survives the failure it exists to mitigate.
+	CheckpointData []byte
+	// CheckpointCounter is the ActorCounter captured by that checkpoint.
+	CheckpointCounter int64
+}
+
+func (e *ActorEntry) marshal() []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(e.State))
+	buf.Write(e.Node[:])
+	buf.Write(e.CreationTask[:])
+	writeU64(&buf, uint64(e.ExecutedCounter))
+	buf.Write(e.LastTask[:])
+	writeU32(&buf, uint32(len(e.CheckpointData)))
+	buf.Write(e.CheckpointData)
+	writeU64(&buf, uint64(e.CheckpointCounter))
+	return buf.Bytes()
+}
+
+func unmarshalActorEntry(data []byte) (*ActorEntry, error) {
+	const want = 1 + 16 + 16 + 8 + 16 + 4 + 8
+	if len(data) < want {
+		return nil, fmt.Errorf("gcs: truncated actor entry (%d bytes)", len(data))
+	}
+	e := &ActorEntry{State: types.ActorState(data[0])}
+	off := 1
+	copy(e.Node[:], data[off:off+16])
+	off += 16
+	copy(e.CreationTask[:], data[off:off+16])
+	off += 16
+	e.ExecutedCounter = int64(binary.BigEndian.Uint64(data[off : off+8]))
+	off += 8
+	copy(e.LastTask[:], data[off:off+16])
+	off += 16
+	n := int(binary.BigEndian.Uint32(data[off : off+4]))
+	off += 4
+	if len(data) < off+n+8 {
+		return nil, fmt.Errorf("gcs: truncated actor entry checkpoint")
+	}
+	if n > 0 {
+		e.CheckpointData = append([]byte(nil), data[off:off+n]...)
+	}
+	off += n
+	e.CheckpointCounter = int64(binary.BigEndian.Uint64(data[off : off+8]))
+	return e, nil
+}
+
+// NodeEntry is the node table record: membership plus the latest heartbeat.
+type NodeEntry struct {
+	// ID identifies the node.
+	ID types.NodeID
+	// State is ALIVE or DEAD.
+	State types.NodeState
+	// TotalResources is the node's full capacity (whole units).
+	TotalResources map[string]float64
+	// AvailableResources is the capacity free as of the last heartbeat.
+	AvailableResources map[string]float64
+	// QueueLength is the local scheduler's queued task count.
+	QueueLength int
+	// AvgTaskMillis is the node's exponentially averaged task execution time.
+	AvgTaskMillis float64
+	// HeartbeatUnixNano is when the last heartbeat was recorded.
+	HeartbeatUnixNano int64
+}
+
+func (e *NodeEntry) marshal() []byte {
+	var buf bytes.Buffer
+	buf.Write(e.ID[:])
+	buf.WriteByte(byte(e.State))
+	writeResourceMap(&buf, e.TotalResources)
+	writeResourceMap(&buf, e.AvailableResources)
+	writeU64(&buf, uint64(e.QueueLength))
+	writeU64(&buf, uint64(int64(e.AvgTaskMillis*1000)))
+	writeU64(&buf, uint64(e.HeartbeatUnixNano))
+	return buf.Bytes()
+}
+
+func unmarshalNodeEntry(data []byte) (*NodeEntry, error) {
+	r := &entryReader{data: data}
+	e := &NodeEntry{}
+	r.id((*[16]byte)(&e.ID))
+	e.State = types.NodeState(r.byte())
+	e.TotalResources = r.resourceMap()
+	e.AvailableResources = r.resourceMap()
+	e.QueueLength = int(r.u64())
+	e.AvgTaskMillis = float64(int64(r.u64())) / 1000
+	e.HeartbeatUnixNano = int64(r.u64())
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}
+
+// HeartbeatAge returns how long ago the node heartbeated, relative to now.
+func (e *NodeEntry) HeartbeatAge(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, e.HeartbeatUnixNano))
+}
+
+// FunctionEntry is the function table record: remote functions registered by
+// drivers and published to every worker.
+type FunctionEntry struct {
+	// Name is the registered function (or actor class) name.
+	Name string
+	// Doc is a human-readable description, surfaced by the debugging tools.
+	Doc string
+	// IsActorClass marks actor class registrations.
+	IsActorClass bool
+	// NumReturns is the default number of return objects.
+	NumReturns int
+}
+
+func (e *FunctionEntry) marshal() []byte {
+	var buf bytes.Buffer
+	writeString(&buf, e.Name)
+	writeString(&buf, e.Doc)
+	if e.IsActorClass {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	writeU32(&buf, uint32(e.NumReturns))
+	return buf.Bytes()
+}
+
+func unmarshalFunctionEntry(data []byte) (*FunctionEntry, error) {
+	r := &entryReader{data: data}
+	e := &FunctionEntry{}
+	e.Name = r.str()
+	e.Doc = r.str()
+	e.IsActorClass = r.byte() == 1
+	e.NumReturns = int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}
+
+// Event is an event-log record used by the profiling and debugging tools the
+// paper mentions as an "added benefit" of the GCS.
+type Event struct {
+	// Seq is the globally unique event sequence number.
+	Seq uint64
+	// UnixNano is the event timestamp.
+	UnixNano int64
+	// Kind is a short machine-readable label ("task_finished", "node_dead").
+	Kind string
+	// Message is the human-readable description.
+	Message string
+}
+
+func (e *Event) marshal() []byte {
+	var buf bytes.Buffer
+	writeU64(&buf, e.Seq)
+	writeU64(&buf, uint64(e.UnixNano))
+	writeString(&buf, e.Kind)
+	writeString(&buf, e.Message)
+	return buf.Bytes()
+}
+
+func unmarshalEvent(data []byte) (*Event, error) {
+	r := &entryReader{data: data}
+	e := &Event{}
+	e.Seq = r.u64()
+	e.UnixNano = int64(r.u64())
+	e.Kind = r.str()
+	e.Message = r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}
+
+// --- shared encoding helpers -------------------------------------------------
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeU32(buf, uint32(len(s)))
+	buf.WriteString(s)
+}
+
+func writeResourceMap(buf *bytes.Buffer, m map[string]float64) {
+	writeU32(buf, uint32(len(m)))
+	// Deterministic order is not required for correctness (entries are
+	// re-read into a map), but stable encodings make tests simpler.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		writeString(buf, k)
+		writeU64(buf, uint64(int64(m[k]*1000+0.5)))
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+type entryReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *entryReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("gcs: truncated entry at offset %d", r.off)
+	}
+}
+
+func (r *entryReader) byte() byte {
+	if r.err != nil || r.off+1 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *entryReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *entryReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *entryReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.data) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *entryReader) id(dst *[16]byte) {
+	if r.err != nil || r.off+16 > len(r.data) {
+		r.fail()
+		return
+	}
+	copy(dst[:], r.data[r.off:r.off+16])
+	r.off += 16
+}
+
+func (r *entryReader) resourceMap() map[string]float64 {
+	n := int(r.u32())
+	if r.err != nil || n > 1<<16 {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return map[string]float64{}
+	}
+	m := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := float64(int64(r.u64())) / 1000
+		if r.err != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}

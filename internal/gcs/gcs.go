@@ -1,0 +1,309 @@
+// Package gcs implements Ray's Global Control Store (paper Section 4.2.1):
+// a sharded, chain-replicated key-value store with pub-sub that holds the
+// entire control state of the system — the object directory, the task
+// (lineage) table, the actor table, the function table, node membership and
+// heartbeats, and the event log.
+//
+// Centralizing control state here is what lets every other component
+// (schedulers, object stores, workers) be stateless: on failure they simply
+// restart and re-read state from the GCS. Sharding provides horizontal
+// scalability; per-shard chain replication provides fault tolerance; the
+// pub-sub layer provides the object-creation callbacks that task dispatch and
+// ray.get rely on (paper Figure 7).
+package gcs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"ray/internal/chain"
+	"ray/internal/netsim"
+	"ray/internal/types"
+)
+
+// Config controls GCS construction.
+type Config struct {
+	// Shards is the number of independent key-space shards. Tables are
+	// sharded by object/task/actor ID so load spreads across shards.
+	Shards int
+	// ReplicationFactor is the chain length per shard.
+	ReplicationFactor int
+	// Network, when non-nil, charges message latencies on every shard
+	// operation so GCS round trips are visible in experiments.
+	Network *netsim.Network
+	// FlushThresholdBytes, when > 0, triggers flushing of completed-task
+	// lineage and event-log entries to FlushWriter once the resident size of
+	// the GCS exceeds the threshold (Figure 10b).
+	FlushThresholdBytes int64
+	// FlushWriter receives flushed entries. Defaults to io.Discard.
+	FlushWriter io.Writer
+}
+
+// DefaultConfig returns a small in-process GCS: 4 shards, 2-way replication.
+func DefaultConfig() Config {
+	return Config{Shards: 4, ReplicationFactor: 2}
+}
+
+// Store is the Global Control Store.
+type Store struct {
+	cfg    Config
+	shards []*chain.Chain
+
+	// pub-sub registry: key -> subscriber channels.
+	subMu sync.Mutex
+	subs  map[string][]chan []byte
+
+	// stats counters.
+	puts      atomic.Int64
+	gets      atomic.Int64
+	flushes   atomic.Int64
+	flushedN  atomic.Int64
+	eventSeq  atomic.Uint64
+	flushedBy atomic.Int64
+
+	flushMu sync.Mutex
+}
+
+// New creates a GCS with the given configuration.
+func New(cfg Config) *Store {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.ReplicationFactor < 1 {
+		cfg.ReplicationFactor = 1
+	}
+	if cfg.FlushWriter == nil {
+		cfg.FlushWriter = io.Discard
+	}
+	s := &Store{
+		cfg:  cfg,
+		subs: make(map[string][]chan []byte),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		ch := chain.New(chain.Config{
+			ReplicationFactor: cfg.ReplicationFactor,
+			Network:           cfg.Network,
+		})
+		ch.SetOnApply(s.publish)
+		s.shards = append(s.shards, ch)
+	}
+	return s
+}
+
+// NumShards returns the number of shards.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Shard exposes shard i for failure injection in tests and the Figure 10a
+// experiment (killing a chain replica).
+func (s *Store) Shard(i int) *chain.Chain { return s.shards[i] }
+
+// shardFor maps a key's owning ID to a shard.
+func (s *Store) shardFor(id types.UniqueID) *chain.Chain {
+	return s.shards[types.ShardIndex(id, len(s.shards))]
+}
+
+// shardForKey maps arbitrary string keys (function names, event sequence
+// numbers) onto shards with a simple FNV hash.
+func (s *Store) shardForKey(key string) *chain.Chain {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+func (s *Store) put(ctx context.Context, shard *chain.Chain, key string, value []byte) error {
+	s.puts.Add(1)
+	if err := shard.Put(ctx, key, value); err != nil {
+		return fmt.Errorf("gcs: put %q: %w", key, err)
+	}
+	s.maybeFlush()
+	return nil
+}
+
+func (s *Store) get(ctx context.Context, shard *chain.Chain, key string) ([]byte, bool, error) {
+	s.gets.Add(1)
+	v, ok, err := shard.Get(ctx, key)
+	if err != nil {
+		return nil, false, fmt.Errorf("gcs: get %q: %w", key, err)
+	}
+	return v, ok, nil
+}
+
+// --- Pub-sub ----------------------------------------------------------------
+
+// publish is installed as every shard chain's tail-commit hook. The sends are
+// non-blocking and performed under the registry lock so that cancel (which
+// closes the channel under the same lock) can never race with a send.
+func (s *Store) publish(key string, value []byte) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, ch := range s.subs[key] {
+		// Subscribers use buffered channels and treat the notification as a
+		// level trigger (they re-read the table on wake), so dropping a
+		// notification when the buffer is full is safe.
+		select {
+		case ch <- value:
+		default:
+		}
+	}
+}
+
+// subscribe registers interest in raw writes to a key. The returned cancel
+// function must be called to release the subscription; it also closes the
+// channel so consumer goroutines terminate.
+func (s *Store) subscribe(key string) (<-chan []byte, func()) {
+	ch := make(chan []byte, 16)
+	s.subMu.Lock()
+	s.subs[key] = append(s.subs[key], ch)
+	s.subMu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			s.subMu.Lock()
+			defer s.subMu.Unlock()
+			list := s.subs[key]
+			for i, c := range list {
+				if c == ch {
+					s.subs[key] = append(list[:i], list[i+1:]...)
+					break
+				}
+			}
+			if len(s.subs[key]) == 0 {
+				delete(s.subs, key)
+			}
+			close(ch)
+		})
+	}
+	return ch, cancel
+}
+
+// SubscriberCount reports how many subscriptions are registered (for tests).
+func (s *Store) SubscriberCount() int {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	n := 0
+	for _, list := range s.subs {
+		n += len(list)
+	}
+	return n
+}
+
+// --- Memory accounting and flushing ------------------------------------------
+
+// Bytes returns the approximate resident size of the GCS across all shards.
+func (s *Store) Bytes() int64 {
+	var total int64
+	for _, shard := range s.shards {
+		total += shard.Bytes()
+	}
+	return total
+}
+
+// Entries returns the total number of keys across all shards.
+func (s *Store) Entries() int {
+	total := 0
+	for _, shard := range s.shards {
+		total += shard.Len()
+	}
+	return total
+}
+
+// maybeFlush spills flushable state (completed task lineage, events) to the
+// configured writer when the resident size exceeds the threshold.
+func (s *Store) maybeFlush() {
+	if s.cfg.FlushThresholdBytes <= 0 {
+		return
+	}
+	if s.Bytes() < s.cfg.FlushThresholdBytes {
+		return
+	}
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if s.Bytes() < s.cfg.FlushThresholdBytes {
+		return
+	}
+	n, freed, _ := s.FlushNow()
+	s.flushedN.Add(int64(n))
+	s.flushedBy.Add(freed)
+}
+
+// FlushNow immediately flushes flushable entries (finished tasks and events)
+// from every shard to the configured writer. It returns the number of entries
+// flushed and the bytes freed.
+func (s *Store) FlushNow() (int, int64, error) {
+	s.flushes.Add(1)
+	var total int
+	var freed int64
+	var firstErr error
+	for _, shard := range s.shards {
+		n, f, err := shard.FlushTail(s.cfg.FlushWriter, flushableKey)
+		total += n
+		freed += f
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, freed, firstErr
+}
+
+// flushableKey reports whether an entry holds state that is safe to evict
+// from memory once written durably: lineage for *finished* tasks is only
+// needed again on reconstruction (and can then be re-read from the flush
+// log), and events are purely diagnostic. Object locations, actor state,
+// pending/running tasks, node membership and function definitions must stay
+// resident.
+func flushableKey(key string, value []byte) bool {
+	if hasPrefix(key, keyPrefixEvent) {
+		return true
+	}
+	if hasPrefix(key, keyPrefixTask) {
+		return taskEntryTerminal(value)
+	}
+	return false
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// Stats is a snapshot of GCS operation counters.
+type Stats struct {
+	Puts           int64
+	Gets           int64
+	Flushes        int64
+	FlushedEntries int64
+	FlushedBytes   int64
+	ResidentBytes  int64
+	ResidentKeys   int
+}
+
+// Stats returns a snapshot of operation counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:           s.puts.Load(),
+		Gets:           s.gets.Load(),
+		Flushes:        s.flushes.Load(),
+		FlushedEntries: s.flushedN.Load(),
+		FlushedBytes:   s.flushedBy.Load(),
+		ResidentBytes:  s.Bytes(),
+		ResidentKeys:   s.Entries(),
+	}
+}
+
+// Key prefixes for each table.
+const (
+	keyPrefixObject    = "obj/"
+	keyPrefixTask      = "task/"
+	keyPrefixActor     = "actor/"
+	keyPrefixFunction  = "fn/"
+	keyPrefixNode      = "node/"
+	keyPrefixHeartbeat = "hb/"
+	keyPrefixEvent     = "event/"
+)

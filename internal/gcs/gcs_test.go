@@ -1,0 +1,488 @@
+package gcs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ray/internal/resources"
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+func newTestStore() *Store {
+	return New(Config{Shards: 4, ReplicationFactor: 2})
+}
+
+func TestObjectTable(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	obj := types.NewObjectID()
+	n1, n2 := types.NewNodeID(), types.NewNodeID()
+	creator := types.NewTaskID()
+
+	if _, ok, err := s.GetObject(ctx, obj); err != nil || ok {
+		t.Fatalf("object should not exist yet: %v %v", ok, err)
+	}
+	if err := s.AddObjectLocation(ctx, obj, n1, 1024, creator); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObjectLocation(ctx, obj, n2, 0, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	// Adding the same location twice must not duplicate it.
+	if err := s.AddObjectLocation(ctx, obj, n1, 1024, creator); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok, err := s.GetObject(ctx, obj)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(entry.Locations) != 2 || !entry.HasLocation(n1) || !entry.HasLocation(n2) {
+		t.Fatalf("locations wrong: %v", entry.Locations)
+	}
+	if entry.Size != 1024 || entry.Creator != creator {
+		t.Fatalf("size/creator wrong: %+v", entry)
+	}
+	if err := s.RemoveObjectLocation(ctx, obj, n1); err != nil {
+		t.Fatal(err)
+	}
+	entry, _, _ = s.GetObject(ctx, obj)
+	if len(entry.Locations) != 1 || entry.HasLocation(n1) {
+		t.Fatalf("location not removed: %v", entry.Locations)
+	}
+	// Removing a location of an unknown object is a no-op.
+	if err := s.RemoveObjectLocation(ctx, types.NewObjectID(), n1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectSubscription(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	obj := types.NewObjectID()
+	ch, cancel := s.SubscribeObject(obj)
+	defer cancel()
+	if s.SubscriberCount() != 1 {
+		t.Fatalf("subscriber count %d", s.SubscriberCount())
+	}
+
+	node := types.NewNodeID()
+	if err := s.AddObjectLocation(ctx, obj, node, 64, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case entry := <-ch:
+		if entry == nil || !entry.HasLocation(node) || entry.Size != 64 {
+			t.Fatalf("bad notification: %+v", entry)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no notification received")
+	}
+	cancel()
+	if s.SubscriberCount() != 0 {
+		t.Fatal("cancel must remove the subscription")
+	}
+	// Double cancel must be safe.
+	cancel()
+}
+
+func TestSubscriptionOnlyMatchingKey(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	obj, other := types.NewObjectID(), types.NewObjectID()
+	ch, cancel := s.SubscribeObject(obj)
+	defer cancel()
+	if err := s.AddObjectLocation(ctx, other, types.NewNodeID(), 1, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e, ok := <-ch:
+		if ok {
+			t.Fatalf("unexpected notification for unrelated object: %+v", e)
+		}
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestTaskTable(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	spec := &task.Spec{
+		ID:         types.NewTaskID(),
+		Driver:     types.NewDriverID(),
+		Function:   "rollout",
+		NumReturns: 1,
+		Args:       []task.Arg{task.RefArg(types.NewObjectID())},
+		Resources:  resources.CPUs(1),
+	}
+	if err := s.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok, err := s.GetTask(ctx, spec.ID)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if entry.Status != types.TaskPending || entry.Spec.Function != "rollout" {
+		t.Fatalf("entry wrong: %+v", entry)
+	}
+	node := types.NewNodeID()
+	if err := s.UpdateTaskStatus(ctx, spec.ID, types.TaskRunning, node); err != nil {
+		t.Fatal(err)
+	}
+	entry, _, _ = s.GetTask(ctx, spec.ID)
+	if entry.Status != types.TaskRunning || entry.Node != node {
+		t.Fatalf("status update lost: %+v", entry)
+	}
+	// Updating an unknown task is an error.
+	if err := s.UpdateTaskStatus(ctx, types.NewTaskID(), types.TaskRunning, node); err == nil {
+		t.Fatal("expected error for unknown task")
+	}
+	if _, ok, _ := s.GetTask(ctx, types.NewTaskID()); ok {
+		t.Fatal("unknown task reported present")
+	}
+}
+
+func TestActorTable(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	actor := types.NewActorID()
+	entry := &ActorEntry{
+		State:           types.ActorAlive,
+		Node:            types.NewNodeID(),
+		CreationTask:    types.NewTaskID(),
+		ExecutedCounter: 7,
+	}
+	if err := s.PutActor(ctx, actor, entry); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.GetActor(ctx, actor)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if got.State != types.ActorAlive || got.ExecutedCounter != 7 || got.Node != entry.Node || got.CreationTask != entry.CreationTask {
+		t.Fatalf("actor entry wrong: %+v", got)
+	}
+	got.State = types.ActorReconstructing
+	got.CheckpointData = []byte("checkpoint-state")
+	got.CheckpointCounter = 5
+	got.LastTask = types.NewTaskID()
+	if err := s.PutActor(ctx, actor, got); err != nil {
+		t.Fatal(err)
+	}
+	again, _, _ := s.GetActor(ctx, actor)
+	if again.State != types.ActorReconstructing || again.CheckpointCounter != 5 ||
+		string(again.CheckpointData) != "checkpoint-state" || again.LastTask != got.LastTask {
+		t.Fatalf("actor update lost: %+v", again)
+	}
+	if _, ok, _ := s.GetActor(ctx, types.NewActorID()); ok {
+		t.Fatal("unknown actor reported present")
+	}
+}
+
+func TestFunctionTable(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	if err := s.RegisterFunction(ctx, &FunctionEntry{Name: "add", Doc: "adds two values", NumReturns: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterFunction(ctx, &FunctionEntry{Name: "Simulator", IsActorClass: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterFunction(ctx, &FunctionEntry{Name: ""}); err == nil {
+		t.Fatal("empty function name must be rejected")
+	}
+	fn, ok, err := s.GetFunction(ctx, "add")
+	if err != nil || !ok || fn.Doc != "adds two values" || fn.IsActorClass {
+		t.Fatalf("function entry wrong: %+v", fn)
+	}
+	cls, ok, _ := s.GetFunction(ctx, "Simulator")
+	if !ok || !cls.IsActorClass {
+		t.Fatal("actor class entry wrong")
+	}
+	if _, ok, _ := s.GetFunction(ctx, "missing"); ok {
+		t.Fatal("missing function reported present")
+	}
+}
+
+func TestNodeTableAndHeartbeats(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	var ids []types.NodeID
+	for i := 0; i < 5; i++ {
+		id := types.NewNodeID()
+		ids = append(ids, id)
+		err := s.RegisterNode(ctx, &NodeEntry{
+			ID:                 id,
+			State:              types.NodeAlive,
+			TotalResources:     map[string]float64{"CPU": 8},
+			AvailableResources: map[string]float64{"CPU": 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes, err := s.Nodes(ctx)
+	if err != nil || len(nodes) != 5 {
+		t.Fatalf("nodes: %d %v", len(nodes), err)
+	}
+	// Heartbeat updates load info.
+	if err := s.Heartbeat(ctx, ids[0], map[string]float64{"CPU": 3}, 12, 4.5); err != nil {
+		t.Fatal(err)
+	}
+	n0, ok, _ := s.GetNode(ctx, ids[0])
+	if !ok || n0.AvailableResources["CPU"] != 3 || n0.QueueLength != 12 || n0.AvgTaskMillis != 4.5 {
+		t.Fatalf("heartbeat lost: %+v", n0)
+	}
+	if n0.HeartbeatAge(time.Now()) > time.Minute {
+		t.Fatal("heartbeat age implausible")
+	}
+	if err := s.Heartbeat(ctx, types.NewNodeID(), nil, 0, 0); err == nil {
+		t.Fatal("heartbeat from unregistered node must fail")
+	}
+	// Mark one dead.
+	if err := s.MarkNodeDead(ctx, ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	alive, err := s.AliveNodes(ctx)
+	if err != nil || len(alive) != 4 {
+		t.Fatalf("alive nodes: %d %v", len(alive), err)
+	}
+	for _, n := range alive {
+		if n.ID == ids[1] {
+			t.Fatal("dead node listed as alive")
+		}
+	}
+	if err := s.MarkNodeDead(ctx, types.NewNodeID()); err == nil {
+		t.Fatal("marking unknown node dead must fail")
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := s.AppendEvent(ctx, "test", fmt.Sprintf("event %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := s.Events(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("expected 10 events, got %d", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatal("events not ordered by sequence")
+		}
+	}
+	if events[0].Kind != "test" || events[0].Message == "" || events[0].UnixNano == 0 {
+		t.Fatalf("event fields wrong: %+v", events[0])
+	}
+}
+
+func TestFlushingBoundsMemory(t *testing.T) {
+	var sink bytes.Buffer
+	s := New(Config{
+		Shards:              2,
+		ReplicationFactor:   1,
+		FlushThresholdBytes: 64 * 1024,
+		FlushWriter:         &sink,
+	})
+	ctx := context.Background()
+	driver := types.NewDriverID()
+	// Record many finished tasks; without flushing this would grow without
+	// bound (Figure 10b), with flushing memory stays under ~2x the threshold.
+	var maxBytes int64
+	for i := 0; i < 3000; i++ {
+		spec := &task.Spec{ID: types.NewTaskID(), Driver: driver, Function: "noop", NumReturns: 1}
+		if err := s.AddTask(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.UpdateTaskStatus(ctx, spec.ID, types.TaskFinished, types.NilNodeID); err != nil {
+			t.Fatal(err)
+		}
+		if b := s.Bytes(); b > maxBytes {
+			maxBytes = b
+		}
+	}
+	if maxBytes > 3*64*1024 {
+		t.Fatalf("flushing failed to bound memory: peak %d bytes", maxBytes)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("flush writer received nothing")
+	}
+	stats := s.Stats()
+	if stats.Flushes == 0 || stats.FlushedEntries == 0 || stats.FlushedBytes == 0 {
+		t.Fatalf("flush stats empty: %+v", stats)
+	}
+}
+
+func TestFlushKeepsLiveState(t *testing.T) {
+	s := New(Config{Shards: 2, ReplicationFactor: 1})
+	ctx := context.Background()
+	// A pending task, an object, an actor, a node: none may be flushed.
+	spec := &task.Spec{ID: types.NewTaskID(), Function: "live", NumReturns: 1}
+	if err := s.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	obj := types.NewObjectID()
+	if err := s.AddObjectLocation(ctx, obj, types.NewNodeID(), 10, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	node := types.NewNodeID()
+	if err := s.RegisterNode(ctx, &NodeEntry{ID: node, State: types.NodeAlive}); err != nil {
+		t.Fatal(err)
+	}
+	// A finished task and an event: these are flushable.
+	done := &task.Spec{ID: types.NewTaskID(), Function: "done", NumReturns: 1}
+	if err := s.AddTask(ctx, done); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateTaskStatus(ctx, done.ID, types.TaskFinished, types.NilNodeID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvent(ctx, "k", "m"); err != nil {
+		t.Fatal(err)
+	}
+
+	n, _, err := s.FlushNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("expected 2 flushed entries (finished task + event), got %d", n)
+	}
+	if _, ok, _ := s.GetTask(ctx, spec.ID); !ok {
+		t.Fatal("pending task flushed")
+	}
+	if _, ok, _ := s.GetObject(ctx, obj); !ok {
+		t.Fatal("object entry flushed")
+	}
+	if _, ok, _ := s.GetNode(ctx, node); !ok {
+		t.Fatal("node entry flushed")
+	}
+	if _, ok, _ := s.GetTask(ctx, done.ID); ok {
+		t.Fatal("finished task should have been flushed")
+	}
+}
+
+func TestGCSSurvivesShardReplicaFailure(t *testing.T) {
+	s := New(Config{Shards: 2, ReplicationFactor: 2})
+	ctx := context.Background()
+	obj := types.NewObjectID()
+	node := types.NewNodeID()
+	if err := s.AddObjectLocation(ctx, obj, node, 99, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the tail replica of every shard; reads and writes must still work.
+	for i := 0; i < s.NumShards(); i++ {
+		s.Shard(i).KillReplica(1)
+	}
+	entry, ok, err := s.GetObject(ctx, obj)
+	if err != nil || !ok || entry.Size != 99 {
+		t.Fatalf("read after replica failure: %+v %v %v", entry, ok, err)
+	}
+	if err := s.AddObjectLocation(ctx, types.NewObjectID(), node, 1, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedOperations(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				obj := types.NewObjectID()
+				node := types.NewNodeID()
+				if err := s.AddObjectLocation(ctx, obj, node, int64(i), types.NilTaskID); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok, err := s.GetObject(ctx, obj); err != nil || !ok {
+					t.Errorf("lost object: %v", err)
+					return
+				}
+				spec := &task.Spec{ID: types.NewTaskID(), Function: "f", NumReturns: 1}
+				if err := s.AddTask(ctx, spec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Stats().Puts == 0 || s.Stats().Gets == 0 {
+		t.Fatal("stats not recorded")
+	}
+}
+
+// Property: entry encodings round-trip.
+func TestEntryEncodingRoundTrips(t *testing.T) {
+	f := func(size int64, nLoc uint8, status uint8, queue uint16, avg uint16) bool {
+		if size < 0 {
+			size = -size
+		}
+		oe := &ObjectEntry{Size: size, Creator: types.NewTaskID()}
+		for i := 0; i < int(nLoc%5); i++ {
+			oe.Locations = append(oe.Locations, types.NewNodeID())
+		}
+		back, err := unmarshalObjectEntry(oe.marshal())
+		if err != nil || back.Size != oe.Size || len(back.Locations) != len(oe.Locations) || back.Creator != oe.Creator {
+			return false
+		}
+		ne := &NodeEntry{
+			ID:                 types.NewNodeID(),
+			State:              types.NodeState(status % 2),
+			TotalResources:     map[string]float64{"CPU": float64(queue % 64)},
+			AvailableResources: map[string]float64{"CPU": float64(queue % 32), "GPU": 2},
+			QueueLength:        int(queue),
+			AvgTaskMillis:      float64(avg) / 8,
+			HeartbeatUnixNano:  time.Now().UnixNano(),
+		}
+		nback, err := unmarshalNodeEntry(ne.marshal())
+		if err != nil || nback.ID != ne.ID || nback.QueueLength != ne.QueueLength ||
+			nback.AvailableResources["CPU"] != ne.AvailableResources["CPU"] ||
+			nback.AvailableResources["GPU"] != 2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryDecodersRejectGarbage(t *testing.T) {
+	if _, err := unmarshalObjectEntry([]byte{1}); err == nil {
+		t.Fatal("object entry decoder accepted garbage")
+	}
+	if _, err := unmarshalTaskEntry([]byte{1, 2}); err == nil {
+		t.Fatal("task entry decoder accepted garbage")
+	}
+	if _, err := unmarshalActorEntry([]byte{0}); err == nil {
+		t.Fatal("actor entry decoder accepted garbage")
+	}
+	if _, err := unmarshalNodeEntry([]byte{0, 1}); err == nil {
+		t.Fatal("node entry decoder accepted garbage")
+	}
+	if _, err := unmarshalFunctionEntry([]byte{9}); err == nil {
+		t.Fatal("function entry decoder accepted garbage")
+	}
+	if _, err := unmarshalEvent([]byte{3}); err == nil {
+		t.Fatal("event decoder accepted garbage")
+	}
+	if taskEntryTerminal(nil) {
+		t.Fatal("empty task entry must not be terminal")
+	}
+}

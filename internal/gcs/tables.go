@@ -1,0 +1,351 @@
+package gcs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+// --- Object table ------------------------------------------------------------
+
+func objectKey(id types.ObjectID) string { return keyPrefixObject + id.Hex() }
+
+// AddObjectLocation records that node holds a replica of the object. It
+// creates the entry if needed and preserves existing locations. The write
+// triggers pub-sub notifications for any subscriber waiting on the object
+// (the callback mechanism of paper Figure 7b).
+func (s *Store) AddObjectLocation(ctx context.Context, id types.ObjectID, node types.NodeID, size int64, creator types.TaskID) error {
+	shard := s.shardFor(types.UniqueID(id))
+	key := objectKey(id)
+	raw, ok, err := s.get(ctx, shard, key)
+	if err != nil {
+		return err
+	}
+	entry := &ObjectEntry{Size: size, Creator: creator}
+	if ok {
+		if existing, derr := unmarshalObjectEntry(raw); derr == nil {
+			entry = existing
+			if size > 0 {
+				entry.Size = size
+			}
+			if !creator.IsNil() {
+				entry.Creator = creator
+			}
+		}
+	}
+	if !entry.HasLocation(node) {
+		entry.Locations = append(entry.Locations, node)
+	}
+	return s.put(ctx, shard, key, entry.marshal())
+}
+
+// RemoveObjectLocation removes node from the object's location set (e.g. on
+// eviction or node failure). Removing the last location leaves an entry with
+// no locations, signalling that reconstruction is required.
+func (s *Store) RemoveObjectLocation(ctx context.Context, id types.ObjectID, node types.NodeID) error {
+	shard := s.shardFor(types.UniqueID(id))
+	key := objectKey(id)
+	raw, ok, err := s.get(ctx, shard, key)
+	if err != nil || !ok {
+		return err
+	}
+	entry, err := unmarshalObjectEntry(raw)
+	if err != nil {
+		return err
+	}
+	kept := entry.Locations[:0]
+	for _, n := range entry.Locations {
+		if n != node {
+			kept = append(kept, n)
+		}
+	}
+	entry.Locations = kept
+	return s.put(ctx, shard, key, entry.marshal())
+}
+
+// GetObject returns the object table entry, or ok=false if the object has
+// never been created.
+func (s *Store) GetObject(ctx context.Context, id types.ObjectID) (*ObjectEntry, bool, error) {
+	raw, ok, err := s.get(ctx, s.shardFor(types.UniqueID(id)), objectKey(id))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	entry, err := unmarshalObjectEntry(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// SubscribeObject registers for notifications about the object's table entry.
+// The returned channel receives the decoded entry after every update (best
+// effort: it is a level trigger, so consumers should re-read on wake). cancel
+// releases the subscription.
+func (s *Store) SubscribeObject(id types.ObjectID) (<-chan *ObjectEntry, func()) {
+	raw, cancel := s.subscribe(objectKey(id))
+	out := make(chan *ObjectEntry, 16)
+	go func() {
+		for data := range raw {
+			if entry, err := unmarshalObjectEntry(data); err == nil {
+				select {
+				case out <- entry:
+				default:
+				}
+			}
+		}
+		close(out)
+	}()
+	return out, cancel
+}
+
+// --- Task table ---------------------------------------------------------------
+
+func taskKey(id types.TaskID) string { return keyPrefixTask + id.Hex() }
+
+// AddTask records a task spec in the lineage table with PENDING status.
+func (s *Store) AddTask(ctx context.Context, spec *task.Spec) error {
+	entry := &TaskEntry{Spec: spec, Status: types.TaskPending}
+	return s.put(ctx, s.shardFor(types.UniqueID(spec.ID)), taskKey(spec.ID), entry.marshal())
+}
+
+// UpdateTaskStatus records a task's new status and (optionally) the node it
+// was placed on.
+func (s *Store) UpdateTaskStatus(ctx context.Context, id types.TaskID, status types.TaskStatus, node types.NodeID) error {
+	shard := s.shardFor(types.UniqueID(id))
+	key := taskKey(id)
+	raw, ok, err := s.get(ctx, shard, key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("gcs: update status of unknown task %s: %w", id, types.ErrTaskNotFound)
+	}
+	entry, err := unmarshalTaskEntry(raw)
+	if err != nil {
+		return err
+	}
+	entry.Status = status
+	if !node.IsNil() {
+		entry.Node = node
+	}
+	return s.put(ctx, shard, key, entry.marshal())
+}
+
+// GetTask returns the lineage entry for a task.
+func (s *Store) GetTask(ctx context.Context, id types.TaskID) (*TaskEntry, bool, error) {
+	raw, ok, err := s.get(ctx, s.shardFor(types.UniqueID(id)), taskKey(id))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	entry, err := unmarshalTaskEntry(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// --- Actor table ---------------------------------------------------------------
+
+func actorKey(id types.ActorID) string { return keyPrefixActor + id.Hex() }
+
+// PutActor writes the actor table entry (creation, relocation, state change,
+// checkpoint update all go through here).
+func (s *Store) PutActor(ctx context.Context, id types.ActorID, entry *ActorEntry) error {
+	return s.put(ctx, s.shardFor(types.UniqueID(id)), actorKey(id), entry.marshal())
+}
+
+// GetActor returns the actor table entry.
+func (s *Store) GetActor(ctx context.Context, id types.ActorID) (*ActorEntry, bool, error) {
+	raw, ok, err := s.get(ctx, s.shardFor(types.UniqueID(id)), actorKey(id))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	entry, err := unmarshalActorEntry(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// --- Function table -------------------------------------------------------------
+
+func functionKey(name string) string { return keyPrefixFunction + name }
+
+// RegisterFunction publishes a remote function or actor class definition.
+// In the paper this is what ships the function to every worker; here workers
+// share a registry in-process, but the table is still the source of truth the
+// debugging tools and tests inspect.
+func (s *Store) RegisterFunction(ctx context.Context, entry *FunctionEntry) error {
+	if entry.Name == "" {
+		return fmt.Errorf("gcs: function name must be non-empty")
+	}
+	return s.put(ctx, s.shardForKey(entry.Name), functionKey(entry.Name), entry.marshal())
+}
+
+// GetFunction returns a registered function definition.
+func (s *Store) GetFunction(ctx context.Context, name string) (*FunctionEntry, bool, error) {
+	raw, ok, err := s.get(ctx, s.shardForKey(name), functionKey(name))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	entry, err := unmarshalFunctionEntry(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// --- Node table ------------------------------------------------------------------
+
+func nodeKey(id types.NodeID) string { return keyPrefixNode + id.Hex() }
+
+// RegisterNode adds a node to the cluster membership table.
+func (s *Store) RegisterNode(ctx context.Context, entry *NodeEntry) error {
+	if entry.HeartbeatUnixNano == 0 {
+		entry.HeartbeatUnixNano = time.Now().UnixNano()
+	}
+	return s.put(ctx, s.shardFor(types.UniqueID(entry.ID)), nodeKey(entry.ID), entry.marshal())
+}
+
+// Heartbeat refreshes a node's load and resource availability. The global
+// scheduler consumes these entries to estimate queueing delay per node.
+func (s *Store) Heartbeat(ctx context.Context, id types.NodeID, available map[string]float64, queueLength int, avgTaskMillis float64) error {
+	shard := s.shardFor(types.UniqueID(id))
+	raw, ok, err := s.get(ctx, shard, nodeKey(id))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("gcs: heartbeat from unregistered node %s: %w", id, types.ErrNodeNotFound)
+	}
+	entry, err := unmarshalNodeEntry(raw)
+	if err != nil {
+		return err
+	}
+	entry.AvailableResources = available
+	entry.QueueLength = queueLength
+	entry.AvgTaskMillis = avgTaskMillis
+	entry.HeartbeatUnixNano = time.Now().UnixNano()
+	return s.put(ctx, shard, nodeKey(id), entry.marshal())
+}
+
+// MarkNodeDead records a node failure. Schedulers and object managers learn
+// about it on their next read (or via SubscribeNodeEvents).
+func (s *Store) MarkNodeDead(ctx context.Context, id types.NodeID) error {
+	shard := s.shardFor(types.UniqueID(id))
+	raw, ok, err := s.get(ctx, shard, nodeKey(id))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("gcs: mark dead: %w", types.ErrNodeNotFound)
+	}
+	entry, err := unmarshalNodeEntry(raw)
+	if err != nil {
+		return err
+	}
+	entry.State = types.NodeDead
+	return s.put(ctx, shard, nodeKey(id), entry.marshal())
+}
+
+// GetNode returns the membership entry for one node.
+func (s *Store) GetNode(ctx context.Context, id types.NodeID) (*NodeEntry, bool, error) {
+	raw, ok, err := s.get(ctx, s.shardFor(types.UniqueID(id)), nodeKey(id))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	entry, err := unmarshalNodeEntry(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// Nodes returns every registered node, sorted by ID for determinism. The
+// global scheduler calls this on its scheduling path; with tens to hundreds
+// of nodes the scan is cheap and always up to date.
+func (s *Store) Nodes(ctx context.Context) ([]*NodeEntry, error) {
+	var out []*NodeEntry
+	// Scan keys on each shard's tail store.
+	for _, shard := range s.shards {
+		reps := shard.Replicas()
+		if len(reps) == 0 {
+			continue
+		}
+		tail := reps[len(reps)-1]
+		for _, key := range tail.Store().Keys(keyPrefixNode) {
+			raw, ok, err := s.get(ctx, shard, key)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			entry, err := unmarshalNodeEntry(raw)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Hex() < out[j].ID.Hex() })
+	return out, nil
+}
+
+// AliveNodes returns the subset of Nodes that are alive.
+func (s *Store) AliveNodes(ctx context.Context) ([]*NodeEntry, error) {
+	all, err := s.Nodes(ctx)
+	if err != nil {
+		return nil, err
+	}
+	alive := all[:0]
+	for _, n := range all {
+		if n.State == types.NodeAlive {
+			alive = append(alive, n)
+		}
+	}
+	return alive, nil
+}
+
+// --- Event log -------------------------------------------------------------------
+
+// AppendEvent records a diagnostic event in the event log.
+func (s *Store) AppendEvent(ctx context.Context, kind, message string) error {
+	seq := s.eventSeq.Add(1)
+	e := &Event{Seq: seq, UnixNano: time.Now().UnixNano(), Kind: kind, Message: message}
+	key := fmt.Sprintf("%s%020d", keyPrefixEvent, seq)
+	return s.put(ctx, s.shardForKey(key), key, e.marshal())
+}
+
+// Events returns every event still resident in memory, ordered by sequence
+// number. Flushed events are excluded (they live in the flush log).
+func (s *Store) Events(ctx context.Context) ([]*Event, error) {
+	var out []*Event
+	for _, shard := range s.shards {
+		reps := shard.Replicas()
+		if len(reps) == 0 {
+			continue
+		}
+		tail := reps[len(reps)-1]
+		for _, key := range tail.Store().Keys(keyPrefixEvent) {
+			raw, ok, err := s.get(ctx, shard, key)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			e, err := unmarshalEvent(raw)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}

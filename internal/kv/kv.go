@@ -1,0 +1,227 @@
+// Package kv implements the single-shard key-value store underlying the
+// Global Control Store. The paper uses one Redis instance per GCS shard with
+// entirely single-key operations; this package provides the equivalent in
+// pure Go: a map with per-store locking, prefix scans for debugging tools,
+// publish hooks for the GCS pub-sub layer, and memory accounting plus
+// flush support for the lineage-flushing experiment (Figure 10b).
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Entry is a key-value pair, used by snapshots and flushing.
+type Entry struct {
+	Key   string
+	Value []byte
+}
+
+// Store is an in-memory key-value store safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	data  map[string][]byte
+	bytes int64 // approximate resident size of keys + values
+	// version increments on every mutation; chain replication uses it to
+	// order state transfers against concurrent writes.
+	version uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Put stores value under key, replacing any previous value. The value slice
+// is copied so callers may reuse their buffers.
+func (s *Store) Put(key string, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.mu.Lock()
+	if old, ok := s.data[key]; ok {
+		s.bytes -= int64(len(old))
+	} else {
+		s.bytes += int64(len(key))
+	}
+	s.data[key] = v
+	s.bytes += int64(len(v))
+	s.version++
+	s.mu.Unlock()
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	v, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Delete removes key from the store and reports whether it was present.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.data[key]
+	if !ok {
+		return false
+	}
+	s.bytes -= int64(len(old)) + int64(len(key))
+	delete(s.data, key)
+	s.version++
+	return true
+}
+
+// Len returns the number of keys currently stored.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Bytes returns the approximate resident size of the store in bytes. The GCS
+// uses it to decide when to flush lineage to disk (Figure 10b).
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Version returns the store's mutation counter.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Keys returns all keys with the given prefix, sorted. Intended for the
+// debugging/profiling tools and tests, not hot paths.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns a copy of the entire store contents, used for chain
+// replication state transfer when a new replica joins.
+func (s *Store) Snapshot() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries := make([]Entry, 0, len(s.data))
+	for k, v := range s.data {
+		val := make([]byte, len(v))
+		copy(val, v)
+		entries = append(entries, Entry{Key: k, Value: val})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return entries
+}
+
+// Restore replaces the store contents with the given snapshot.
+func (s *Store) Restore(entries []Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string][]byte, len(entries))
+	s.bytes = 0
+	for _, e := range entries {
+		v := make([]byte, len(e.Value))
+		copy(v, e.Value)
+		s.data[e.Key] = v
+		s.bytes += int64(len(e.Key)) + int64(len(v))
+	}
+	s.version++
+}
+
+// Flush writes every entry matching the predicate to w in a simple
+// length-prefixed binary format and removes it from memory. It returns the
+// number of entries flushed and the bytes freed. This is the mechanism behind
+// the paper's "GCS flushing" experiment: lineage for completed tasks is
+// spilled to durable storage so the in-memory footprint stays bounded.
+func (s *Store) Flush(w io.Writer, match func(key string, value []byte) bool) (int, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	var count int
+	var freed int64
+	for k, v := range s.data {
+		if match != nil && !match(k, v) {
+			continue
+		}
+		if err := writeEntry(bw, k, v); err != nil {
+			return count, freed, fmt.Errorf("kv: flush: %w", err)
+		}
+		freed += int64(len(k)) + int64(len(v))
+		delete(s.data, k)
+		count++
+	}
+	s.bytes -= freed
+	if count > 0 {
+		s.version++
+	}
+	return count, freed, bw.Flush()
+}
+
+// ReadFlushed reads entries previously written by Flush from r. It is used by
+// tests and by tools that restore flushed lineage for long-running jobs.
+func ReadFlushed(r io.Reader) ([]Entry, error) {
+	br := bufio.NewReader(r)
+	var entries []Entry
+	for {
+		e, err := readEntry(br)
+		if err == io.EOF {
+			return entries, nil
+		}
+		if err != nil {
+			return entries, err
+		}
+		entries = append(entries, e)
+	}
+}
+
+func writeEntry(w io.Writer, key string, value []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(key)))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(value)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, key); err != nil {
+		return err
+	}
+	_, err := w.Write(value)
+	return err
+}
+
+func readEntry(r io.Reader) (Entry, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Entry{}, err
+	}
+	klen := binary.BigEndian.Uint32(hdr[:4])
+	vlen := binary.BigEndian.Uint32(hdr[4:])
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return Entry{}, fmt.Errorf("kv: corrupt flush stream: %w", err)
+	}
+	value := make([]byte, vlen)
+	if _, err := io.ReadFull(r, value); err != nil {
+		return Entry{}, fmt.Errorf("kv: corrupt flush stream: %w", err)
+	}
+	return Entry{Key: string(key), Value: value}, nil
+}

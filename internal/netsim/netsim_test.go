@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransferDurationScalesWithSize(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 1e9, MaxParallelStreams: 8, LatencyPerMessage: time.Millisecond})
+	small := n.TransferDuration(1<<20, 8)
+	large := n.TransferDuration(100<<20, 8)
+	if large <= small {
+		t.Fatalf("larger transfers must take longer: %v vs %v", small, large)
+	}
+	// 100MB at 1GB/s over all 8 streams ≈ 100ms + 1ms latency.
+	want := 100*time.Millisecond + time.Millisecond
+	if large < want*9/10 || large > want*11/10 {
+		t.Fatalf("100MB duration %v, want ≈%v", large, want)
+	}
+}
+
+func TestTransferDurationMoreStreamsFaster(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 1e9, MaxParallelStreams: 8})
+	one := n.TransferDuration(1<<30, 1)
+	eight := n.TransferDuration(1<<30, 8)
+	if one <= eight {
+		t.Fatalf("single-stream transfer must be slower: 1=%v 8=%v", one, eight)
+	}
+	// One of eight streams gets 1/8 the bandwidth.
+	if ratio := float64(one) / float64(eight); ratio < 7.5 || ratio > 8.5 {
+		t.Fatalf("expected ~8x slowdown for one stream, got %.2fx", ratio)
+	}
+	// Streams beyond the cap give no further speedup.
+	if n.TransferDuration(1<<30, 16) != eight {
+		t.Fatal("streams beyond MaxParallelStreams must not speed up transfers")
+	}
+}
+
+func TestTransferDurationEdgeCases(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 1e9, MaxParallelStreams: 4, LatencyPerMessage: time.Millisecond})
+	if n.TransferDuration(0, 1) != time.Millisecond {
+		t.Fatal("zero-size transfer should cost one message latency")
+	}
+	if n.TransferDuration(-5, 1) != time.Millisecond {
+		t.Fatal("negative size treated as empty message")
+	}
+	if n.TransferDuration(1<<20, 0) != n.TransferDuration(1<<20, 1) {
+		t.Fatal("zero streams must be treated as one")
+	}
+}
+
+func TestTransferDurationMonotonicProperty(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 2e9, MaxParallelStreams: 8})
+	f := func(a, b uint32, streams uint8) bool {
+		s := int(streams%8) + 1
+		small, big := int64(a%(1<<24)), int64(b%(1<<24))
+		if small > big {
+			small, big = big, small
+		}
+		return n.TransferDuration(small, s) <= n.TransferDuration(big, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstantConfigDoesNotSleep(t *testing.T) {
+	n := New(InstantConfig())
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		if err := n.Transfer(context.Background(), 1<<30, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("instant network slept: %v", elapsed)
+	}
+}
+
+func TestTransferHonoursCancellation(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 1, MaxParallelStreams: 1, TimeScale: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.Transfer(ctx, 1<<30, 1); err == nil {
+		t.Fatal("cancelled transfer must return an error")
+	}
+	// Instant config must also observe a cancelled context.
+	ni := New(InstantConfig())
+	if err := ni.Compute(ctx, time.Second); err == nil {
+		t.Fatal("cancelled compute must return an error even with TimeScale=0")
+	}
+}
+
+func TestComputeAndMessageDelayScaled(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 1e9, MaxParallelStreams: 1, LatencyPerMessage: 10 * time.Second, TimeScale: 0.0001})
+	start := time.Now()
+	if err := n.MessageDelay(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Compute(context.Background(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("scaled delays too slow: %v", elapsed)
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("scaled delays should still take ~2ms, took %v", elapsed)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: -1, MaxParallelStreams: -2, TimeScale: -1})
+	cfg := n.Config()
+	if cfg.BandwidthBytesPerSec <= 0 || cfg.MaxParallelStreams < 1 || cfg.TimeScale != 0 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if DefaultConfig().TimeScale <= 0 {
+		t.Fatal("default config must have positive time scale")
+	}
+	if n.Scale(time.Second) != 0 {
+		t.Fatal("negative time scale must clamp to zero")
+	}
+}

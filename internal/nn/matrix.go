@@ -1,0 +1,189 @@
+// Package nn is the pure-Go numerical substrate for the paper's machine
+// learning workloads: dense vectors and matrices, a small multi-layer
+// perceptron, and SGD/Adam optimizers. The paper runs TensorFlow models; the
+// experiments reproduced here measure *system* behaviour (gradient exchange,
+// policy broadcast, rollout scheduling), for which a compact float32/float64
+// math library exercising the same data volumes is the faithful substitution
+// (see DESIGN.md).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a dense float64 vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// RandomVector returns a vector with entries drawn from N(0, scale²).
+func RandomVector(n int, scale float64, rng *rand.Rand) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * scale
+	}
+	return v
+}
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns v + w element-wise. It panics on length mismatch: mixing
+// parameter vectors of different models is a programming error.
+func (v Vector) Add(w Vector) Vector {
+	checkLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// AddInPlace adds w into v.
+func (v Vector) AddInPlace(w Vector) {
+	checkLen(len(v), len(w))
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// Sub returns v - w element-wise.
+func (v Vector) Sub(w Vector) Vector {
+	checkLen(len(v), len(w))
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// Scale returns v * s.
+func (v Vector) Scale(s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// ScaleInPlace multiplies v by s.
+func (v Vector) ScaleInPlace(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	checkLen(len(v), len(w))
+	var sum float64
+	for i := range v {
+		sum += v[i] * w[i]
+	}
+	return sum
+}
+
+// Norm returns the Euclidean norm.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Mean returns the arithmetic mean of the entries (0 for an empty vector).
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// Std returns the population standard deviation of the entries.
+func (v Vector) Std() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mean := v.Mean()
+	var sum float64
+	for _, x := range v {
+		d := x - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(v)))
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("nn: dimension mismatch %d vs %d", a, b))
+	}
+}
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// RandomMatrix returns a matrix with Xavier-style initialization.
+func RandomMatrix(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	scale := math.Sqrt(2.0 / float64(rows+cols))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * scale
+	}
+	return m
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m · v (length Cols in, length Rows out).
+func (m *Matrix) MulVec(v Vector) Vector {
+	checkLen(m.Cols, len(v))
+	out := NewVector(m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var sum float64
+		for c, x := range row {
+			sum += x * v[c]
+		}
+		out[r] = sum
+	}
+	return out
+}
+
+// MulVecT returns mᵀ · v (length Rows in, length Cols out).
+func (m *Matrix) MulVecT(v Vector) Vector {
+	checkLen(m.Rows, len(v))
+	out := NewVector(m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		vr := v[r]
+		for c, x := range row {
+			out[c] += x * vr
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a small fully connected network with tanh hidden activations and a
+// linear output layer. It supports flat parameter get/set (the representation
+// the distributed training and RL workloads ship across the cluster) and
+// explicit backpropagation for squared-error loss.
+type MLP struct {
+	// Sizes are the layer widths, input first.
+	Sizes []int
+	// weights[l] maps layer l activations to layer l+1 pre-activations.
+	weights []*Matrix
+	biases  []Vector
+}
+
+// NewMLP builds a network with the given layer sizes (at least two).
+func NewMLP(sizes []int, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: an MLP needs at least input and output sizes")
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		m.weights = append(m.weights, RandomMatrix(sizes[l+1], sizes[l], rng))
+		m.biases = append(m.biases, NewVector(sizes[l+1]))
+	}
+	return m
+}
+
+// NumParams returns the total number of scalar parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.weights {
+		n += len(m.weights[l].Data) + len(m.biases[l])
+	}
+	return n
+}
+
+// Parameters returns the flattened parameter vector (weights then biases per
+// layer). This is the representation broadcast to rollout workers and shipped
+// to parameter servers.
+func (m *MLP) Parameters() Vector {
+	out := make(Vector, 0, m.NumParams())
+	for l := range m.weights {
+		out = append(out, m.weights[l].Data...)
+		out = append(out, m.biases[l]...)
+	}
+	return out
+}
+
+// SetParameters installs a flattened parameter vector.
+func (m *MLP) SetParameters(params Vector) {
+	checkLen(len(params), m.NumParams())
+	off := 0
+	for l := range m.weights {
+		n := len(m.weights[l].Data)
+		copy(m.weights[l].Data, params[off:off+n])
+		off += n
+		b := len(m.biases[l])
+		copy(m.biases[l], params[off:off+b])
+		off += b
+	}
+}
+
+// Forward computes the network output for one input.
+func (m *MLP) Forward(input Vector) Vector {
+	act := input
+	for l := range m.weights {
+		pre := m.weights[l].MulVec(act).Add(m.biases[l])
+		if l+1 < len(m.weights) {
+			for i := range pre {
+				pre[i] = math.Tanh(pre[i])
+			}
+		}
+		act = pre
+	}
+	return act
+}
+
+// forwardTrace runs Forward keeping every layer's activation for backprop.
+func (m *MLP) forwardTrace(input Vector) []Vector {
+	acts := []Vector{input}
+	act := input
+	for l := range m.weights {
+		pre := m.weights[l].MulVec(act).Add(m.biases[l])
+		if l+1 < len(m.weights) {
+			for i := range pre {
+				pre[i] = math.Tanh(pre[i])
+			}
+		}
+		acts = append(acts, pre)
+		act = pre
+	}
+	return acts
+}
+
+// Gradient computes the squared-error loss and its gradient (flattened, same
+// layout as Parameters) for a batch of input/target pairs.
+func (m *MLP) Gradient(inputs, targets []Vector) (loss float64, grad Vector) {
+	grad = NewVector(m.NumParams())
+	if len(inputs) == 0 {
+		return 0, grad
+	}
+	gradW := make([]*Matrix, len(m.weights))
+	gradB := make([]Vector, len(m.biases))
+	for l := range m.weights {
+		gradW[l] = NewMatrix(m.weights[l].Rows, m.weights[l].Cols)
+		gradB[l] = NewVector(len(m.biases[l]))
+	}
+	for i, input := range inputs {
+		acts := m.forwardTrace(input)
+		out := acts[len(acts)-1]
+		target := targets[i]
+		checkLen(len(out), len(target))
+		// dL/dout for 0.5*||out - target||².
+		delta := out.Sub(target)
+		for _, d := range delta {
+			loss += 0.5 * d * d
+		}
+		for l := len(m.weights) - 1; l >= 0; l-- {
+			in := acts[l]
+			// Accumulate weight and bias gradients.
+			for r := 0; r < m.weights[l].Rows; r++ {
+				gradB[l][r] += delta[r]
+				row := gradW[l].Data[r*gradW[l].Cols : (r+1)*gradW[l].Cols]
+				dr := delta[r]
+				for c := range row {
+					row[c] += dr * in[c]
+				}
+			}
+			if l == 0 {
+				break
+			}
+			// Propagate delta to the previous layer through Wᵀ and the tanh
+			// derivative of that layer's activation.
+			prev := m.weights[l].MulVecT(delta)
+			for j := range prev {
+				a := acts[l][j]
+				prev[j] *= 1 - a*a
+			}
+			delta = prev
+		}
+	}
+	// Flatten and average over the batch.
+	scale := 1 / float64(len(inputs))
+	off := 0
+	for l := range gradW {
+		for _, g := range gradW[l].Data {
+			grad[off] = g * scale
+			off++
+		}
+		for _, g := range gradB[l] {
+			grad[off] = g * scale
+			off++
+		}
+	}
+	return loss * scale, grad
+}
+
+// Loss computes the mean squared-error loss over a batch without gradients.
+func (m *MLP) Loss(inputs, targets []Vector) float64 {
+	if len(inputs) == 0 {
+		return 0
+	}
+	var loss float64
+	for i, input := range inputs {
+		out := m.Forward(input)
+		d := out.Sub(targets[i])
+		loss += 0.5 * d.Dot(d)
+	}
+	return loss / float64(len(inputs))
+}

@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Add(w); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("add: %v", got)
+	}
+	if got := v.Sub(w); got[0] != -3 {
+		t.Fatalf("sub: %v", got)
+	}
+	if got := v.Scale(2); got[1] != 4 {
+		t.Fatalf("scale: %v", got)
+	}
+	if v.Dot(w) != 32 {
+		t.Fatalf("dot: %v", v.Dot(w))
+	}
+	if math.Abs(v.Norm()-math.Sqrt(14)) > 1e-12 {
+		t.Fatalf("norm: %v", v.Norm())
+	}
+	if v.Mean() != 2 {
+		t.Fatalf("mean: %v", v.Mean())
+	}
+	if math.Abs(v.Std()-math.Sqrt(2.0/3.0)) > 1e-12 {
+		t.Fatalf("std: %v", v.Std())
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] == 99 {
+		t.Fatal("clone aliases original")
+	}
+	v.AddInPlace(w)
+	if v[0] != 5 {
+		t.Fatal("add in place failed")
+	}
+	v.ScaleInPlace(0)
+	if v[2] != 0 {
+		t.Fatal("scale in place failed")
+	}
+	var empty Vector
+	if empty.Mean() != 0 || empty.Std() != 0 {
+		t.Fatal("empty vector stats must be zero")
+	}
+}
+
+func TestVectorDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Vector{1}.Add(Vector{1, 2})
+}
+
+func TestMatrixVectorProducts(t *testing.T) {
+	m := NewMatrix(2, 3)
+	// [[1 2 3], [4 5 6]]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		m.Data[i] = v
+	}
+	if m.At(1, 2) != 6 {
+		t.Fatal("At wrong")
+	}
+	m.Set(0, 0, 1) // no-op, exercises Set
+	v := Vector{1, 1, 1}
+	out := m.MulVec(v)
+	if out[0] != 6 || out[1] != 15 {
+		t.Fatalf("MulVec: %v", out)
+	}
+	back := m.MulVecT(Vector{1, 1})
+	if back[0] != 5 || back[1] != 7 || back[2] != 9 {
+		t.Fatalf("MulVecT: %v", back)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("matrix clone aliases original")
+	}
+}
+
+func TestMLPParameterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP([]int{4, 8, 2}, rng)
+	wantParams := 4*8 + 8 + 8*2 + 2
+	if m.NumParams() != wantParams {
+		t.Fatalf("NumParams = %d, want %d", m.NumParams(), wantParams)
+	}
+	params := m.Parameters()
+	if len(params) != wantParams {
+		t.Fatal("parameter vector wrong length")
+	}
+	out1 := m.Forward(Vector{1, 2, 3, 4})
+	// Perturb then restore: outputs must match bit-for-bit.
+	m.SetParameters(RandomVector(wantParams, 0.1, rng))
+	m.SetParameters(params)
+	out2 := m.Forward(Vector{1, 2, 3, 4})
+	for i := range out1 {
+		if out1[i] != out2[i] {
+			t.Fatal("parameter round trip changed the function")
+		}
+	}
+	if len(out1) != 2 {
+		t.Fatal("output size wrong")
+	}
+}
+
+func TestMLPNeedsTwoLayers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for single-layer MLP")
+		}
+	}()
+	NewMLP([]int{3}, rand.New(rand.NewSource(1)))
+}
+
+// TestGradientMatchesFiniteDifference verifies backprop against numerical
+// differentiation on a small network.
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP([]int{3, 5, 2}, rng)
+	inputs := []Vector{RandomVector(3, 1, rng), RandomVector(3, 1, rng)}
+	targets := []Vector{RandomVector(2, 1, rng), RandomVector(2, 1, rng)}
+
+	_, grad := m.Gradient(inputs, targets)
+	params := m.Parameters()
+	const eps = 1e-6
+	for _, idx := range []int{0, 7, 13, len(params) - 1, len(params) / 2} {
+		orig := params[idx]
+		params[idx] = orig + eps
+		m.SetParameters(params)
+		lossPlus := m.Loss(inputs, targets)
+		params[idx] = orig - eps
+		m.SetParameters(params)
+		lossMinus := m.Loss(inputs, targets)
+		params[idx] = orig
+		m.SetParameters(params)
+		numerical := (lossPlus - lossMinus) / (2 * eps)
+		if math.Abs(numerical-grad[idx]) > 1e-4*(1+math.Abs(numerical)) {
+			t.Fatalf("gradient mismatch at %d: backprop %v vs numerical %v", idx, grad[idx], numerical)
+		}
+	}
+}
+
+func TestSGDTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP([]int{2, 16, 1}, rng)
+	// Learn y = x0 + x1 on random data.
+	var inputs, targets []Vector
+	for i := 0; i < 64; i++ {
+		in := RandomVector(2, 1, rng)
+		inputs = append(inputs, in)
+		targets = append(targets, Vector{in[0] + in[1]})
+	}
+	initial := m.Loss(inputs, targets)
+	opt := NewSGD(0.05, 0.9)
+	for step := 0; step < 200; step++ {
+		_, grad := m.Gradient(inputs, targets)
+		m.SetParameters(opt.Step(m.Parameters(), grad))
+	}
+	final := m.Loss(inputs, targets)
+	if final > initial/10 {
+		t.Fatalf("SGD failed to learn: initial %v final %v", initial, final)
+	}
+}
+
+func TestAdamTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP([]int{2, 16, 1}, rng)
+	var inputs, targets []Vector
+	for i := 0; i < 64; i++ {
+		in := RandomVector(2, 1, rng)
+		inputs = append(inputs, in)
+		targets = append(targets, Vector{math.Sin(in[0]) * in[1]})
+	}
+	initial := m.Loss(inputs, targets)
+	opt := NewAdam(0.01)
+	for step := 0; step < 300; step++ {
+		_, grad := m.Gradient(inputs, targets)
+		m.SetParameters(opt.Step(m.Parameters(), grad))
+	}
+	final := m.Loss(inputs, targets)
+	if final > initial/5 {
+		t.Fatalf("Adam failed to learn: initial %v final %v", initial, final)
+	}
+}
+
+func TestGradientEmptyBatch(t *testing.T) {
+	m := NewMLP([]int{2, 2}, rand.New(rand.NewSource(1)))
+	loss, grad := m.Gradient(nil, nil)
+	if loss != 0 || len(grad) != m.NumParams() {
+		t.Fatal("empty batch gradient wrong")
+	}
+	if m.Loss(nil, nil) != 0 {
+		t.Fatal("empty batch loss wrong")
+	}
+}
+
+// Property: vector addition is commutative and Dot is symmetric.
+func TestVectorAlgebraProperties(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		v, w := Vector(a[:n]), Vector(b[:n])
+		vw := v.Add(w)
+		wv := w.Add(v)
+		for i := range vw {
+			if vw[i] != wv[i] {
+				return false
+			}
+		}
+		d1, d2 := v.Dot(w), w.Dot(v)
+		return d1 == d2 || (math.IsNaN(d1) && math.IsNaN(d2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

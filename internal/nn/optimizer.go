@@ -1,0 +1,79 @@
+package nn
+
+import "math"
+
+// Optimizer updates a parameter vector from a gradient.
+type Optimizer interface {
+	// Step applies one update in place and returns the updated parameters.
+	Step(params, grad Vector) Vector
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	// LearningRate scales each step.
+	LearningRate float64
+	// Momentum in [0,1); zero disables it.
+	Momentum float64
+
+	velocity Vector
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LearningRate: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grad Vector) Vector {
+	checkLen(len(params), len(grad))
+	if s.Momentum > 0 {
+		if s.velocity == nil {
+			s.velocity = NewVector(len(params))
+		}
+		for i := range params {
+			s.velocity[i] = s.Momentum*s.velocity[i] - s.LearningRate*grad[i]
+			params[i] += s.velocity[i]
+		}
+		return params
+	}
+	for i := range params {
+		params[i] -= s.LearningRate * grad[i]
+	}
+	return params
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), used by the PPO and ES updates.
+type Adam struct {
+	// LearningRate scales each step.
+	LearningRate float64
+	// Beta1, Beta2 are the moment decay rates; Epsilon avoids division by zero.
+	Beta1, Beta2, Epsilon float64
+
+	m, v Vector
+	t    int
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LearningRate: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grad Vector) Vector {
+	checkLen(len(params), len(grad))
+	if a.m == nil {
+		a.m = NewVector(len(params))
+		a.v = NewVector(len(params))
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range params {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*grad[i]
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*grad[i]*grad[i]
+		mh := a.m[i] / b1c
+		vh := a.v[i] / b2c
+		params[i] -= a.LearningRate * mh / (math.Sqrt(vh) + a.Epsilon)
+	}
+	return params
+}

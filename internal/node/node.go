@@ -1,0 +1,423 @@
+// Package node assembles one cluster node: a local scheduler, an in-memory
+// object store with its object manager, a worker pool, heartbeat reporting to
+// the GCS, and the runtime surface (Submit/Get/Wait/Put) that drivers and
+// in-task code use. Nodes are deliberately stateless beyond their caches:
+// every durable fact about the system lives in the GCS, which is what lets a
+// restarted or replacement node pick up work immediately (paper Section 4.2).
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ray/internal/gcs"
+	"ray/internal/lineage"
+	"ray/internal/netsim"
+	"ray/internal/objectmanager"
+	"ray/internal/objectstore"
+	"ray/internal/resources"
+	"ray/internal/scheduler"
+	"ray/internal/task"
+	"ray/internal/types"
+	"ray/internal/worker"
+)
+
+// Router is the cluster-level routing surface a node needs: delivering actor
+// method calls to the node hosting the actor, and forwarding tasks the local
+// scheduler declined to a global scheduler. The cluster package implements it.
+type Router interface {
+	scheduler.Forwarder
+	// RouteActorTask delivers an actor method invocation to the node hosting
+	// the actor, waiting for the actor to come alive and reconstructing it if
+	// its node has failed.
+	RouteActorTask(ctx context.Context, spec *task.Spec) error
+}
+
+// Config describes one node.
+type Config struct {
+	// CPUs, GPUs and MemoryMB are the node's resource capacities.
+	CPUs     float64
+	GPUs     float64
+	MemoryMB float64
+	// CustomResources are additional named resources (e.g. a per-node label
+	// such as "node3":1, which tasks can request to pin themselves to a
+	// specific node — the same mechanism Ray exposes as custom resources).
+	CustomResources map[string]float64
+	// ObjectStoreBytes is the object store capacity. Zero means 1 GiB.
+	ObjectStoreBytes int64
+	// SpilloverThreshold is the local scheduler queue length that triggers
+	// forwarding to the global scheduler.
+	SpilloverThreshold int
+	// TransferStreams is the number of parallel streams for object pulls.
+	TransferStreams int
+	// CheckpointInterval is the actor checkpoint period (method count).
+	CheckpointInterval int64
+	// RecordLineage controls task-table writes (on for every experiment
+	// except the raw task-throughput microbenchmark).
+	RecordLineage bool
+	// InjectedSchedulerLatency adds artificial latency to local scheduling
+	// decisions (Figure 12b).
+	InjectedSchedulerLatency time.Duration
+	// HeartbeatInterval is how often load is reported to the GCS. Zero means
+	// 20ms (scaled in-process equivalent of the paper's 100ms heartbeats).
+	HeartbeatInterval time.Duration
+}
+
+// DefaultConfig returns a 4-CPU node with defaults suitable for tests.
+func DefaultConfig() Config {
+	return Config{CPUs: 4, ObjectStoreBytes: 1 << 30, RecordLineage: true}
+}
+
+// Node is one simulated machine in the cluster.
+type Node struct {
+	id      types.NodeID
+	cfg     Config
+	gcs     *gcs.Store
+	network *netsim.Network
+	router  Router
+
+	pool          *resources.Pool
+	store         *objectstore.Store
+	objects       *objectmanager.Manager
+	workers       *worker.Pool
+	local         *scheduler.Local
+	reconstructor *lineage.Reconstructor
+	ids           *types.IDGenerator
+
+	heartbeatCancel context.CancelFunc
+	heartbeatDone   chan struct{}
+
+	dead    atomic.Bool
+	started atomic.Bool
+	submits atomic.Int64
+}
+
+var nodeOrigin atomic.Uint64
+
+// New constructs a node. The caller must call Start before submitting work
+// and should register the node with the cluster (which provides the Router
+// and peer resolution).
+func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker.Registry, peers objectmanager.PeerResolver, router Router) *Node {
+	if cfg.ObjectStoreBytes <= 0 {
+		cfg.ObjectStoreBytes = 1 << 30
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 20 * time.Millisecond
+	}
+	if cfg.TransferStreams <= 0 {
+		cfg.TransferStreams = 8
+	}
+	id := types.NewNodeID()
+	ids := types.NewIDGenerator(nodeOrigin.Add(1))
+
+	caps := map[string]float64{resources.CPU: cfg.CPUs}
+	if cfg.GPUs > 0 {
+		caps[resources.GPU] = cfg.GPUs
+	}
+	if cfg.MemoryMB > 0 {
+		caps[resources.Memory] = cfg.MemoryMB
+	}
+	for name, quantity := range cfg.CustomResources {
+		caps[name] = quantity
+	}
+	n := &Node{
+		id:      id,
+		cfg:     cfg,
+		gcs:     store,
+		network: network,
+		router:  router,
+		pool:    resources.NewPool(caps),
+		ids:     ids,
+	}
+	n.store = objectstore.New(objectstore.Config{
+		CapacityBytes: cfg.ObjectStoreBytes,
+		CopyThreads:   8,
+		OnEvict: func(obj types.ObjectID, size int64) {
+			// Eviction removes this node from the object's location set so
+			// the directory never points at data we no longer hold.
+			_ = store.RemoveObjectLocation(context.Background(), obj, id)
+		},
+	})
+	n.objects = objectmanager.New(objectmanager.Config{TransferStreams: cfg.TransferStreams}, id, n.store, store, network, peers)
+	n.workers = worker.NewPool(worker.PoolConfig{
+		NodeID:             id,
+		CheckpointInterval: cfg.CheckpointInterval,
+		RecordLineage:      cfg.RecordLineage,
+	}, registry, n.objects, store, ids)
+	n.workers.SetRuntime(n)
+	n.reconstructor = lineage.New(store, func(ctx context.Context, entry *gcs.TaskEntry) error {
+		return n.resubmit(ctx, entry.Spec)
+	})
+	n.local = scheduler.NewLocal(scheduler.LocalConfig{
+		NodeID:             id,
+		Pool:               n.pool,
+		SpilloverThreshold: cfg.SpilloverThreshold,
+		InjectedLatency:    cfg.InjectedSchedulerLatency,
+	}, n.workers, n, n.router)
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() types.NodeID { return n.id }
+
+// Config returns the configuration the node was built with (useful for
+// cloning a node when scaling the cluster out).
+func (n *Node) Config() Config { return n.cfg }
+
+// Store returns the node's object store (used by the cluster's peer resolver
+// and by benchmarks).
+func (n *Node) Store() *objectstore.Store { return n.store }
+
+// ObjectManager returns the node's object manager.
+func (n *Node) ObjectManager() *objectmanager.Manager { return n.objects }
+
+// Workers returns the node's worker pool.
+func (n *Node) Workers() *worker.Pool { return n.workers }
+
+// LocalScheduler returns the node's local scheduler.
+func (n *Node) LocalScheduler() *scheduler.Local { return n.local }
+
+// Reconstructor returns the node's lineage reconstructor.
+func (n *Node) Reconstructor() *lineage.Reconstructor { return n.reconstructor }
+
+// IDs returns the node's ID generator (drivers attached to this node use it).
+func (n *Node) IDs() *types.IDGenerator { return n.ids }
+
+// Resources returns the node's resource pool.
+func (n *Node) Resources() *resources.Pool { return n.pool }
+
+// Dead reports whether the node has been killed.
+func (n *Node) Dead() bool { return n.dead.Load() }
+
+// Start registers the node in the GCS and begins heartbeating.
+func (n *Node) Start(ctx context.Context) error {
+	if n.started.Swap(true) {
+		return nil
+	}
+	err := n.gcs.RegisterNode(ctx, &gcs.NodeEntry{
+		ID:                 n.id,
+		State:              types.NodeAlive,
+		TotalResources:     n.pool.TotalSnapshot(),
+		AvailableResources: n.pool.Snapshot(),
+	})
+	if err != nil {
+		return err
+	}
+	hbCtx, cancel := context.WithCancel(context.Background())
+	n.heartbeatCancel = cancel
+	n.heartbeatDone = make(chan struct{})
+	go n.heartbeatLoop(hbCtx)
+	return nil
+}
+
+// SendHeartbeat pushes the node's current load to the GCS immediately.
+// The periodic loop calls it; tests and benchmarks call it to make load
+// information visible without waiting.
+func (n *Node) SendHeartbeat(ctx context.Context) error {
+	if n.dead.Load() {
+		return types.ErrNodeDead
+	}
+	load := n.local.Load()
+	return n.gcs.Heartbeat(ctx, n.id, load.AvailableResources, load.QueueLength, load.AvgTaskMillis)
+}
+
+func (n *Node) heartbeatLoop(ctx context.Context) {
+	defer close(n.heartbeatDone)
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if n.dead.Load() {
+				return
+			}
+			_ = n.SendHeartbeat(ctx)
+		}
+	}
+}
+
+// Stop gracefully shuts the node down (stops heartbeats and draining the
+// scheduler). It does not simulate failure; use Kill for that.
+func (n *Node) Stop() {
+	n.local.Drain()
+	if n.heartbeatCancel != nil {
+		n.heartbeatCancel()
+		<-n.heartbeatDone
+	}
+}
+
+// Kill simulates a node failure: the scheduler drains, every object replica
+// and actor hosted here disappears, the GCS is told the node is dead, and
+// object locations are withdrawn so consumers observe loss and trigger
+// lineage reconstruction. It returns the actors that were lost so the cluster
+// can reconstruct them elsewhere.
+func (n *Node) Kill(ctx context.Context) []types.ActorID {
+	if n.dead.Swap(true) {
+		return nil
+	}
+	n.Stop()
+	_ = n.gcs.MarkNodeDead(ctx, n.id)
+	// Withdraw object locations.
+	for _, obj := range n.store.List() {
+		_ = n.gcs.RemoveObjectLocation(ctx, obj, n.id)
+	}
+	n.store.DropAll()
+	// Kill hosted actors.
+	lost := n.workers.DropAllActors()
+	for _, actor := range lost {
+		n.local.NotifyActorStopped(actor)
+		if entry, ok, err := n.gcs.GetActor(ctx, actor); err == nil && ok {
+			entry.State = types.ActorReconstructing
+			_ = n.gcs.PutActor(ctx, actor, entry)
+		}
+	}
+	_ = n.gcs.AppendEvent(ctx, "node_dead", n.id.String())
+	return lost
+}
+
+// --- Submission paths --------------------------------------------------------
+
+// SubmitSpec implements worker.Runtime: it is the bottom-up submission entry
+// point used by drivers and by nested remote calls running on this node.
+func (n *Node) SubmitSpec(ctx context.Context, spec *task.Spec) error {
+	if n.dead.Load() {
+		return fmt.Errorf("node %s: %w", n.id, types.ErrNodeDead)
+	}
+	n.submits.Add(1)
+	if n.cfg.RecordLineage {
+		if err := n.gcs.AddTask(ctx, spec); err != nil {
+			return err
+		}
+	}
+	if spec.IsActorTask() && !spec.ActorCreation {
+		return n.router.RouteActorTask(ctx, spec)
+	}
+	return n.local.Submit(ctx, spec)
+}
+
+// resubmit re-injects a task during lineage reconstruction. The task's spec
+// is already in the GCS task table, so it skips the AddTask step.
+func (n *Node) resubmit(ctx context.Context, spec *task.Spec) error {
+	if spec.IsActorTask() && !spec.ActorCreation {
+		return n.router.RouteActorTask(ctx, spec)
+	}
+	return n.local.Submit(ctx, spec)
+}
+
+// Pull implements scheduler.DependencyPuller with lineage reconstruction on
+// loss: if an input has no live replica anywhere, its producing task is
+// re-executed before the pull is retried.
+func (n *Node) Pull(ctx context.Context, id types.ObjectID) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		err := n.objects.Pull(ctx, id)
+		if err == nil {
+			return nil
+		}
+		if !lineage.IsReconstructable(err) {
+			return err
+		}
+		if rerr := n.reconstructor.ReconstructObject(ctx, id); rerr != nil {
+			return rerr
+		}
+	}
+	return fmt.Errorf("node %s: object %s kept disappearing during reconstruction: %w",
+		n.id, id, types.ErrObjectLost)
+}
+
+// FetchObject implements worker.Runtime: it blocks until the object is local
+// (pulling and reconstructing as needed) and returns its payload.
+func (n *Node) FetchObject(ctx context.Context, id types.ObjectID) ([]byte, bool, error) {
+	if err := n.Pull(ctx, id); err != nil {
+		return nil, false, err
+	}
+	obj, ok := n.store.Get(id)
+	if !ok {
+		// Evicted between pull and read; retry once via Wait.
+		waited, err := n.store.Wait(ctx, id)
+		if err != nil {
+			return nil, false, err
+		}
+		obj = waited
+	}
+	return obj.Data, obj.IsError, nil
+}
+
+// StoreObject implements worker.Runtime.
+func (n *Node) StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error {
+	return n.objects.Put(ctx, id, data, isError, creator)
+}
+
+// WaitObjects implements worker.Runtime: it returns once at least k of the
+// requested objects exist somewhere in the cluster (not necessarily locally),
+// or the timeout expires. timeoutMillis < 0 means no timeout.
+func (n *Node) WaitObjects(ctx context.Context, ids []types.ObjectID, k int, timeoutMillis int64) ([]types.ObjectID, error) {
+	if k <= 0 || k > len(ids) {
+		k = len(ids)
+	}
+	var deadline time.Time
+	if timeoutMillis >= 0 {
+		deadline = time.Now().Add(time.Duration(timeoutMillis) * time.Millisecond)
+	}
+	ready := make([]types.ObjectID, 0, len(ids))
+	pending := make(map[types.ObjectID]bool, len(ids))
+	for _, id := range ids {
+		pending[id] = true
+	}
+	for {
+		for id := range pending {
+			if n.store.Contains(id) {
+				ready = append(ready, id)
+				delete(pending, id)
+				continue
+			}
+			entry, ok, err := n.gcs.GetObject(ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			if ok && len(entry.Locations) > 0 {
+				ready = append(ready, id)
+				delete(pending, id)
+			}
+		}
+		if len(ready) >= k || len(pending) == 0 {
+			return ready, nil
+		}
+		if timeoutMillis >= 0 && time.Now().After(deadline) {
+			return ready, nil
+		}
+		select {
+		case <-ctx.Done():
+			return ready, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// NodeID implements worker.Runtime.
+func (n *Node) NodeID() types.NodeID { return n.id }
+
+// Stats summarizes the node's activity.
+type Stats struct {
+	Submits   int64
+	Scheduler scheduler.LocalStats
+	Workers   worker.PoolStats
+	Objects   objectstore.Stats
+	Transfers objectmanager.Stats
+	Lineage   lineage.Stats
+}
+
+// Stats returns a snapshot of node counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Submits:   n.submits.Load(),
+		Scheduler: n.local.Stats(),
+		Workers:   n.workers.Stats(),
+		Objects:   n.store.Stats(),
+		Transfers: n.objects.Stats(),
+		Lineage:   n.reconstructor.Stats(),
+	}
+}

@@ -1,0 +1,242 @@
+// Package objectmanager moves objects between nodes. When a task is about to
+// run on a node that lacks one of its inputs, the object manager looks the
+// object up in the GCS object table, pulls a replica from a node that has it
+// (striping the transfer across multiple parallel streams, as Ray stripes
+// large objects across TCP connections), stores it locally, and records the
+// new location back in the GCS.
+//
+// Because object location metadata lives in the GCS rather than in the
+// scheduler, transfers never involve the scheduler — the decoupling of task
+// dispatch from task scheduling that Section 4.2.1 argues is essential for
+// communication-intensive primitives like allreduce.
+package objectmanager
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ray/internal/gcs"
+	"ray/internal/netsim"
+	"ray/internal/objectstore"
+	"ray/internal/types"
+)
+
+// PeerResolver resolves a node ID to that node's object store. The cluster
+// provides the implementation; returning ok=false means the node is dead or
+// unknown.
+type PeerResolver interface {
+	ResolveStore(node types.NodeID) (*objectstore.Store, bool)
+}
+
+// Config controls manager behaviour.
+type Config struct {
+	// TransferStreams is the number of parallel streams used per pull.
+	// Ray uses multiple; the OpenMPI-like baseline in the allreduce
+	// experiment uses 1.
+	TransferStreams int
+	// PullTimeout bounds how long a pull waits for the object to appear in
+	// the object table before giving up (the lineage layer then decides
+	// whether to reconstruct). Zero means wait until the context is done.
+	PullTimeout time.Duration
+}
+
+// DefaultConfig returns an 8-stream transfer configuration.
+func DefaultConfig() Config {
+	return Config{TransferStreams: 8}
+}
+
+// Manager is one node's object manager.
+type Manager struct {
+	cfg     Config
+	nodeID  types.NodeID
+	local   *objectstore.Store
+	gcs     *gcs.Store
+	network *netsim.Network
+	peers   PeerResolver
+
+	// inflight deduplicates concurrent pulls of the same object.
+	mu       sync.Mutex
+	inflight map[types.ObjectID]chan error
+
+	pulls         atomic.Int64
+	bytesPulled   atomic.Int64
+	transferNanos atomic.Int64
+}
+
+// New creates an object manager for the given node.
+func New(cfg Config, nodeID types.NodeID, local *objectstore.Store, store *gcs.Store, network *netsim.Network, peers PeerResolver) *Manager {
+	if cfg.TransferStreams < 1 {
+		cfg.TransferStreams = 1
+	}
+	return &Manager{
+		cfg:      cfg,
+		nodeID:   nodeID,
+		local:    local,
+		gcs:      store,
+		network:  network,
+		peers:    peers,
+		inflight: make(map[types.ObjectID]chan error),
+	}
+}
+
+// Local returns the node's local object store.
+func (m *Manager) Local() *objectstore.Store { return m.local }
+
+// NodeID returns the owning node's ID.
+func (m *Manager) NodeID() types.NodeID { return m.nodeID }
+
+// Put stores a locally produced object and registers its location in the GCS
+// object table (which also fires any pub-sub callbacks registered by waiting
+// ray.get calls).
+func (m *Manager) Put(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error {
+	if err := m.local.Put(id, data, isError); err != nil {
+		return err
+	}
+	return m.gcs.AddObjectLocation(ctx, id, m.nodeID, int64(len(data)), creator)
+}
+
+// Pull ensures the object is in the local store, fetching a replica from a
+// remote node if necessary. It blocks until the object is local, the pull
+// times out, or the context is cancelled. A timeout with a known-but-lost
+// object returns types.ErrObjectLost so callers can trigger reconstruction.
+func (m *Manager) Pull(ctx context.Context, id types.ObjectID) error {
+	if m.local.Contains(id) {
+		return nil
+	}
+	// Deduplicate concurrent pulls.
+	m.mu.Lock()
+	if ch, ok := m.inflight[id]; ok {
+		m.mu.Unlock()
+		select {
+		case err := <-ch:
+			// Propagate and re-signal for any other waiter.
+			select {
+			case ch <- err:
+			default:
+			}
+			return err
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	ch := make(chan error, 1)
+	m.inflight[id] = ch
+	m.mu.Unlock()
+
+	err := m.pull(ctx, id)
+
+	m.mu.Lock()
+	delete(m.inflight, id)
+	m.mu.Unlock()
+	ch <- err
+	return err
+}
+
+func (m *Manager) pull(ctx context.Context, id types.ObjectID) error {
+	m.pulls.Add(1)
+	if m.cfg.PullTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.PullTimeout)
+		defer cancel()
+	}
+
+	// Subscribe before reading so a concurrent creation cannot be missed.
+	notify, cancel := m.gcs.SubscribeObject(id)
+	defer cancel()
+
+	for {
+		entry, ok, err := m.gcs.GetObject(ctx, id)
+		if err != nil {
+			return err
+		}
+		if ok && len(entry.Locations) > 0 {
+			if err := m.fetchFrom(ctx, id, entry); err == nil {
+				return nil
+			} else if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Fall through and retry: the replica we chose may have died.
+		}
+		if ok && len(entry.Locations) == 0 {
+			// The object existed but every replica is gone (node failure or
+			// eviction of the last copy). Report it immediately so the
+			// lineage layer can reconstruct it; waiting would never help.
+			return fmt.Errorf("objectmanager: %s has no replicas: %w", id, types.ErrObjectLost)
+		}
+		// Object not created yet: wait for a table update or timeout.
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("objectmanager: pull %s: %w", id, types.ErrObjectNotFound)
+		case <-notify:
+		case <-time.After(10 * time.Millisecond):
+			// Periodic re-check guards against missed notifications.
+		}
+	}
+}
+
+// fetchFrom copies the object from one of the entry's locations.
+func (m *Manager) fetchFrom(ctx context.Context, id types.ObjectID, entry *gcs.ObjectEntry) error {
+	// Already local (e.g. we produced it between checks).
+	if m.local.Contains(id) {
+		return nil
+	}
+	locations := entry.Locations
+	// Pick a random source to spread load across replicas of hot objects.
+	offset := rand.Intn(len(locations))
+	var lastErr error
+	for i := 0; i < len(locations); i++ {
+		src := locations[(offset+i)%len(locations)]
+		if src == m.nodeID {
+			// The table says we have it but the store does not (evicted
+			// concurrently); skip ourselves.
+			continue
+		}
+		store, ok := m.peers.ResolveStore(src)
+		if !ok {
+			lastErr = fmt.Errorf("objectmanager: source node %s unavailable: %w", src, types.ErrNodeDead)
+			continue
+		}
+		obj, ok := store.Get(id)
+		if !ok {
+			lastErr = fmt.Errorf("objectmanager: %s missing on %s", id, src)
+			continue
+		}
+		// Simulate the wire time, then copy the payload into the local store.
+		start := time.Now()
+		if m.network != nil {
+			if err := m.network.Transfer(ctx, obj.Size(), m.cfg.TransferStreams); err != nil {
+				return err
+			}
+		}
+		if err := m.local.Put(id, obj.Data, obj.IsError); err != nil {
+			return err
+		}
+		m.bytesPulled.Add(obj.Size())
+		m.transferNanos.Add(time.Since(start).Nanoseconds())
+		return m.gcs.AddObjectLocation(ctx, id, m.nodeID, obj.Size(), entry.Creator)
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("objectmanager: no usable replica for %s: %w", id, types.ErrObjectLost)
+	}
+	return lastErr
+}
+
+// Stats is a snapshot of transfer counters.
+type Stats struct {
+	Pulls         int64
+	BytesPulled   int64
+	TransferNanos int64
+}
+
+// Stats returns a snapshot of transfer counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Pulls:         m.pulls.Load(),
+		BytesPulled:   m.bytesPulled.Load(),
+		TransferNanos: m.transferNanos.Load(),
+	}
+}

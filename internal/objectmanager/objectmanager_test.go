@@ -1,0 +1,254 @@
+package objectmanager
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ray/internal/gcs"
+	"ray/internal/netsim"
+	"ray/internal/objectstore"
+	"ray/internal/types"
+)
+
+// fakeCluster implements PeerResolver over a map of stores.
+type fakeCluster struct {
+	mu     sync.Mutex
+	stores map[types.NodeID]*objectstore.Store
+	dead   map[types.NodeID]bool
+}
+
+func newFakeCluster() *fakeCluster {
+	return &fakeCluster{stores: make(map[types.NodeID]*objectstore.Store), dead: make(map[types.NodeID]bool)}
+}
+
+func (f *fakeCluster) add(node types.NodeID, store *objectstore.Store) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores[node] = store
+}
+
+func (f *fakeCluster) kill(node types.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dead[node] = true
+}
+
+func (f *fakeCluster) ResolveStore(node types.NodeID) (*objectstore.Store, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead[node] {
+		return nil, false
+	}
+	s, ok := f.stores[node]
+	return s, ok
+}
+
+type testEnv struct {
+	gcs     *gcs.Store
+	cluster *fakeCluster
+	nodes   []types.NodeID
+	mgrs    []*Manager
+}
+
+func newTestEnv(t *testing.T, n int, cfg Config) *testEnv {
+	t.Helper()
+	env := &testEnv{
+		gcs:     gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1}),
+		cluster: newFakeCluster(),
+	}
+	net := netsim.New(netsim.InstantConfig())
+	for i := 0; i < n; i++ {
+		id := types.NewNodeID()
+		store := objectstore.New(objectstore.Config{CapacityBytes: 1 << 26})
+		env.cluster.add(id, store)
+		env.nodes = append(env.nodes, id)
+		env.mgrs = append(env.mgrs, New(cfg, id, store, env.gcs, net, env.cluster))
+	}
+	return env
+}
+
+func TestPutRegistersLocation(t *testing.T) {
+	env := newTestEnv(t, 1, DefaultConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	creator := types.NewTaskID()
+	if err := env.mgrs[0].Put(ctx, id, []byte("payload"), false, creator); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok, err := env.gcs.GetObject(ctx, id)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !entry.HasLocation(env.nodes[0]) || entry.Size != 7 || entry.Creator != creator {
+		t.Fatalf("location entry wrong: %+v", entry)
+	}
+	if env.mgrs[0].NodeID() != env.nodes[0] || env.mgrs[0].Local() == nil {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestPullLocalIsNoop(t *testing.T) {
+	env := newTestEnv(t, 1, DefaultConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	if err := env.mgrs[0].Put(ctx, id, []byte("x"), false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.mgrs[0].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if env.mgrs[0].Stats().BytesPulled != 0 {
+		t.Fatal("local pull should not transfer bytes")
+	}
+}
+
+func TestPullFromRemote(t *testing.T) {
+	env := newTestEnv(t, 2, DefaultConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	payload := bytes.Repeat([]byte{7}, 4096)
+	if err := env.mgrs[0].Put(ctx, id, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.mgrs[1].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := env.mgrs[1].Local().Get(id)
+	if !ok || !bytes.Equal(obj.Data, payload) {
+		t.Fatal("pulled object missing or corrupt")
+	}
+	// The new location must be registered in the GCS.
+	entry, _, _ := env.gcs.GetObject(ctx, id)
+	if len(entry.Locations) != 2 {
+		t.Fatalf("expected 2 locations after pull, got %v", entry.Locations)
+	}
+	st := env.mgrs[1].Stats()
+	if st.Pulls != 1 || st.BytesPulled != 4096 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestPullWaitsForCreation(t *testing.T) {
+	env := newTestEnv(t, 2, DefaultConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- env.mgrs[1].Pull(ctx, id)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-errCh:
+		t.Fatalf("pull returned before object creation: %v", err)
+	default:
+	}
+	if err := env.mgrs[0].Put(ctx, id, []byte("late"), false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pull never completed after creation")
+	}
+	if !env.mgrs[1].Local().Contains(id) {
+		t.Fatal("object not local after pull")
+	}
+}
+
+func TestPullTimeoutUnknownObject(t *testing.T) {
+	env := newTestEnv(t, 1, Config{TransferStreams: 1, PullTimeout: 50 * time.Millisecond})
+	err := env.mgrs[0].Pull(context.Background(), types.NewObjectID())
+	if !errors.Is(err, types.ErrObjectNotFound) {
+		t.Fatalf("expected ErrObjectNotFound, got %v", err)
+	}
+}
+
+func TestPullLostObjectReportsLost(t *testing.T) {
+	env := newTestEnv(t, 2, Config{TransferStreams: 1, PullTimeout: 100 * time.Millisecond})
+	ctx := context.Background()
+	id := types.NewObjectID()
+	if err := env.mgrs[0].Put(ctx, id, []byte("gone"), false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the node failing: drop its store contents and remove the
+	// location from the GCS.
+	env.cluster.kill(env.nodes[0])
+	if err := env.gcs.RemoveObjectLocation(ctx, id, env.nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	err := env.mgrs[1].Pull(ctx, id)
+	if !errors.Is(err, types.ErrObjectLost) {
+		t.Fatalf("expected ErrObjectLost, got %v", err)
+	}
+}
+
+func TestPullRetriesAcrossDeadReplica(t *testing.T) {
+	env := newTestEnv(t, 3, DefaultConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	payload := []byte("replicated")
+	// Object lives on nodes 0 and 1; node 0 dies but its location entry is
+	// stale. The pull must fall back to node 1.
+	if err := env.mgrs[0].Put(ctx, id, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.mgrs[1].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	env.cluster.kill(env.nodes[0])
+	if err := env.mgrs[2].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := env.mgrs[2].Local().Get(id)
+	if !ok || !bytes.Equal(obj.Data, payload) {
+		t.Fatal("pull with dead replica failed")
+	}
+}
+
+func TestConcurrentPullsDeduplicated(t *testing.T) {
+	env := newTestEnv(t, 2, DefaultConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	payload := bytes.Repeat([]byte{1}, 1024)
+	if err := env.mgrs[0].Put(ctx, id, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := env.mgrs[1].Pull(ctx, id); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	// Only one transfer should have happened despite 16 concurrent pulls.
+	if pulled := env.mgrs[1].Stats().BytesPulled; pulled != 1024 {
+		t.Fatalf("expected exactly one transfer (1024 bytes), got %d", pulled)
+	}
+}
+
+func TestErrorObjectPropagatesFlag(t *testing.T) {
+	env := newTestEnv(t, 2, DefaultConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	if err := env.mgrs[0].Put(ctx, id, []byte("boom"), true, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.mgrs[1].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := env.mgrs[1].Local().Get(id)
+	if !obj.IsError {
+		t.Fatal("error flag lost during transfer")
+	}
+}

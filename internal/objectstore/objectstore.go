@@ -1,0 +1,347 @@
+// Package objectstore implements the per-node in-memory object store
+// (paper Section 4.2.3). Objects are immutable byte buffers; within a node
+// they are shared by reference (the Go analogue of Plasma's shared memory,
+// giving zero-copy reads between tasks on the same node), and across nodes
+// they are replicated by the object manager before a task runs.
+//
+// The store enforces a capacity with LRU eviction, supports pinning (inputs
+// of running tasks must not be evicted underneath them), and lets callers
+// block until an object becomes local — the primitive behind ray.get's
+// "register a callback with the object table" flow in Figure 7b.
+package objectstore
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ray/internal/types"
+)
+
+// Object is an immutable value in the store.
+type Object struct {
+	// ID identifies the object cluster-wide.
+	ID types.ObjectID
+	// Data is the serialized payload. Callers must never mutate it: the
+	// buffer is shared zero-copy by every reader on the node.
+	Data []byte
+	// IsError marks objects that hold a serialized application error
+	// (a failed task stores its error so consumers re-raise it at Get).
+	IsError bool
+}
+
+// Size returns the payload size in bytes.
+func (o *Object) Size() int64 { return int64(len(o.Data)) }
+
+// EvictionCallback is invoked (outside the store lock) whenever an object is
+// evicted, so the owner can remove the location from the GCS object table.
+type EvictionCallback func(id types.ObjectID, size int64)
+
+// Config controls store behaviour.
+type Config struct {
+	// CapacityBytes bounds resident payload bytes. Zero means 1 GiB.
+	CapacityBytes int64
+	// CopyThreads is how many goroutines Put uses to copy large payloads
+	// into the store, mirroring Plasma's multi-threaded memcpy. Zero means 1.
+	CopyThreads int
+	// CopyThreshold is the payload size above which parallel copy kicks in.
+	CopyThreshold int64
+	// OnEvict, when set, is called for every evicted object.
+	OnEvict EvictionCallback
+}
+
+// DefaultConfig returns a 1 GiB store with 8 copy threads, matching the
+// paper's object-store microbenchmark setup (Figure 9).
+func DefaultConfig() Config {
+	return Config{CapacityBytes: 1 << 30, CopyThreads: 8, CopyThreshold: 512 * 1024}
+}
+
+// Store is a single node's object store. It is safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	objects map[types.ObjectID]*entry
+	lru     *list.List // front = most recently used
+	used    int64
+	waiters map[types.ObjectID][]chan struct{}
+
+	// stats
+	puts      atomic.Int64
+	gets      atomic.Int64
+	hits      atomic.Int64
+	evictions atomic.Int64
+}
+
+type entry struct {
+	obj     *Object
+	element *list.Element
+	pins    int
+}
+
+// New creates a store with the given configuration.
+func New(cfg Config) *Store {
+	if cfg.CapacityBytes <= 0 {
+		cfg.CapacityBytes = 1 << 30
+	}
+	if cfg.CopyThreads < 1 {
+		cfg.CopyThreads = 1
+	}
+	if cfg.CopyThreshold <= 0 {
+		cfg.CopyThreshold = 512 * 1024
+	}
+	return &Store{
+		cfg:     cfg,
+		objects: make(map[types.ObjectID]*entry),
+		lru:     list.New(),
+		waiters: make(map[types.ObjectID][]chan struct{}),
+	}
+}
+
+// Put stores data under id, copying it into a store-owned buffer. Storing an
+// object that already exists is a no-op (objects are immutable, so the
+// existing copy is identical). Put fails with types.ErrStoreFull if the
+// object cannot fit even after evicting every unpinned object.
+func (s *Store) Put(id types.ObjectID, data []byte, isError bool) error {
+	s.puts.Add(1)
+	size := int64(len(data))
+	if size > s.cfg.CapacityBytes {
+		return fmt.Errorf("objectstore: object %s (%d bytes) exceeds capacity %d: %w",
+			id, size, s.cfg.CapacityBytes, types.ErrStoreFull)
+	}
+	// Copy outside the lock: this is the memcpy that dominates large-object
+	// creation time in the paper's Figure 9.
+	buf := s.copyPayload(data)
+
+	s.mu.Lock()
+	if _, ok := s.objects[id]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	if err := s.evictForLocked(size); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	obj := &Object{ID: id, Data: buf, IsError: isError}
+	e := &entry{obj: obj}
+	e.element = s.lru.PushFront(id)
+	s.objects[id] = e
+	s.used += size
+	waiters := s.waiters[id]
+	delete(s.waiters, id)
+	s.mu.Unlock()
+
+	for _, ch := range waiters {
+		close(ch)
+	}
+	return nil
+}
+
+// copyPayload copies data using the configured number of copy threads.
+func (s *Store) copyPayload(data []byte) []byte {
+	buf := make([]byte, len(data))
+	threads := s.cfg.CopyThreads
+	if int64(len(data)) < s.cfg.CopyThreshold || threads == 1 {
+		copy(buf, data)
+		return buf
+	}
+	chunk := (len(data) + threads - 1) / threads
+	var wg sync.WaitGroup
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			copy(buf[lo:hi], data[lo:hi])
+		}(off, end)
+	}
+	wg.Wait()
+	return buf
+}
+
+// evictForLocked evicts least-recently-used unpinned objects until size bytes
+// fit. Caller holds s.mu.
+func (s *Store) evictForLocked(size int64) error {
+	for s.used+size > s.cfg.CapacityBytes {
+		evicted := false
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			id := el.Value.(types.ObjectID)
+			e := s.objects[id]
+			if e.pins > 0 {
+				continue
+			}
+			s.removeLocked(id, e)
+			s.evictions.Add(1)
+			if s.cfg.OnEvict != nil {
+				// Call outside the lock would be nicer, but eviction is rare
+				// and the callback only enqueues GCS updates; keep it simple
+				// and document that OnEvict must not call back into the store.
+				go s.cfg.OnEvict(id, e.obj.Size())
+			}
+			evicted = true
+			break
+		}
+		if !evicted {
+			return fmt.Errorf("objectstore: need %d bytes but all %d resident bytes are pinned: %w",
+				size, s.used, types.ErrStoreFull)
+		}
+	}
+	return nil
+}
+
+func (s *Store) removeLocked(id types.ObjectID, e *entry) {
+	s.lru.Remove(e.element)
+	delete(s.objects, id)
+	s.used -= e.obj.Size()
+}
+
+// Get returns the object if it is local, bumping its LRU recency.
+func (s *Store) Get(id types.ObjectID) (*Object, bool) {
+	s.gets.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.lru.MoveToFront(e.element)
+	return e.obj, true
+}
+
+// Contains reports whether the object is local without affecting recency.
+func (s *Store) Contains(id types.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[id]
+	return ok
+}
+
+// Delete removes an object regardless of recency (used when a node drops
+// objects on failure injection). Pinned objects cannot be deleted.
+func (s *Store) Delete(id types.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok || e.pins > 0 {
+		return false
+	}
+	s.removeLocked(id, e)
+	return true
+}
+
+// Pin marks an object as unevictable (e.g. it is an input of a running task).
+// Pin returns false if the object is not local.
+func (s *Store) Pin(id types.ObjectID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return false
+	}
+	e.pins++
+	return true
+}
+
+// Unpin releases a previous Pin.
+func (s *Store) Unpin(id types.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.objects[id]; ok && e.pins > 0 {
+		e.pins--
+	}
+}
+
+// Wait blocks until the object is local or the context is cancelled.
+func (s *Store) Wait(ctx context.Context, id types.ObjectID) (*Object, error) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.objects[id]; ok {
+			s.lru.MoveToFront(e.element)
+			s.mu.Unlock()
+			return e.obj, nil
+		}
+		ch := make(chan struct{})
+		s.waiters[id] = append(s.waiters[id], ch)
+		s.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+			// Object arrived; loop to fetch it (it may have been evicted in
+			// the meantime, in which case we wait again).
+		}
+	}
+}
+
+// List returns the IDs of all resident objects (for failure injection and
+// debugging tools).
+func (s *Store) List() []types.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]types.ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DropAll removes every unpinned object, simulating the loss of a node's
+// store contents. It returns the dropped IDs.
+func (s *Store) DropAll() []types.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var dropped []types.ObjectID
+	for id, e := range s.objects {
+		if e.pins > 0 {
+			continue
+		}
+		s.removeLocked(id, e)
+		dropped = append(dropped, id)
+	}
+	return dropped
+}
+
+// Used returns resident payload bytes.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Capacity returns the configured capacity in bytes.
+func (s *Store) Capacity() int64 { return s.cfg.CapacityBytes }
+
+// Len returns the number of resident objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// Stats is a snapshot of store counters.
+type Stats struct {
+	Puts      int64
+	Gets      int64
+	Hits      int64
+	Evictions int64
+	Used      int64
+	Objects   int
+}
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts:      s.puts.Load(),
+		Gets:      s.gets.Load(),
+		Hits:      s.hits.Load(),
+		Evictions: s.evictions.Load(),
+		Used:      s.Used(),
+		Objects:   s.Len(),
+	}
+}

@@ -1,0 +1,344 @@
+package objectstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ray/internal/types"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New(DefaultConfig())
+	id := types.NewObjectID()
+	data := []byte("immutable payload")
+	if err := s.Put(id, data, false); err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := s.Get(id)
+	if !ok || !bytes.Equal(obj.Data, data) || obj.IsError {
+		t.Fatalf("get: %+v %v", obj, ok)
+	}
+	if obj.Size() != int64(len(data)) {
+		t.Fatal("size wrong")
+	}
+	// The store must own its copy: mutating the caller's buffer afterwards
+	// must not change the stored object.
+	data[0] = 'X'
+	obj2, _ := s.Get(id)
+	if obj2.Data[0] == 'X' {
+		t.Fatal("store aliased caller buffer")
+	}
+	// Same-node reads are zero-copy: both Gets return the same buffer.
+	if &obj.Data[0] != &obj2.Data[0] {
+		t.Fatal("expected zero-copy shared buffer within a node")
+	}
+	if !s.Contains(id) || s.Contains(types.NewObjectID()) {
+		t.Fatal("contains wrong")
+	}
+	if s.Len() != 1 || s.Used() != int64(len(data)) {
+		t.Fatalf("len=%d used=%d", s.Len(), s.Used())
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	s := New(DefaultConfig())
+	id := types.NewObjectID()
+	if err := s.Put(id, []byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(id, []byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Used() != 2 {
+		t.Fatalf("duplicate put changed accounting: len=%d used=%d", s.Len(), s.Used())
+	}
+}
+
+func TestErrorObjects(t *testing.T) {
+	s := New(DefaultConfig())
+	id := types.NewObjectID()
+	if err := s.Put(id, []byte("task failed: boom"), true); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := s.Get(id)
+	if !obj.IsError {
+		t.Fatal("error flag lost")
+	}
+}
+
+func TestObjectLargerThanCapacity(t *testing.T) {
+	s := New(Config{CapacityBytes: 100})
+	err := s.Put(types.NewObjectID(), make([]byte, 200), false)
+	if !errors.Is(err, types.ErrStoreFull) {
+		t.Fatalf("expected ErrStoreFull, got %v", err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	var evictedMu sync.Mutex
+	evicted := make(map[types.ObjectID]int64)
+	s := New(Config{
+		CapacityBytes: 1000,
+		OnEvict: func(id types.ObjectID, size int64) {
+			evictedMu.Lock()
+			evicted[id] = size
+			evictedMu.Unlock()
+		},
+	})
+	var ids []types.ObjectID
+	for i := 0; i < 10; i++ {
+		id := types.NewObjectID()
+		ids = append(ids, id)
+		if err := s.Put(id, make([]byte, 100), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Used() != 1000 {
+		t.Fatalf("used=%d", s.Used())
+	}
+	// Touch the first object so it becomes most recently used; the second
+	// object should then be the eviction victim.
+	s.Get(ids[0])
+	if err := s.Put(types.NewObjectID(), make([]byte, 150), false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(ids[1]) || s.Contains(ids[2]) {
+		t.Fatal("LRU victims not evicted")
+	}
+	if !s.Contains(ids[0]) {
+		t.Fatal("recently used object evicted")
+	}
+	if s.Used() > 1000 {
+		t.Fatalf("capacity exceeded: %d", s.Used())
+	}
+	if s.Stats().Evictions < 2 {
+		t.Fatalf("eviction counter wrong: %+v", s.Stats())
+	}
+	// The eviction callback fires asynchronously; wait briefly.
+	deadline := time.Now().Add(time.Second)
+	for {
+		evictedMu.Lock()
+		n := len(evicted)
+		evictedMu.Unlock()
+		if n >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	evictedMu.Lock()
+	defer evictedMu.Unlock()
+	if len(evicted) < 2 || evicted[ids[1]] != 100 {
+		t.Fatalf("eviction callback missing: %v", evicted)
+	}
+}
+
+func TestPinnedObjectsSurviveEviction(t *testing.T) {
+	s := New(Config{CapacityBytes: 300})
+	pinned := types.NewObjectID()
+	if err := s.Put(pinned, make([]byte, 100), false); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pin(pinned) {
+		t.Fatal("pin failed")
+	}
+	// Fill the store; the pinned object must never be evicted.
+	for i := 0; i < 10; i++ {
+		if err := s.Put(types.NewObjectID(), make([]byte, 100), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Contains(pinned) {
+		t.Fatal("pinned object was evicted")
+	}
+	// A request that can only be satisfied by evicting pinned objects fails.
+	if err := s.Put(types.NewObjectID(), make([]byte, 250), false); !errors.Is(err, types.ErrStoreFull) {
+		t.Fatalf("expected ErrStoreFull when only pinned objects remain evictable, got %v", err)
+	}
+	// After unpinning it becomes evictable again.
+	s.Unpin(pinned)
+	if err := s.Put(types.NewObjectID(), make([]byte, 250), false); err != nil {
+		t.Fatal(err)
+	}
+	if s.Pin(types.NewObjectID()) {
+		t.Fatal("pin of missing object must fail")
+	}
+	s.Unpin(types.NewObjectID()) // must not panic
+}
+
+func TestDeleteRespectsPins(t *testing.T) {
+	s := New(DefaultConfig())
+	id := types.NewObjectID()
+	s.Put(id, []byte("x"), false)
+	s.Pin(id)
+	if s.Delete(id) {
+		t.Fatal("pinned object deleted")
+	}
+	s.Unpin(id)
+	if !s.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	if s.Delete(id) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestWaitBlocksUntilPut(t *testing.T) {
+	s := New(DefaultConfig())
+	id := types.NewObjectID()
+	done := make(chan *Object, 1)
+	go func() {
+		obj, err := s.Wait(context.Background(), id)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- obj
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("wait returned before put")
+	default:
+	}
+	if err := s.Put(id, []byte("arrived"), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case obj := <-done:
+		if string(obj.Data) != "arrived" {
+			t.Fatalf("wrong object: %q", obj.Data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wait did not wake up")
+	}
+}
+
+func TestWaitCancellation(t *testing.T) {
+	s := New(DefaultConfig())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Wait(ctx, types.NewObjectID()); err == nil {
+		t.Fatal("cancelled wait must fail")
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	s := New(DefaultConfig())
+	pinned := types.NewObjectID()
+	s.Put(pinned, []byte("keep"), false)
+	s.Pin(pinned)
+	for i := 0; i < 5; i++ {
+		s.Put(types.NewObjectID(), []byte("drop"), false)
+	}
+	dropped := s.DropAll()
+	if len(dropped) != 5 {
+		t.Fatalf("dropped %d objects", len(dropped))
+	}
+	if !s.Contains(pinned) || s.Len() != 1 {
+		t.Fatal("pinned object must survive DropAll")
+	}
+	list := s.List()
+	if len(list) != 1 || list[0] != pinned {
+		t.Fatalf("list wrong: %v", list)
+	}
+}
+
+func TestParallelCopyCorrectness(t *testing.T) {
+	s := New(Config{CapacityBytes: 1 << 28, CopyThreads: 8, CopyThreshold: 1024})
+	data := make([]byte, 3_000_001) // deliberately not a multiple of the thread count
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	id := types.NewObjectID()
+	if err := s.Put(id, data, false); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := s.Get(id)
+	if !bytes.Equal(obj.Data, data) {
+		t.Fatal("parallel copy corrupted payload")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(DefaultConfig())
+	id := types.NewObjectID()
+	s.Put(id, []byte("x"), false)
+	s.Get(id)
+	s.Get(types.NewObjectID())
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 2 || st.Hits != 1 || st.Objects != 1 || st.Used != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if s.Capacity() != DefaultConfig().CapacityBytes {
+		t.Fatal("capacity wrong")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := New(Config{CapacityBytes: 1 << 26, CopyThreads: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := types.NewObjectID()
+				payload := bytes.Repeat([]byte{byte(g)}, 128)
+				if err := s.Put(id, payload, false); err != nil {
+					t.Error(err)
+					return
+				}
+				obj, ok := s.Get(id)
+				if !ok || !bytes.Equal(obj.Data, payload) {
+					t.Error("read back mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Property: used bytes always equals the sum of resident object sizes and
+// never exceeds capacity, across random Put/Get/Delete sequences.
+func TestAccountingInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New(Config{CapacityBytes: 4096})
+		ids := make([]types.ObjectID, 0)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1:
+				id := types.NewObjectID()
+				size := int(op % 512)
+				if err := s.Put(id, make([]byte, size), false); err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			case 2:
+				if len(ids) > 0 {
+					s.Delete(ids[int(op)%len(ids)])
+				}
+			}
+			if s.Used() > 4096 || s.Used() < 0 {
+				return false
+			}
+			var sum int64
+			for _, id := range s.List() {
+				if obj, ok := s.Get(id); ok {
+					sum += obj.Size()
+				}
+			}
+			if sum != s.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

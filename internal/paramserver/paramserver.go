@@ -1,0 +1,267 @@
+// Package paramserver implements a sharded parameter server on top of Ray
+// actors, the pattern the paper highlights as a canonical use of stateful
+// computation (Sections 2 and 5.2.1): model weights are partitioned across
+// shard actors; training replicas push gradients to every shard and read back
+// either the summed gradients or the updated weights.
+package paramserver
+
+import (
+	"fmt"
+
+	"ray/internal/codec"
+	"ray/internal/core"
+	"ray/internal/worker"
+)
+
+// shardActorName is the registered actor class for parameter-server shards.
+const shardActorName = "paramserver.Shard"
+
+// Register publishes the shard actor class with the runtime. Call once before
+// creating servers.
+func Register(rt *core.Runtime) error {
+	return rt.RegisterActor(shardActorName, "parameter server shard", newShard)
+}
+
+// shard holds one partition of the model parameters plus the gradient
+// accumulator for the current synchronous iteration.
+type shard struct {
+	weights []float64
+	gradSum []float64
+	pushes  int
+	lr      float64
+}
+
+func newShard(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+	var weights []float64
+	if err := codec.Decode(args[0], &weights); err != nil {
+		return nil, err
+	}
+	var lr float64
+	if err := codec.Decode(args[1], &lr); err != nil {
+		return nil, err
+	}
+	return &shard{
+		weights: append([]float64(nil), weights...),
+		gradSum: make([]float64, len(weights)),
+		lr:      lr,
+	}, nil
+}
+
+// Call implements worker.ActorInstance.
+func (s *shard) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
+	switch method {
+	case "push":
+		// push(gradChunk): accumulate one replica's gradient.
+		var grad []float64
+		if err := codec.Decode(args[0], &grad); err != nil {
+			return nil, err
+		}
+		if len(grad) != len(s.gradSum) {
+			return nil, fmt.Errorf("paramserver: gradient length %d != shard size %d", len(grad), len(s.gradSum))
+		}
+		for i, g := range grad {
+			s.gradSum[i] += g
+		}
+		s.pushes++
+		return [][]byte{codec.MustEncode(true)}, nil
+	case "sum":
+		// sum(): return the accumulated gradient without applying it.
+		return [][]byte{codec.MustEncode(s.gradSum)}, nil
+	case "apply":
+		// apply(): average the accumulated gradients, take one SGD step,
+		// reset the accumulator, and return the new weights.
+		if s.pushes > 0 {
+			scale := 1 / float64(s.pushes)
+			for i := range s.weights {
+				s.weights[i] -= s.lr * s.gradSum[i] * scale
+				s.gradSum[i] = 0
+			}
+			s.pushes = 0
+		}
+		return [][]byte{codec.MustEncode(s.weights)}, nil
+	case "weights":
+		return [][]byte{codec.MustEncode(s.weights)}, nil
+	case "set_weights":
+		var w []float64
+		if err := codec.Decode(args[0], &w); err != nil {
+			return nil, err
+		}
+		if len(w) != len(s.weights) {
+			return nil, fmt.Errorf("paramserver: weight length %d != shard size %d", len(w), len(s.weights))
+		}
+		copy(s.weights, w)
+		return [][]byte{codec.MustEncode(true)}, nil
+	default:
+		return nil, fmt.Errorf("paramserver: unknown method %q", method)
+	}
+}
+
+// Checkpoint implements worker.Checkpointable so parameter servers can be
+// reconstructed cheaply after a failure.
+func (s *shard) Checkpoint() ([]byte, error) {
+	return codec.Encode(s.weights)
+}
+
+// Restore implements worker.Checkpointable.
+func (s *shard) Restore(data []byte) error {
+	return codec.Decode(data, &s.weights)
+}
+
+// Config describes a sharded parameter server.
+type Config struct {
+	// Shards is the number of shard actors.
+	Shards int
+	// LearningRate is the SGD step applied by "apply".
+	LearningRate float64
+	// PinToNodes places shard i on node i+NodeOffset (requires LabelNodes).
+	PinToNodes bool
+	// NodeOffset shifts the node index used when pinning.
+	NodeOffset int
+	// GPUsPerShard optionally reserves GPUs for each shard actor.
+	GPUsPerShard float64
+}
+
+// Server is a sharded parameter server.
+type Server struct {
+	shards  []*worker.ActorHandle
+	bounds  []int // bounds[i] is the start offset of shard i; len = Shards+1
+	numDims int
+}
+
+// New creates a parameter server holding the given initial parameter vector,
+// split as evenly as possible across cfg.Shards shard actors.
+func New(ctx *worker.TaskContext, cfg Config, initial []float64) (*Server, error) {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("paramserver: empty initial parameters")
+	}
+	s := &Server{numDims: len(initial)}
+	per := (len(initial) + cfg.Shards - 1) / cfg.Shards
+	for i := 0; i < cfg.Shards; i++ {
+		lo := i * per
+		if lo > len(initial) {
+			lo = len(initial)
+		}
+		hi := lo + per
+		if hi > len(initial) {
+			hi = len(initial)
+		}
+		s.bounds = append(s.bounds, lo)
+		opts := core.CallOptions{}
+		reqs := map[string]float64{}
+		if cfg.GPUsPerShard > 0 {
+			reqs["GPU"] = cfg.GPUsPerShard
+		}
+		if cfg.PinToNodes {
+			reqs[core.NodeLabel(i+cfg.NodeOffset)] = 1
+		}
+		if len(reqs) > 0 {
+			opts.Resources = core.Resources(reqs)
+		}
+		h, err := ctx.CreateActor(shardActorName, opts, initial[lo:hi], cfg.LearningRate)
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, h)
+	}
+	s.bounds = append(s.bounds, len(initial))
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Dim returns the total parameter dimensionality.
+func (s *Server) Dim() int { return s.numDims }
+
+// Split partitions a full-length vector into per-shard chunks.
+func (s *Server) Split(v []float64) ([][]float64, error) {
+	if len(v) != s.numDims {
+		return nil, fmt.Errorf("paramserver: vector length %d != %d", len(v), s.numDims)
+	}
+	out := make([][]float64, len(s.shards))
+	for i := range s.shards {
+		out[i] = v[s.bounds[i]:s.bounds[i+1]]
+	}
+	return out, nil
+}
+
+// PushGradient sends the per-shard chunks of a full gradient to every shard.
+// It returns the acknowledgement futures so callers can overlap pushes from
+// several replicas before waiting (the pipelining the paper credits for
+// matching Horovod).
+func (s *Server) PushGradient(ctx *worker.TaskContext, grad []float64) ([]core.ObjectRef, error) {
+	chunks, err := s.Split(grad)
+	if err != nil {
+		return nil, err
+	}
+	acks := make([]core.ObjectRef, len(s.shards))
+	for i, chunk := range chunks {
+		ack, err := ctx.CallActor1(s.shards[i], "push", core.CallOptions{}, chunk)
+		if err != nil {
+			return nil, err
+		}
+		acks[i] = ack
+	}
+	return acks, nil
+}
+
+// ApplyAndFetch applies the accumulated (averaged) gradients on every shard
+// and returns the concatenated updated weights.
+func (s *Server) ApplyAndFetch(ctx *worker.TaskContext) ([]float64, error) {
+	refs := make([]core.ObjectRef, len(s.shards))
+	for i, h := range s.shards {
+		ref, err := ctx.CallActor1(h, "apply", core.CallOptions{})
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+	}
+	return s.concat(ctx, refs)
+}
+
+// Weights returns the concatenated current weights without applying updates.
+func (s *Server) Weights(ctx *worker.TaskContext) ([]float64, error) {
+	refs := make([]core.ObjectRef, len(s.shards))
+	for i, h := range s.shards {
+		ref, err := ctx.CallActor1(h, "weights", core.CallOptions{})
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+	}
+	return s.concat(ctx, refs)
+}
+
+// SetWeights overwrites the weights on every shard from a full-length vector.
+func (s *Server) SetWeights(ctx *worker.TaskContext, weights []float64) error {
+	chunks, err := s.Split(weights)
+	if err != nil {
+		return err
+	}
+	for i, chunk := range chunks {
+		ack, err := ctx.CallActor1(s.shards[i], "set_weights", core.CallOptions{}, chunk)
+		if err != nil {
+			return err
+		}
+		var ok bool
+		if err := ctx.Get(ack, &ok); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) concat(ctx *worker.TaskContext, refs []core.ObjectRef) ([]float64, error) {
+	out := make([]float64, 0, s.numDims)
+	for _, ref := range refs {
+		var chunk []float64
+		if err := ctx.Get(ref, &chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+// Package rl contains the reinforcement-learning building blocks shared by
+// the paper's end-to-end applications (Section 5.3): policies that map
+// observations to actions, rollout execution against a simulator, and the
+// trajectory types shipped through the object store between simulation,
+// training, and serving.
+package rl
+
+import (
+	"math/rand"
+
+	"ray/internal/nn"
+	"ray/internal/sim"
+)
+
+// Policy maps observations to actions. Implementations carry their parameters
+// as a flat vector so they can be broadcast, perturbed (ES), and updated
+// (PPO/SGD) through the object store.
+type Policy interface {
+	// Act returns the action for an observation.
+	Act(obs []float64) []float64
+	// Parameters returns the flattened parameter vector.
+	Parameters() nn.Vector
+	// SetParameters installs a flattened parameter vector.
+	SetParameters(params nn.Vector)
+	// NumParams returns the parameter count.
+	NumParams() int
+}
+
+// LinearPolicy is a single linear layer: action = W·obs. It is what the ES
+// reference implementation uses for MuJoCo tasks and is cheap enough to
+// evaluate millions of times in the throughput experiments.
+type LinearPolicy struct {
+	ObsSize, ActionSize int
+	weights             nn.Vector // row-major ActionSize × ObsSize
+}
+
+// NewLinearPolicy builds a zero-initialized linear policy.
+func NewLinearPolicy(obsSize, actionSize int) *LinearPolicy {
+	return &LinearPolicy{
+		ObsSize:    obsSize,
+		ActionSize: actionSize,
+		weights:    nn.NewVector(obsSize * actionSize),
+	}
+}
+
+// Act implements Policy.
+func (p *LinearPolicy) Act(obs []float64) []float64 {
+	action := make([]float64, p.ActionSize)
+	for a := 0; a < p.ActionSize; a++ {
+		row := p.weights[a*p.ObsSize : (a+1)*p.ObsSize]
+		var sum float64
+		for i, w := range row {
+			if i < len(obs) {
+				sum += w * obs[i]
+			}
+		}
+		action[a] = sum
+	}
+	return action
+}
+
+// Parameters implements Policy.
+func (p *LinearPolicy) Parameters() nn.Vector { return p.weights.Clone() }
+
+// SetParameters implements Policy.
+func (p *LinearPolicy) SetParameters(params nn.Vector) {
+	p.weights = params.Clone()
+}
+
+// NumParams implements Policy.
+func (p *LinearPolicy) NumParams() int { return p.ObsSize * p.ActionSize }
+
+// MLPPolicy wraps an nn.MLP as a policy.
+type MLPPolicy struct {
+	net *nn.MLP
+}
+
+// NewMLPPolicy builds an MLP policy with the given hidden sizes.
+func NewMLPPolicy(obsSize, actionSize int, hidden []int, seed int64) *MLPPolicy {
+	sizes := append([]int{obsSize}, hidden...)
+	sizes = append(sizes, actionSize)
+	return &MLPPolicy{net: nn.NewMLP(sizes, rand.New(rand.NewSource(seed)))}
+}
+
+// Act implements Policy.
+func (p *MLPPolicy) Act(obs []float64) []float64 { return p.net.Forward(obs) }
+
+// Parameters implements Policy.
+func (p *MLPPolicy) Parameters() nn.Vector { return p.net.Parameters() }
+
+// SetParameters implements Policy.
+func (p *MLPPolicy) SetParameters(params nn.Vector) { p.net.SetParameters(params) }
+
+// NumParams implements Policy.
+func (p *MLPPolicy) NumParams() int { return p.net.NumParams() }
+
+// Net exposes the underlying MLP (for PPO's gradient updates).
+func (p *MLPPolicy) Net() *nn.MLP { return p.net }
+
+// Trajectory is the result of one rollout: the visited observations, the
+// actions taken, the per-step rewards, and the total return.
+type Trajectory struct {
+	Observations [][]float64
+	Actions      [][]float64
+	Rewards      []float64
+	TotalReward  float64
+	Steps        int
+}
+
+// Rollout evaluates a policy in an environment for at most maxSteps steps
+// (0 means the environment's own cap), starting from the given seed. This is
+// the policy-evaluation loop of the paper's Figure 2, and the unit of work
+// the simulation experiments parallelize.
+func Rollout(env sim.Environment, policy Policy, seed int64, maxSteps int, recordStates bool) *Trajectory {
+	if maxSteps <= 0 {
+		maxSteps = env.MaxEpisodeSteps()
+	}
+	traj := &Trajectory{}
+	obs := env.Reset(seed)
+	for step := 0; step < maxSteps; step++ {
+		action := policy.Act(obs)
+		next, reward, done := env.Step(action)
+		if recordStates {
+			traj.Observations = append(traj.Observations, obs)
+			traj.Actions = append(traj.Actions, action)
+		}
+		traj.Rewards = append(traj.Rewards, reward)
+		traj.TotalReward += reward
+		traj.Steps++
+		obs = next
+		if done {
+			break
+		}
+	}
+	return traj
+}

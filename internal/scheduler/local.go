@@ -1,0 +1,368 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ray/internal/resources"
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+// TaskRunner executes a task whose dependencies are local and whose resources
+// have been acquired. The worker pool implements it.
+type TaskRunner interface {
+	// Run executes the task to completion, storing its outputs in the local
+	// object store. It returns an error only for infrastructure failures;
+	// application errors are stored as error objects.
+	Run(ctx context.Context, spec *task.Spec) error
+	// Fail records an infrastructure failure for a task that could not run
+	// (e.g. its inputs could not be made local): its outputs are written as
+	// error objects so downstream consumers fail fast instead of hanging.
+	Fail(ctx context.Context, spec *task.Spec, cause error) error
+}
+
+// DependencyPuller makes a task's remote inputs local before execution. The
+// object manager implements it.
+type DependencyPuller interface {
+	Pull(ctx context.Context, id types.ObjectID) error
+}
+
+// Forwarder routes a task that the local scheduler declined to run to a
+// global scheduler (and from there to the chosen node). The cluster
+// implements it.
+type Forwarder interface {
+	ForwardTask(ctx context.Context, spec *task.Spec) error
+}
+
+// LocalConfig controls one node's local scheduler.
+type LocalConfig struct {
+	// NodeID identifies the owning node.
+	NodeID types.NodeID
+	// Pool is the node's resource pool.
+	Pool *resources.Pool
+	// SpilloverThreshold is the queued-task count above which new tasks are
+	// forwarded to the global scheduler instead of queued locally.
+	// Zero means 64.
+	SpilloverThreshold int
+	// InjectedLatency adds artificial delay to every local scheduling
+	// decision (Figure 12b ablation).
+	InjectedLatency time.Duration
+	// EMAAlpha is the exponential-averaging coefficient for task durations
+	// reported in heartbeats. Zero means 0.2.
+	EMAAlpha float64
+}
+
+// Local is one node's local scheduler. Tasks submitted on the node come here
+// first (bottom-up scheduling); only overload or infeasible resource demands
+// cause forwarding to the global scheduler.
+type Local struct {
+	cfg     LocalConfig
+	runner  TaskRunner
+	puller  DependencyPuller
+	forward Forwarder
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queued counts tasks accepted locally that have not finished.
+	queued int
+	// actorHold tracks resources held by live actors created on this node.
+	actorHold map[types.ActorID]resources.Request
+	// avgTaskMs is the exponentially averaged execution time of recent tasks.
+	avgTaskMs float64
+	// draining refuses new work when the node is shutting down or has been
+	// killed by failure injection.
+	draining bool
+
+	scheduledLocal atomic.Int64
+	forwarded      atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+}
+
+// NewLocal creates a local scheduler.
+func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forward Forwarder) *Local {
+	if cfg.SpilloverThreshold <= 0 {
+		cfg.SpilloverThreshold = 64
+	}
+	if cfg.EMAAlpha <= 0 || cfg.EMAAlpha > 1 {
+		cfg.EMAAlpha = 0.2
+	}
+	l := &Local{
+		cfg:       cfg,
+		runner:    runner,
+		puller:    puller,
+		forward:   forward,
+		actorHold: make(map[types.ActorID]resources.Request),
+		avgTaskMs: 1,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// NodeID returns the owning node's ID.
+func (l *Local) NodeID() types.NodeID { return l.cfg.NodeID }
+
+// Submit is the bottom-up entry point: tasks created on this node (by its
+// driver or by workers running nested tasks) are offered to the local
+// scheduler first. If the node is overloaded or can never satisfy the task's
+// resource request, the task is forwarded to the global scheduler.
+func (l *Local) Submit(ctx context.Context, spec *task.Spec) error {
+	if err := l.delay(ctx); err != nil {
+		return err
+	}
+	// Actor method calls are pinned to the node hosting the actor; they are
+	// never forwarded and never spill over.
+	if spec.IsActorTask() && !spec.ActorCreation {
+		return l.accept(ctx, spec)
+	}
+	l.mu.Lock()
+	overloaded := l.queued >= l.cfg.SpilloverThreshold
+	infeasible := !l.cfg.Pool.CanEverFit(spec.Resources)
+	// Actor creations hold their resources for the actor's lifetime, so
+	// accepting one the node cannot currently satisfy risks queueing it
+	// behind actors that never release; spill it to the global scheduler
+	// instead, which sees other nodes' availability.
+	busyCreation := spec.ActorCreation && !l.cfg.Pool.Fits(spec.Resources)
+	draining := l.draining
+	l.mu.Unlock()
+	if draining || overloaded || infeasible || busyCreation {
+		l.forwarded.Add(1)
+		return l.forward.ForwardTask(ctx, spec)
+	}
+	return l.accept(ctx, spec)
+}
+
+// SubmitPlaced accepts a task placed on this node by a global scheduler.
+// It does not re-apply the spillover test (that would bounce tasks forever
+// between schedulers); the global scheduler's load estimate already accounted
+// for this node's queue.
+func (l *Local) SubmitPlaced(ctx context.Context, spec *task.Spec) error {
+	if err := l.delay(ctx); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.draining {
+		l.mu.Unlock()
+		return fmt.Errorf("scheduler: node %s draining: %w", l.cfg.NodeID, types.ErrNodeDead)
+	}
+	l.mu.Unlock()
+	return l.accept(ctx, spec)
+}
+
+func (l *Local) delay(ctx context.Context) error {
+	if l.cfg.InjectedLatency <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(l.cfg.InjectedLatency)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// accept queues the task locally and runs it asynchronously.
+func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
+	l.mu.Lock()
+	if l.draining {
+		l.mu.Unlock()
+		return fmt.Errorf("scheduler: node %s draining: %w", l.cfg.NodeID, types.ErrNodeDead)
+	}
+	l.queued++
+	l.mu.Unlock()
+	l.scheduledLocal.Add(1)
+	go l.runTask(ctx, spec)
+	return nil
+}
+
+// runTask drives one task through dependency resolution, resource
+// acquisition, execution, and completion accounting.
+func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
+	defer func() {
+		l.mu.Lock()
+		l.queued--
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	}()
+
+	// 1. Make every dependency local (task dispatch, decoupled from
+	//    scheduling: the object manager consults the GCS directly).
+	for _, dep := range spec.Dependencies() {
+		if err := l.puller.Pull(ctx, dep); err != nil {
+			l.failed.Add(1)
+			_ = l.runner.Fail(ctx, spec, err)
+			return
+		}
+	}
+
+	// 2. Acquire resources. Actor method calls run under the resources the
+	//    actor already holds. Other tasks do not wait indefinitely: if the
+	//    node stays full — which can happen permanently when its resources
+	//    are pinned by long-lived actors — the task is re-forwarded so a node
+	//    with free capacity can take it instead of starving here.
+	isMethod := spec.IsActorTask() && !spec.ActorCreation
+	if !isMethod {
+		if !l.acquireWithDeadline(spec, 200*time.Millisecond) {
+			l.mu.Lock()
+			draining := l.draining
+			l.mu.Unlock()
+			if draining || ctx.Err() != nil {
+				l.failed.Add(1)
+				_ = l.runner.Fail(ctx, spec, types.ErrNodeDead)
+				return
+			}
+			l.forwarded.Add(1)
+			if err := l.forward.ForwardTask(ctx, spec); err != nil {
+				l.failed.Add(1)
+				_ = l.runner.Fail(ctx, spec, err)
+			}
+			return
+		}
+		if spec.ActorCreation {
+			l.mu.Lock()
+			l.actorHold[spec.ActorID] = spec.Resources
+			l.mu.Unlock()
+		}
+	}
+
+	// 3. Execute. Plain tasks get block hooks so that a nested blocking Get
+	//    releases this task's resources while it waits for its children —
+	//    otherwise a recursion deeper than the node's CPU count deadlocks.
+	runCtx := ctx
+	if !isMethod && !spec.ActorCreation {
+		runCtx = types.WithBlockHooks(ctx, types.BlockHooks{
+			OnBlock: func() {
+				l.mu.Lock()
+				l.cfg.Pool.Release(spec.Resources)
+				l.mu.Unlock()
+				l.cond.Broadcast()
+			},
+			OnUnblock: func() {
+				l.mu.Lock()
+				for !l.cfg.Pool.Acquire(spec.Resources) {
+					l.cond.Wait()
+				}
+				l.mu.Unlock()
+			},
+		})
+	}
+	start := time.Now()
+	err := l.runner.Run(runCtx, spec)
+	elapsed := time.Since(start)
+
+	// 4. Release resources (unless they belong to a live actor) and update
+	//    the duration average used in heartbeats.
+	if !isMethod && !spec.ActorCreation {
+		l.mu.Lock()
+		l.cfg.Pool.Release(spec.Resources)
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	}
+	l.observeDuration(elapsed)
+	if err != nil {
+		l.failed.Add(1)
+		_ = l.runner.Fail(ctx, spec, err)
+		return
+	}
+	l.completed.Add(1)
+}
+
+// acquireWithDeadline tries to acquire the spec's resources, giving up after
+// the deadline. It returns whether the acquisition succeeded.
+func (l *Local) acquireWithDeadline(spec *task.Spec, deadline time.Duration) bool {
+	expire := time.Now().Add(deadline)
+	for {
+		l.mu.Lock()
+		if l.draining {
+			l.mu.Unlock()
+			return false
+		}
+		if l.cfg.Pool.Acquire(spec.Resources) {
+			l.mu.Unlock()
+			return true
+		}
+		l.mu.Unlock()
+		if time.Now().After(expire) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (l *Local) observeDuration(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1000
+	l.mu.Lock()
+	l.avgTaskMs = l.cfg.EMAAlpha*ms + (1-l.cfg.EMAAlpha)*l.avgTaskMs
+	l.mu.Unlock()
+}
+
+// NotifyActorStopped releases the resources held by an actor created on this
+// node (called when the actor exits or its node is reconstructed elsewhere).
+func (l *Local) NotifyActorStopped(actor types.ActorID) {
+	l.mu.Lock()
+	req, ok := l.actorHold[actor]
+	if ok {
+		delete(l.actorHold, actor)
+		l.cfg.Pool.Release(req)
+	}
+	l.mu.Unlock()
+	if ok {
+		l.cond.Broadcast()
+	}
+}
+
+// Drain stops accepting new tasks and wakes any goroutine blocked on
+// resources so it can observe the shutdown.
+func (l *Local) Drain() {
+	l.mu.Lock()
+	l.draining = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// LoadSnapshot describes the node's load for heartbeats to the GCS.
+type LoadSnapshot struct {
+	QueueLength        int
+	AvailableResources map[string]float64
+	AvgTaskMillis      float64
+}
+
+// Load returns the node's current load snapshot.
+func (l *Local) Load() LoadSnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LoadSnapshot{
+		QueueLength:        l.queued,
+		AvailableResources: l.cfg.Pool.Snapshot(),
+		AvgTaskMillis:      l.avgTaskMs,
+	}
+}
+
+// LocalStats is a snapshot of local scheduler counters.
+type LocalStats struct {
+	ScheduledLocally int64
+	Forwarded        int64
+	Completed        int64
+	Failed           int64
+	Queued           int
+}
+
+// Stats returns a snapshot of counters.
+func (l *Local) Stats() LocalStats {
+	l.mu.Lock()
+	queued := l.queued
+	l.mu.Unlock()
+	return LocalStats{
+		ScheduledLocally: l.scheduledLocal.Load(),
+		Forwarded:        l.forwarded.Load(),
+		Completed:        l.completed.Load(),
+		Failed:           l.failed.Load(),
+		Queued:           queued,
+	}
+}

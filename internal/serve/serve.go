@@ -1,0 +1,270 @@
+// Package serve reproduces the paper's embedded model-serving comparison
+// (Section 5.2.2, Table 3): serving policy evaluations from a Ray actor that
+// clients reach through the shared object store, versus a Clipper-style
+// dedicated serving system reached over REST (HTTP + JSON on loopback).
+//
+// The Ray path pays one actor method call and zero-copy object-store reads;
+// the REST path pays HTTP framing and JSON serialization per request, which
+// is exactly the gap the paper measures (an order of magnitude for large
+// inputs).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"ray/internal/codec"
+	"ray/internal/core"
+	"ray/internal/rl"
+	"ray/internal/worker"
+)
+
+// policyServerName is the registered actor class for policy servers.
+const policyServerName = "serve.PolicyServer"
+
+// Register publishes the policy-server actor class with the runtime.
+func Register(rt *core.Runtime) error {
+	return rt.RegisterActor(policyServerName, "embedded policy serving actor", newPolicyServer)
+}
+
+// ModelConfig describes the served policy.
+type ModelConfig struct {
+	// ObsSize and ActionSize are the policy's input/output sizes.
+	ObsSize    int
+	ActionSize int
+	// Hidden are the MLP hidden-layer widths.
+	Hidden []int
+	// EvalDelay pads each batch evaluation to model a heavier network than
+	// the pure-Go MLP (the paper's models take 5ms and 10ms per batch).
+	EvalDelay time.Duration
+	// Seed controls policy initialization.
+	Seed int64
+}
+
+// policyServer is the Ray actor that evaluates the policy.
+type policyServer struct {
+	mu      sync.Mutex
+	policy  *rl.MLPPolicy
+	obsSize int
+	delay   time.Duration
+	served  int
+}
+
+func newPolicyServer(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+	var cfg ModelConfig
+	if err := codec.Decode(args[0], &cfg); err != nil {
+		return nil, err
+	}
+	return &policyServer{
+		policy:  rl.NewMLPPolicy(cfg.ObsSize, cfg.ActionSize, cfg.Hidden, cfg.Seed),
+		obsSize: cfg.ObsSize,
+		delay:   cfg.EvalDelay,
+	}, nil
+}
+
+// fit pads or truncates a state to the policy's input size, so clients can
+// send raw feature payloads of any length (the Table 3 workloads send 4KB and
+// 100KB states regardless of the model's input width).
+func (p *policyServer) fit(obs []float64) []float64 {
+	if len(obs) == p.obsSize {
+		return obs
+	}
+	out := make([]float64, p.obsSize)
+	copy(out, obs)
+	return out
+}
+
+// Call implements worker.ActorInstance.
+func (p *policyServer) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
+	switch method {
+	case "predict":
+		var batch [][]float64
+		if err := codec.Decode(args[0], &batch); err != nil {
+			return nil, err
+		}
+		actions := p.evaluate(batch)
+		return [][]byte{codec.MustEncode(actions)}, nil
+	case "served":
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return [][]byte{codec.MustEncode(p.served)}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown method %q", method)
+	}
+}
+
+func (p *policyServer) evaluate(batch [][]float64) [][]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	actions := make([][]float64, len(batch))
+	for i, obs := range batch {
+		actions[i] = p.policy.Act(p.fit(obs))
+	}
+	p.served += len(batch)
+	return actions
+}
+
+// RayServer serves a policy from an actor reachable through the object store.
+type RayServer struct {
+	handle *worker.ActorHandle
+}
+
+// NewRayServer creates the serving actor.
+func NewRayServer(ctx *worker.TaskContext, cfg ModelConfig) (*RayServer, error) {
+	h, err := ctx.CreateActor(policyServerName, core.CallOptions{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RayServer{handle: h}, nil
+}
+
+// Predict evaluates a batch of states and returns the actions.
+func (s *RayServer) Predict(ctx *worker.TaskContext, states [][]float64) ([][]float64, error) {
+	ref, err := ctx.CallActor1(s.handle, "predict", core.CallOptions{}, states)
+	if err != nil {
+		return nil, err
+	}
+	var actions [][]float64
+	if err := ctx.Get(ref, &actions); err != nil {
+		return nil, err
+	}
+	return actions, nil
+}
+
+// Served returns the number of states the actor has evaluated.
+func (s *RayServer) Served(ctx *worker.TaskContext) (int, error) {
+	ref, err := ctx.CallActor1(s.handle, "served", core.CallOptions{})
+	if err != nil {
+		return 0, err
+	}
+	var n int
+	if err := ctx.Get(ref, &n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// --- Clipper-like REST baseline -----------------------------------------------------
+
+// predictRequest is the REST request body.
+type predictRequest struct {
+	States [][]float64 `json:"states"`
+}
+
+// predictResponse is the REST response body.
+type predictResponse struct {
+	Actions [][]float64 `json:"actions"`
+}
+
+// RESTServer is the Clipper-style baseline: the same policy behind an HTTP
+// endpoint with JSON bodies.
+type RESTServer struct {
+	policy   *policyServer
+	listener net.Listener
+	server   *http.Server
+}
+
+// NewRESTServer starts the baseline server on a loopback port.
+func NewRESTServer(cfg ModelConfig) (*RESTServer, error) {
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen: %w", err)
+	}
+	rs := &RESTServer{
+		policy: &policyServer{
+			policy:  rl.NewMLPPolicy(cfg.ObsSize, cfg.ActionSize, cfg.Hidden, cfg.Seed),
+			obsSize: cfg.ObsSize,
+			delay:   cfg.EvalDelay,
+		},
+		listener: listener,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", rs.handlePredict)
+	rs.server = &http.Server{Handler: mux}
+	go func() { _ = rs.server.Serve(listener) }()
+	return rs, nil
+}
+
+func (rs *RESTServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	actions := rs.policy.evaluate(req.States)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(predictResponse{Actions: actions})
+}
+
+// Addr returns the server's address.
+func (rs *RESTServer) Addr() string { return rs.listener.Addr().String() }
+
+// Close shuts the server down.
+func (rs *RESTServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return rs.server.Shutdown(ctx)
+}
+
+// RESTClient queries a RESTServer.
+type RESTClient struct {
+	url    string
+	client *http.Client
+}
+
+// NewRESTClient builds a client for the given server address.
+func NewRESTClient(addr string) *RESTClient {
+	return &RESTClient{
+		url:    "http://" + addr + "/predict",
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Predict sends one batch over REST and returns the actions.
+func (c *RESTClient) Predict(states [][]float64) ([][]float64, error) {
+	body, err := json.Marshal(predictRequest{States: states})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Post(c.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: REST status %s", resp.Status)
+	}
+	var out predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Actions, nil
+}
+
+// MakeStateBatch builds a batch of identical-size states whose per-state
+// payload is approximately stateBytes (8 bytes per float64 element), the
+// knob Table 3 varies between 4KB and 100KB.
+func MakeStateBatch(batch int, stateBytes int) [][]float64 {
+	elems := stateBytes / 8
+	if elems < 1 {
+		elems = 1
+	}
+	out := make([][]float64, batch)
+	for i := range out {
+		s := make([]float64, elems)
+		for j := range s {
+			s[j] = float64(i+j) * 0.001
+		}
+		out[i] = s
+	}
+	return out
+}

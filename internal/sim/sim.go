@@ -1,0 +1,312 @@
+// Package sim provides the physics simulators the RL workloads evaluate
+// policies against. The paper uses OpenAI Gym's Pendulum-v0 for the
+// simulation throughput comparison (Table 4) and MuJoCo's Humanoid-v1 for
+// the ES/PPO end-to-end experiments (Figure 14); the substitutions here are a
+// faithful Pendulum ODE integrator, a CartPole, and a synthetic
+// high-dimensional "HumanoidLike" control task that preserves the properties
+// the experiments depend on: variable-length episodes, non-trivial per-step
+// compute, and a scalar reward signal a policy can improve.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Environment is the standard RL environment interface (Gym-style).
+type Environment interface {
+	// Name identifies the environment.
+	Name() string
+	// ObservationSize is the length of the observation vector.
+	ObservationSize() int
+	// ActionSize is the length of the action vector.
+	ActionSize() int
+	// Reset starts a new episode and returns the initial observation.
+	Reset(seed int64) []float64
+	// Step applies an action and returns the next observation, the reward,
+	// and whether the episode has terminated.
+	Step(action []float64) (obs []float64, reward float64, done bool)
+	// MaxEpisodeSteps is the episode length cap.
+	MaxEpisodeSteps() int
+}
+
+// New constructs an environment by name ("pendulum", "cartpole",
+// "humanoid-like").
+func New(name string) (Environment, error) {
+	switch name {
+	case "pendulum":
+		return NewPendulum(), nil
+	case "cartpole":
+		return NewCartPole(), nil
+	case "humanoid-like":
+		return NewHumanoidLike(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown environment %q", name)
+	}
+}
+
+// --- Pendulum -----------------------------------------------------------------
+
+// Pendulum is the classic torque-controlled inverted pendulum swing-up task,
+// matching Gym's Pendulum-v0 dynamics: state (θ, θ̇), observation
+// (cos θ, sin θ, θ̇), reward -(θ² + 0.1 θ̇² + 0.001 a²).
+type Pendulum struct {
+	theta, thetaDot float64
+	steps           int
+	rng             *rand.Rand
+}
+
+// NewPendulum returns an unreset Pendulum.
+func NewPendulum() *Pendulum { return &Pendulum{rng: rand.New(rand.NewSource(0))} }
+
+// Name implements Environment.
+func (p *Pendulum) Name() string { return "pendulum" }
+
+// ObservationSize implements Environment.
+func (p *Pendulum) ObservationSize() int { return 3 }
+
+// ActionSize implements Environment.
+func (p *Pendulum) ActionSize() int { return 1 }
+
+// MaxEpisodeSteps implements Environment.
+func (p *Pendulum) MaxEpisodeSteps() int { return 200 }
+
+// Reset implements Environment.
+func (p *Pendulum) Reset(seed int64) []float64 {
+	p.rng = rand.New(rand.NewSource(seed))
+	p.theta = p.rng.Float64()*2*math.Pi - math.Pi
+	p.thetaDot = p.rng.Float64()*2 - 1
+	p.steps = 0
+	return p.observe()
+}
+
+func (p *Pendulum) observe() []float64 {
+	return []float64{math.Cos(p.theta), math.Sin(p.theta), p.thetaDot}
+}
+
+// Step implements Environment.
+func (p *Pendulum) Step(action []float64) ([]float64, float64, bool) {
+	const (
+		maxSpeed  = 8.0
+		maxTorque = 2.0
+		dt        = 0.05
+		g         = 10.0
+		mass      = 1.0
+		length    = 1.0
+	)
+	torque := 0.0
+	if len(action) > 0 {
+		torque = clamp(action[0], -maxTorque, maxTorque)
+	}
+	angle := normalizeAngle(p.theta)
+	cost := angle*angle + 0.1*p.thetaDot*p.thetaDot + 0.001*torque*torque
+
+	p.thetaDot += (3*g/(2*length)*math.Sin(p.theta) + 3.0/(mass*length*length)*torque) * dt
+	p.thetaDot = clamp(p.thetaDot, -maxSpeed, maxSpeed)
+	p.theta += p.thetaDot * dt
+	p.steps++
+	return p.observe(), -cost, p.steps >= p.MaxEpisodeSteps()
+}
+
+// --- CartPole ------------------------------------------------------------------
+
+// CartPole is the classic pole-balancing task with a discrete-ish action
+// (the sign of action[0] pushes the cart left or right). Reward is +1 per
+// step survived; the episode ends when the pole falls or the cart leaves the
+// track.
+type CartPole struct {
+	x, xDot, theta, thetaDot float64
+	steps                    int
+	rng                      *rand.Rand
+}
+
+// NewCartPole returns an unreset CartPole.
+func NewCartPole() *CartPole { return &CartPole{rng: rand.New(rand.NewSource(0))} }
+
+// Name implements Environment.
+func (c *CartPole) Name() string { return "cartpole" }
+
+// ObservationSize implements Environment.
+func (c *CartPole) ObservationSize() int { return 4 }
+
+// ActionSize implements Environment.
+func (c *CartPole) ActionSize() int { return 1 }
+
+// MaxEpisodeSteps implements Environment.
+func (c *CartPole) MaxEpisodeSteps() int { return 500 }
+
+// Reset implements Environment.
+func (c *CartPole) Reset(seed int64) []float64 {
+	c.rng = rand.New(rand.NewSource(seed))
+	c.x = c.rng.Float64()*0.1 - 0.05
+	c.xDot = c.rng.Float64()*0.1 - 0.05
+	c.theta = c.rng.Float64()*0.1 - 0.05
+	c.thetaDot = c.rng.Float64()*0.1 - 0.05
+	c.steps = 0
+	return c.observe()
+}
+
+func (c *CartPole) observe() []float64 {
+	return []float64{c.x, c.xDot, c.theta, c.thetaDot}
+}
+
+// Step implements Environment.
+func (c *CartPole) Step(action []float64) ([]float64, float64, bool) {
+	const (
+		gravity   = 9.8
+		massCart  = 1.0
+		massPole  = 0.1
+		totalMass = massCart + massPole
+		length    = 0.5
+		forceMag  = 10.0
+		dt        = 0.02
+	)
+	force := forceMag
+	if len(action) > 0 && action[0] < 0 {
+		force = -forceMag
+	}
+	cosTheta, sinTheta := math.Cos(c.theta), math.Sin(c.theta)
+	temp := (force + massPole*length*c.thetaDot*c.thetaDot*sinTheta) / totalMass
+	thetaAcc := (gravity*sinTheta - cosTheta*temp) /
+		(length * (4.0/3.0 - massPole*cosTheta*cosTheta/totalMass))
+	xAcc := temp - massPole*length*thetaAcc*cosTheta/totalMass
+
+	c.x += dt * c.xDot
+	c.xDot += dt * xAcc
+	c.theta += dt * c.thetaDot
+	c.thetaDot += dt * thetaAcc
+	c.steps++
+
+	done := c.x < -2.4 || c.x > 2.4 ||
+		c.theta < -12*math.Pi/180 || c.theta > 12*math.Pi/180 ||
+		c.steps >= c.MaxEpisodeSteps()
+	return c.observe(), 1, done
+}
+
+// --- HumanoidLike ----------------------------------------------------------------
+
+// HumanoidLike is a synthetic high-dimensional continuous-control task that
+// stands in for MuJoCo's Humanoid-v1 in the ES and PPO experiments. Its state
+// is a damped, driven linear system with 376 observation and 17 action
+// dimensions (Humanoid-v1's sizes); the reward favours actions aligned with a
+// hidden target direction while penalizing control effort, so a linear or MLP
+// policy can measurably improve with training — which is all the end-to-end
+// experiments need (they measure time to reach a score, not biomechanics).
+type HumanoidLike struct {
+	state  []float64
+	target []float64
+	steps  int
+	rng    *rand.Rand
+	// alive tracks a health scalar; the episode ends early when it drops
+	// below zero, giving variable-length episodes like the real task.
+	alive float64
+}
+
+// Humanoid-v1 dimensions.
+const (
+	humanoidObsSize    = 376
+	humanoidActionSize = 17
+)
+
+// NewHumanoidLike returns an unreset HumanoidLike environment.
+func NewHumanoidLike() *HumanoidLike {
+	return &HumanoidLike{rng: rand.New(rand.NewSource(0))}
+}
+
+// Name implements Environment.
+func (h *HumanoidLike) Name() string { return "humanoid-like" }
+
+// ObservationSize implements Environment.
+func (h *HumanoidLike) ObservationSize() int { return humanoidObsSize }
+
+// ActionSize implements Environment.
+func (h *HumanoidLike) ActionSize() int { return humanoidActionSize }
+
+// MaxEpisodeSteps implements Environment.
+func (h *HumanoidLike) MaxEpisodeSteps() int { return 1000 }
+
+// Reset implements Environment.
+func (h *HumanoidLike) Reset(seed int64) []float64 {
+	h.rng = rand.New(rand.NewSource(seed))
+	h.state = make([]float64, humanoidObsSize)
+	for i := range h.state {
+		h.state[i] = h.rng.NormFloat64() * 0.1
+	}
+	// The first observation component is a constant bias feature so linear
+	// policies can express constant action offsets (MuJoCo observations
+	// likewise contain near-constant components such as torso height).
+	h.state[0] = 1
+	h.target = make([]float64, humanoidActionSize)
+	for i := range h.target {
+		// The hidden target is deterministic (not seed-dependent) so every
+		// rollout improves the same objective.
+		h.target[i] = math.Sin(float64(i) * 0.7)
+	}
+	h.steps = 0
+	// The health budget varies widely by seed so episode lengths vary between
+	// rollouts even under the same policy — the 10-to-1000-step heterogeneity
+	// that Table 4 and the ES/PPO experiments rely on.
+	h.alive = 0.1 + h.rng.Float64()*0.9
+	return append([]float64(nil), h.state...)
+}
+
+// Step implements Environment.
+func (h *HumanoidLike) Step(action []float64) ([]float64, float64, bool) {
+	if h.state == nil {
+		h.Reset(0)
+	}
+	// Reward: alignment with the hidden target minus control cost, plus an
+	// alive bonus (the shape of Humanoid's reward: forward progress + alive
+	// bonus - control cost).
+	var align, effort float64
+	for i := 0; i < humanoidActionSize; i++ {
+		a := 0.0
+		if i < len(action) {
+			a = clamp(action[i], -1, 1)
+		}
+		align += a * h.target[i]
+		effort += a * a
+	}
+	reward := 5.0 + 2.0*align - 0.5*effort
+
+	// Damped linear dynamics driven by the action and a little noise. The
+	// bias feature at index 0 stays constant.
+	for i := 1; i < len(h.state); i++ {
+		drive := 0.0
+		if j := i % humanoidActionSize; j < len(action) {
+			drive = clamp(action[j], -1, 1)
+		}
+		h.state[i] = 0.95*h.state[i] + 0.05*drive + h.rng.NormFloat64()*0.01
+	}
+	// Health decays faster when the policy is badly misaligned, ending the
+	// episode early (variable-length rollouts).
+	h.alive -= 0.001 + math.Max(0, -align)*0.01
+	h.steps++
+	done := h.steps >= h.MaxEpisodeSteps() || h.alive <= 0
+	return append([]float64(nil), h.state...), reward, done
+}
+
+// SolvedScore is the episode return treated as "solved" for HumanoidLike,
+// standing in for the paper's score of 6000 on Humanoid-v1.
+const SolvedScore = 6000.0
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func normalizeAngle(theta float64) float64 {
+	for theta > math.Pi {
+		theta -= 2 * math.Pi
+	}
+	for theta < -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}

@@ -1,0 +1,212 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ray/internal/types"
+)
+
+// EdgeKind labels the three edge types in Ray's computation graph
+// (paper Section 3.2 and Figure 4).
+type EdgeKind uint8
+
+const (
+	// DataEdge connects a task to an object it produces, or an object to a
+	// task that consumes it.
+	DataEdge EdgeKind = iota
+	// ControlEdge connects a task to the nested tasks it submits.
+	ControlEdge
+	// StatefulEdge connects consecutive method invocations on the same actor,
+	// capturing the implicit dependency through the actor's internal state.
+	StatefulEdge
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case DataEdge:
+		return "data"
+	case ControlEdge:
+		return "control"
+	case StatefulEdge:
+		return "stateful"
+	default:
+		return "unknown"
+	}
+}
+
+// Edge is a directed edge in the computation graph. Exactly one of the
+// object/task endpoints is set on each side depending on the edge kind.
+type Edge struct {
+	Kind EdgeKind
+	// FromTask / ToTask are set for control and stateful edges and for the
+	// task side of data edges.
+	FromTask types.TaskID
+	ToTask   types.TaskID
+	// FromObject / ToObject are set for the object side of data edges.
+	FromObject types.ObjectID
+	ToObject   types.ObjectID
+}
+
+// Graph is an in-memory dynamic task graph. The driver and the debugging
+// tools build it incrementally as tasks are submitted; it also powers the
+// lineage unit tests. It is safe for concurrent use.
+type Graph struct {
+	mu sync.RWMutex
+	// tasks maps every known task to its spec.
+	tasks map[types.TaskID]*Spec
+	// producer maps an object to the task that creates it.
+	producer map[types.ObjectID]types.TaskID
+	// consumers maps an object to tasks that take it as an argument.
+	consumers map[types.ObjectID][]types.TaskID
+	// children maps a task to the tasks it submitted (control edges).
+	children map[types.TaskID][]types.TaskID
+	// actorChains maps an actor to its ordered method task chain.
+	actorChains map[types.ActorID][]types.TaskID
+}
+
+// NewGraph returns an empty computation graph.
+func NewGraph() *Graph {
+	return &Graph{
+		tasks:       make(map[types.TaskID]*Spec),
+		producer:    make(map[types.ObjectID]types.TaskID),
+		consumers:   make(map[types.ObjectID][]types.TaskID),
+		children:    make(map[types.TaskID][]types.TaskID),
+		actorChains: make(map[types.ActorID][]types.TaskID),
+	}
+}
+
+// AddTask inserts a task spec and derives its edges. Adding the same task
+// twice is an error (task IDs are unique).
+func (g *Graph) AddTask(s *Spec) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.tasks[s.ID]; ok {
+		return fmt.Errorf("task: duplicate task %s in graph", s.ID)
+	}
+	g.tasks[s.ID] = s
+	for _, out := range s.Returns() {
+		g.producer[out] = s.ID
+	}
+	for _, dep := range s.Dependencies() {
+		g.consumers[dep] = append(g.consumers[dep], s.ID)
+	}
+	if !s.ParentTask.IsNil() {
+		g.children[s.ParentTask] = append(g.children[s.ParentTask], s.ID)
+	}
+	if s.IsActorTask() && !s.ActorCreation {
+		g.actorChains[s.ActorID] = append(g.actorChains[s.ActorID], s.ID)
+	}
+	return nil
+}
+
+// Task returns the spec for a task ID.
+func (g *Graph) Task(id types.TaskID) (*Spec, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok := g.tasks[id]
+	return s, ok
+}
+
+// Producer returns the task that creates the given object.
+func (g *Graph) Producer(obj types.ObjectID) (types.TaskID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	t, ok := g.producer[obj]
+	return t, ok
+}
+
+// Consumers returns the tasks that consume the given object.
+func (g *Graph) Consumers(obj types.ObjectID) []types.TaskID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]types.TaskID, len(g.consumers[obj]))
+	copy(out, g.consumers[obj])
+	return out
+}
+
+// Children returns the tasks submitted by the given task (control edges).
+func (g *Graph) Children(id types.TaskID) []types.TaskID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]types.TaskID, len(g.children[id]))
+	copy(out, g.children[id])
+	return out
+}
+
+// ActorChain returns the ordered method invocation chain for an actor
+// (its stateful edges), sorted by actor counter.
+func (g *Graph) ActorChain(actor types.ActorID) []types.TaskID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	chain := make([]types.TaskID, len(g.actorChains[actor]))
+	copy(chain, g.actorChains[actor])
+	sort.Slice(chain, func(i, j int) bool {
+		return g.tasks[chain[i]].ActorCounter < g.tasks[chain[j]].ActorCounter
+	})
+	return chain
+}
+
+// Edges enumerates every edge in the graph. Intended for visualization and
+// tests rather than hot paths.
+func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var edges []Edge
+	for id, s := range g.tasks {
+		for _, out := range s.Returns() {
+			edges = append(edges, Edge{Kind: DataEdge, FromTask: id, ToObject: out})
+		}
+		for _, dep := range s.Dependencies() {
+			edges = append(edges, Edge{Kind: DataEdge, FromObject: dep, ToTask: id})
+		}
+		if !s.ParentTask.IsNil() {
+			if _, ok := g.tasks[s.ParentTask]; ok {
+				edges = append(edges, Edge{Kind: ControlEdge, FromTask: s.ParentTask, ToTask: id})
+			}
+		}
+		if !s.PreviousActorTask.IsNil() {
+			edges = append(edges, Edge{Kind: StatefulEdge, FromTask: s.PreviousActorTask, ToTask: id})
+		}
+	}
+	return edges
+}
+
+// Len returns the number of tasks in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.tasks)
+}
+
+// TransitiveDependencies returns every object that the given object depends
+// on, directly or transitively, through its producing task's arguments. This
+// is the set lineage reconstruction must consider when replaying a lost
+// object; it is exported for tests and the debugging tools.
+func (g *Graph) TransitiveDependencies(obj types.ObjectID) []types.ObjectID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[types.ObjectID]bool)
+	var visit func(o types.ObjectID)
+	visit = func(o types.ObjectID) {
+		producer, ok := g.producer[o]
+		if !ok {
+			return
+		}
+		spec := g.tasks[producer]
+		for _, dep := range spec.Dependencies() {
+			if !seen[dep] {
+				seen[dep] = true
+				visit(dep)
+			}
+		}
+	}
+	visit(obj)
+	out := make([]types.ObjectID, 0, len(seen))
+	for o := range seen {
+		out = append(out, o)
+	}
+	return out
+}

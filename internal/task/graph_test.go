@@ -1,0 +1,163 @@
+package task
+
+import (
+	"testing"
+
+	"ray/internal/types"
+)
+
+// buildTrainPolicyGraph mirrors the paper's Figure 4: a driver task
+// (train_policy) creates a policy, two simulator actors, and alternates
+// rollouts and policy updates.
+func buildTrainPolicyGraph(t *testing.T) (*Graph, map[string]*Spec) {
+	t.Helper()
+	g := NewGraph()
+	specs := make(map[string]*Spec)
+	driver := types.NewDriverID()
+
+	add := func(name string, s *Spec) *Spec {
+		s.Driver = driver
+		specs[name] = s
+		if err := g.AddTask(s); err != nil {
+			t.Fatalf("add %s: %v", name, err)
+		}
+		return s
+	}
+
+	t0 := add("train_policy", &Spec{ID: types.NewTaskID(), Function: "train_policy", NumReturns: 1})
+	t1 := add("create_policy", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "create_policy", NumReturns: 1})
+	policy1 := t1.Returns()[0]
+
+	actor1, actor2 := types.NewActorID(), types.NewActorID()
+	a10 := add("sim1_create", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "Simulator", ActorID: actor1, ActorCreation: true, NumReturns: 1})
+	a20 := add("sim2_create", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "Simulator", ActorID: actor2, ActorCreation: true, NumReturns: 1})
+
+	a11 := add("rollout11", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "rollout",
+		Args: []Arg{RefArg(policy1)}, NumReturns: 1, ActorID: actor1, ActorCounter: 1, PreviousActorTask: a10.ID})
+	a21 := add("rollout21", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "rollout",
+		Args: []Arg{RefArg(policy1)}, NumReturns: 1, ActorID: actor2, ActorCounter: 1, PreviousActorTask: a20.ID})
+
+	t2 := add("update_policy1", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "update_policy",
+		Args: []Arg{RefArg(policy1), RefArg(a11.Returns()[0]), RefArg(a21.Returns()[0])}, NumReturns: 1})
+	policy2 := t2.Returns()[0]
+
+	a12 := add("rollout12", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "rollout",
+		Args: []Arg{RefArg(policy2)}, NumReturns: 1, ActorID: actor1, ActorCounter: 2, PreviousActorTask: a11.ID})
+	a22 := add("rollout22", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "rollout",
+		Args: []Arg{RefArg(policy2)}, NumReturns: 1, ActorID: actor2, ActorCounter: 2, PreviousActorTask: a21.ID})
+
+	add("update_policy2", &Spec{ID: types.NewTaskID(), ParentTask: t0.ID, Function: "update_policy",
+		Args: []Arg{RefArg(policy2), RefArg(a12.Returns()[0]), RefArg(a22.Returns()[0])}, NumReturns: 1})
+
+	return g, specs
+}
+
+func TestGraphFigure4Structure(t *testing.T) {
+	g, specs := buildTrainPolicyGraph(t)
+	if g.Len() != 10 {
+		t.Fatalf("expected 10 tasks, got %d", g.Len())
+	}
+	// Control edges: train_policy submitted everything else.
+	// create_policy, 2 actor creations, 4 rollouts, 2 updates.
+	children := g.Children(specs["train_policy"].ID)
+	if len(children) != 8+1 {
+		t.Fatalf("expected 9 children of train_policy, got %d", len(children))
+	}
+	// Data edges: update_policy1 consumes policy1 and both rollouts.
+	policy1 := specs["create_policy"].Returns()[0]
+	consumers := g.Consumers(policy1)
+	if len(consumers) != 3 { // two rollouts + update_policy1
+		t.Fatalf("expected 3 consumers of policy1, got %d", len(consumers))
+	}
+	// Producer lookups.
+	if p, ok := g.Producer(policy1); !ok || p != specs["create_policy"].ID {
+		t.Fatal("wrong producer for policy1")
+	}
+	if _, ok := g.Producer(types.NewObjectID()); ok {
+		t.Fatal("unknown object must have no producer")
+	}
+	if _, ok := g.Task(specs["rollout11"].ID); !ok {
+		t.Fatal("task lookup failed")
+	}
+	if _, ok := g.Task(types.NewTaskID()); ok {
+		t.Fatal("unknown task lookup must fail")
+	}
+}
+
+func TestGraphStatefulEdges(t *testing.T) {
+	g, specs := buildTrainPolicyGraph(t)
+	actor := specs["rollout11"].ActorID
+	chain := g.ActorChain(actor)
+	if len(chain) != 2 {
+		t.Fatalf("expected actor chain of length 2, got %d", len(chain))
+	}
+	if chain[0] != specs["rollout11"].ID || chain[1] != specs["rollout12"].ID {
+		t.Fatal("actor chain not in counter order")
+	}
+	// Count edge kinds.
+	var data, control, stateful int
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case DataEdge:
+			data++
+		case ControlEdge:
+			control++
+		case StatefulEdge:
+			stateful++
+		}
+		if e.Kind.String() == "unknown" {
+			t.Fatal("edge kind string unknown")
+		}
+	}
+	if control != 9 {
+		t.Fatalf("expected 9 control edges, got %d", control)
+	}
+	if stateful != 4 { // 2 actors × (create→m1, m1→m2)
+		t.Fatalf("expected 4 stateful edges, got %d", stateful)
+	}
+	if data == 0 {
+		t.Fatal("expected data edges")
+	}
+	if EdgeKind(99).String() != "unknown" {
+		t.Fatal("unknown edge kind string")
+	}
+}
+
+func TestGraphDuplicateTaskRejected(t *testing.T) {
+	g := NewGraph()
+	s := &Spec{ID: types.NewTaskID(), Function: "f", NumReturns: 1}
+	if err := g.AddTask(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTask(s); err == nil {
+		t.Fatal("duplicate task must be rejected")
+	}
+}
+
+func TestTransitiveDependencies(t *testing.T) {
+	g, specs := buildTrainPolicyGraph(t)
+	// The final policy object depends transitively on policy1, policy2, and
+	// all four rollouts.
+	final := specs["update_policy2"].Returns()[0]
+	deps := g.TransitiveDependencies(final)
+	want := map[types.ObjectID]bool{
+		specs["create_policy"].Returns()[0]:  true,
+		specs["update_policy1"].Returns()[0]: true,
+		specs["rollout11"].Returns()[0]:      true,
+		specs["rollout21"].Returns()[0]:      true,
+		specs["rollout12"].Returns()[0]:      true,
+		specs["rollout22"].Returns()[0]:      true,
+	}
+	if len(deps) != len(want) {
+		t.Fatalf("expected %d transitive deps, got %d", len(want), len(deps))
+	}
+	for _, d := range deps {
+		if !want[d] {
+			t.Fatalf("unexpected dependency %v", d)
+		}
+	}
+	// An object with no producer has no dependencies.
+	if len(g.TransitiveDependencies(types.NewObjectID())) != 0 {
+		t.Fatal("unknown object must have no transitive deps")
+	}
+}

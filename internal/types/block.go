@@ -1,0 +1,29 @@
+package types
+
+import "context"
+
+// BlockHooks let the component that holds a task's resources (the local
+// scheduler) learn when the task blocks on a Get/Wait so it can release the
+// task's CPUs while it sleeps and re-acquire them on wake-up. This mirrors
+// Ray's behaviour for nested remote calls: without it, a tree of tasks that
+// each hold a CPU while blocked on their children would deadlock the node.
+type BlockHooks struct {
+	// OnBlock is called immediately before the task blocks.
+	OnBlock func()
+	// OnUnblock is called after the task unblocks, before it resumes work.
+	// It may itself block until the task's resources are available again.
+	OnUnblock func()
+}
+
+type blockHooksKey struct{}
+
+// WithBlockHooks attaches block hooks to a context.
+func WithBlockHooks(ctx context.Context, hooks BlockHooks) context.Context {
+	return context.WithValue(ctx, blockHooksKey{}, hooks)
+}
+
+// BlockHooksFrom extracts block hooks from a context, if present.
+func BlockHooksFrom(ctx context.Context) (BlockHooks, bool) {
+	hooks, ok := ctx.Value(blockHooksKey{}).(BlockHooks)
+	return hooks, ok
+}

@@ -1,0 +1,188 @@
+package types
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestIDGeneratorUnique(t *testing.T) {
+	g := NewIDGenerator(7)
+	seen := make(map[ObjectID]bool)
+	for i := 0; i < 10000; i++ {
+		id := g.NextObjectID()
+		if seen[id] {
+			t.Fatalf("duplicate id %v after %d ids", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIDGeneratorConcurrent(t *testing.T) {
+	g := NewIDGenerator(1)
+	const goroutines = 16
+	const perG = 1000
+	var mu sync.Mutex
+	seen := make(map[TaskID]bool)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]TaskID, 0, perG)
+			for j := 0; j < perG; j++ {
+				local = append(local, g.NextTaskID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate id %v", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != goroutines*perG {
+		t.Fatalf("expected %d unique ids, got %d", goroutines*perG, len(seen))
+	}
+}
+
+func TestDistinctOriginsNeverCollide(t *testing.T) {
+	a := NewIDGenerator(1)
+	b := NewIDGenerator(2)
+	seen := make(map[ObjectID]bool)
+	for i := 0; i < 1000; i++ {
+		ida, idb := a.NextObjectID(), b.NextObjectID()
+		if seen[ida] || seen[idb] || ida == idb {
+			t.Fatalf("collision between origins at %d", i)
+		}
+		seen[ida], seen[idb] = true, true
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	f := func(origin uint64, n uint16) bool {
+		g := NewIDGenerator(origin)
+		for i := 0; i < int(n%32)+1; i++ {
+			id := g.NextObjectID()
+			back, err := ObjectIDFromHex(id.Hex())
+			if err != nil || back != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectIDFromHexErrors(t *testing.T) {
+	if _, err := ObjectIDFromHex("zz"); err == nil {
+		t.Fatal("expected error for non-hex input")
+	}
+	if _, err := ObjectIDFromHex("abcd"); err == nil {
+		t.Fatal("expected error for short input")
+	}
+}
+
+func TestNilChecks(t *testing.T) {
+	if !NilObjectID.IsNil() || !NilTaskID.IsNil() || !NilActorID.IsNil() ||
+		!NilNodeID.IsNil() || !NilDriverID.IsNil() || !NilWorkerID.IsNil() {
+		t.Fatal("zero values must report IsNil")
+	}
+	if NewObjectID().IsNil() || NewTaskID().IsNil() || NewNodeID().IsNil() {
+		t.Fatal("generated IDs must not be nil")
+	}
+}
+
+func TestShardIndexInRange(t *testing.T) {
+	f := func(counter uint64, n uint8) bool {
+		shards := int(n%16) + 1
+		var id UniqueID
+		binary.BigEndian.PutUint64(id[8:], counter)
+		idx := ShardIndex(id, shards)
+		return idx >= 0 && idx < shards
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardIndexSingleShard(t *testing.T) {
+	if got := ShardIndex(UniqueID(NewObjectID()), 1); got != 0 {
+		t.Fatalf("single shard must map to 0, got %d", got)
+	}
+	if got := ShardIndex(UniqueID(NewObjectID()), 0); got != 0 {
+		t.Fatalf("zero shards must map to 0, got %d", got)
+	}
+}
+
+func TestShardingSpreadsSingleOrigin(t *testing.T) {
+	g := NewIDGenerator(42)
+	const shards = 8
+	counts := make([]int, shards)
+	for i := 0; i < 8000; i++ {
+		counts[g.NextTaskID().Shard(shards)]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no ids: sharding must not depend only on origin", s)
+		}
+	}
+}
+
+func TestReturnObjectIDDeterministic(t *testing.T) {
+	task := NewTaskID()
+	if ReturnObjectID(task, 0) != ReturnObjectID(task, 0) {
+		t.Fatal("return object ids must be deterministic")
+	}
+	if ReturnObjectID(task, 0) == ReturnObjectID(task, 1) {
+		t.Fatal("distinct return indices must give distinct ids")
+	}
+	other := NewTaskID()
+	if ReturnObjectID(task, 0) == ReturnObjectID(other, 0) {
+		t.Fatal("distinct tasks must give distinct return ids")
+	}
+}
+
+func TestReturnAndPutNamespacesDisjoint(t *testing.T) {
+	f := func(a, b uint64, i uint8) bool {
+		g := NewIDGenerator(a ^ b)
+		task := g.NextTaskID()
+		n := int(i%4) + 1
+		for r := 0; r < n; r++ {
+			for p := 0; p < n; p++ {
+				if ReturnObjectID(task, r) == PutObjectID(task, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	id := NewObjectID()
+	if id.String() == "" || id.Hex() == "" {
+		t.Fatal("string forms must be non-empty")
+	}
+	if len(id.Hex()) != 2*IDSize {
+		t.Fatalf("hex length %d, want %d", len(id.Hex()), 2*IDSize)
+	}
+	// Exercise Stringer on all typed IDs.
+	_ = NewTaskID().String()
+	_ = NewActorID().String()
+	_ = NewNodeID().String()
+	_ = NewDriverID().String()
+	_ = NewWorkerID().String()
+	_ = NewTaskID().Hex()
+	_ = NewActorID().Hex()
+	_ = NewNodeID().Hex()
+}

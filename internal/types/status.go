@@ -1,0 +1,102 @@
+package types
+
+// TaskStatus tracks a task through its lifecycle. Status transitions are
+// recorded in the GCS task table and drive both scheduling and lineage-based
+// reconstruction.
+type TaskStatus int
+
+// Task lifecycle states.
+const (
+	// TaskPending means the task has been created but not yet placed.
+	TaskPending TaskStatus = iota
+	// TaskWaiting means the task is queued on a node waiting for its inputs.
+	TaskWaiting
+	// TaskReady means all inputs are local and the task awaits a free worker.
+	TaskReady
+	// TaskRunning means a worker is executing the task.
+	TaskRunning
+	// TaskFinished means the task completed and its outputs were stored.
+	TaskFinished
+	// TaskLost means the node executing the task failed before completion.
+	TaskLost
+	// TaskFailed means the task raised an application error.
+	TaskFailed
+)
+
+// String implements fmt.Stringer.
+func (s TaskStatus) String() string {
+	switch s {
+	case TaskPending:
+		return "PENDING"
+	case TaskWaiting:
+		return "WAITING"
+	case TaskReady:
+		return "READY"
+	case TaskRunning:
+		return "RUNNING"
+	case TaskFinished:
+		return "FINISHED"
+	case TaskLost:
+		return "LOST"
+	case TaskFailed:
+		return "FAILED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Terminal reports whether the status is a terminal state.
+func (s TaskStatus) Terminal() bool {
+	return s == TaskFinished || s == TaskFailed
+}
+
+// ActorState tracks an actor's lifecycle in the GCS actor table.
+type ActorState int
+
+// Actor lifecycle states.
+const (
+	// ActorPending means the actor creation task has not yet run.
+	ActorPending ActorState = iota
+	// ActorAlive means the actor process is running on some node.
+	ActorAlive
+	// ActorReconstructing means the actor's node failed and the actor is
+	// being recreated (replaying methods from its last checkpoint).
+	ActorReconstructing
+	// ActorDead means the actor is permanently gone.
+	ActorDead
+)
+
+// String implements fmt.Stringer.
+func (s ActorState) String() string {
+	switch s {
+	case ActorPending:
+		return "PENDING"
+	case ActorAlive:
+		return "ALIVE"
+	case ActorReconstructing:
+		return "RECONSTRUCTING"
+	case ActorDead:
+		return "DEAD"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// NodeState tracks cluster membership in the GCS node table.
+type NodeState int
+
+// Node lifecycle states.
+const (
+	// NodeAlive means the node heartbeats are current.
+	NodeAlive NodeState = iota
+	// NodeDead means the node was removed (failure or decommission).
+	NodeDead
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	if s == NodeAlive {
+		return "ALIVE"
+	}
+	return "DEAD"
+}

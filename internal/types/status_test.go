@@ -1,0 +1,71 @@
+package types
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTaskStatusString(t *testing.T) {
+	cases := map[TaskStatus]string{
+		TaskPending:     "PENDING",
+		TaskWaiting:     "WAITING",
+		TaskReady:       "READY",
+		TaskRunning:     "RUNNING",
+		TaskFinished:    "FINISHED",
+		TaskLost:        "LOST",
+		TaskFailed:      "FAILED",
+		TaskStatus(999): "UNKNOWN",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("status %d: got %q want %q", s, got, want)
+		}
+	}
+}
+
+func TestTaskStatusTerminal(t *testing.T) {
+	if TaskPending.Terminal() || TaskRunning.Terminal() || TaskLost.Terminal() {
+		t.Fatal("non-terminal states reported terminal")
+	}
+	if !TaskFinished.Terminal() || !TaskFailed.Terminal() {
+		t.Fatal("terminal states not reported terminal")
+	}
+}
+
+func TestActorAndNodeStateStrings(t *testing.T) {
+	if ActorAlive.String() != "ALIVE" || ActorDead.String() != "DEAD" ||
+		ActorPending.String() != "PENDING" || ActorReconstructing.String() != "RECONSTRUCTING" ||
+		ActorState(99).String() != "UNKNOWN" {
+		t.Fatal("actor state strings wrong")
+	}
+	if NodeAlive.String() != "ALIVE" || NodeDead.String() != "DEAD" {
+		t.Fatal("node state strings wrong")
+	}
+}
+
+func TestTaskErrorWraps(t *testing.T) {
+	te := &TaskError{TaskID: NewTaskID(), Message: "boom"}
+	if te.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	var wrapped error = te
+	var target *TaskError
+	if !errors.As(wrapped, &target) {
+		t.Fatal("errors.As failed for TaskError")
+	}
+}
+
+func TestSentinelErrorsDistinct(t *testing.T) {
+	sentinels := []error{
+		ErrObjectNotFound, ErrObjectLost, ErrTaskNotFound, ErrActorNotFound,
+		ErrActorDead, ErrNodeNotFound, ErrNodeDead, ErrFunctionNotFound,
+		ErrTimeout, ErrStoreFull, ErrShutdown, ErrNoResources, ErrWorkerCrashed,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("sentinel %d and %d are not distinct", i, j)
+			}
+		}
+	}
+}

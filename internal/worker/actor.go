@@ -1,0 +1,105 @@
+package worker
+
+import (
+	"fmt"
+	"sync"
+
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+// actorProcess is a live actor on a node: the user's instance plus the
+// bookkeeping that enforces serial, per-handle-ordered method execution
+// (the stateful edges of the computation graph).
+type actorProcess struct {
+	id       types.ActorID
+	class    string
+	creation types.TaskID
+	instance ActorInstance
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// executed records the task IDs of methods this instance has run, used to
+	// honour the stateful-edge ordering of each handle's call chain.
+	executed map[types.TaskID]bool
+	// baseCounter is the actor counter the instance started from: 0 for a
+	// fresh actor, or the checkpoint counter after a restore.
+	baseCounter int64
+	// executedCount is the number of methods run by this instance.
+	executedCount int64
+	// dead marks an actor that has been stopped; queued methods fail.
+	dead bool
+}
+
+func newActorProcess(id types.ActorID, class string, creation types.TaskID, instance ActorInstance) *actorProcess {
+	p := &actorProcess{
+		id:       id,
+		class:    class,
+		creation: creation,
+		instance: instance,
+		executed: make(map[types.TaskID]bool),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// canRunLocked reports whether a method task's stateful-edge predecessor has
+// been satisfied. Caller holds p.mu.
+func (p *actorProcess) canRunLocked(spec *task.Spec) bool {
+	if spec.PreviousActorTask == p.creation || spec.PreviousActorTask.IsNil() {
+		return true
+	}
+	if p.executed[spec.PreviousActorTask] {
+		return true
+	}
+	// A handle created before a checkpoint restore refers to predecessors the
+	// new instance never ran; its next call is admitted by counter position.
+	return spec.ActorCounter <= p.baseCounter+1
+}
+
+// run executes one method invocation, blocking until its stateful-edge
+// predecessor has executed, then holding the actor's lock for the duration of
+// the call (methods execute serially).
+func (p *actorProcess) run(ctx *TaskContext, spec *task.Spec, args [][]byte) ([][]byte, error) {
+	p.mu.Lock()
+	for !p.canRunLocked(spec) && !p.dead {
+		p.cond.Wait()
+	}
+	if p.dead {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("worker: actor %s: %w", p.id, types.ErrActorDead)
+	}
+	// Execute while holding the lock: actor methods are serial by definition.
+	outs, err := p.instance.Call(ctx, spec.Function, args)
+	p.executed[spec.ID] = true
+	p.executedCount++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return outs, err
+}
+
+// markRestored records that the instance's state corresponds to the given
+// actor counter (after Restore from a checkpoint).
+func (p *actorProcess) markRestored(counter int64) {
+	p.mu.Lock()
+	p.baseCounter = counter
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// stop marks the actor dead and wakes any waiting method calls so they can
+// fail fast.
+func (p *actorProcess) stop() {
+	p.mu.Lock()
+	p.dead = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// methodsExecuted returns how many methods the instance has run (used by
+// tests and the checkpointing policy).
+func (p *actorProcess) methodsExecuted() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.executedCount
+}

@@ -1,0 +1,147 @@
+// Package worker implements Ray's application-layer processes (paper
+// Section 4.1): stateless workers that execute remote functions, and stateful
+// actor processes that execute methods serially against private state. It
+// also houses the function/actor-class registry — the Go analogue of the
+// paper's "remote functions are automatically published to all workers".
+package worker
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+// Function is a registered remote function. It receives the serialized
+// argument values in call order and returns the serialized outputs, one per
+// declared return. Returning an error marks every output of the task as an
+// error object, which consumers re-raise at Get (exactly the paper's
+// semantics for application failures).
+type Function func(ctx *TaskContext, args [][]byte) ([][]byte, error)
+
+// ActorInstance is a live actor: private state plus methods invoked serially.
+type ActorInstance interface {
+	// Call invokes the named method with serialized arguments and returns
+	// serialized outputs.
+	Call(ctx *TaskContext, method string, args [][]byte) ([][]byte, error)
+}
+
+// Checkpointable is implemented by actor instances that support user-defined
+// checkpoints, bounding reconstruction time after a failure (paper
+// Section 5.1, "Recovering from actor failures").
+type Checkpointable interface {
+	// Checkpoint serializes the actor's private state.
+	Checkpoint() ([]byte, error)
+	// Restore replaces the actor's private state from a checkpoint.
+	Restore(data []byte) error
+}
+
+// ActorConstructor builds a fresh actor instance (the body of the actor
+// creation task).
+type ActorConstructor func(ctx *TaskContext, args [][]byte) (ActorInstance, error)
+
+// Registry maps names to remote functions and actor classes. A single
+// registry is shared by every node in an in-process cluster, mirroring the
+// paper's behaviour of publishing each definition to all workers via the GCS
+// function table.
+type Registry struct {
+	mu        sync.RWMutex
+	functions map[string]Function
+	actors    map[string]ActorConstructor
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		functions: make(map[string]Function),
+		actors:    make(map[string]ActorConstructor),
+	}
+}
+
+// Register adds a remote function under name. Re-registering a name replaces
+// the previous definition (useful in tests); registering an empty name or nil
+// function is an error.
+func (r *Registry) Register(name string, fn Function) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("worker: invalid function registration %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.functions[name] = fn
+	return nil
+}
+
+// RegisterActor adds an actor class under name.
+func (r *Registry) RegisterActor(name string, ctor ActorConstructor) error {
+	if name == "" || ctor == nil {
+		return fmt.Errorf("worker: invalid actor registration %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.actors[name] = ctor
+	return nil
+}
+
+// Function looks up a remote function.
+func (r *Registry) Function(name string) (Function, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.functions[name]
+	if !ok {
+		return nil, fmt.Errorf("worker: function %q: %w", name, types.ErrFunctionNotFound)
+	}
+	return fn, nil
+}
+
+// ActorClass looks up an actor constructor.
+func (r *Registry) ActorClass(name string) (ActorConstructor, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ctor, ok := r.actors[name]
+	if !ok {
+		return nil, fmt.Errorf("worker: actor class %q: %w", name, types.ErrFunctionNotFound)
+	}
+	return ctor, nil
+}
+
+// Names returns all registered function and actor class names, sorted (for
+// the debugging tools).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.functions)+len(r.actors))
+	for n := range r.functions {
+		out = append(out, n)
+	}
+	for n := range r.actors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runtime is the cluster API surface available to code running inside a task
+// or actor method: nested remote calls, object reads, and explicit puts. The
+// node runtime implements it; the driver-facing API in internal/core exposes
+// the same operations to the user program.
+type Runtime interface {
+	// SubmitSpec submits a fully formed task spec for execution somewhere in
+	// the cluster and returns immediately (the result is the spec's return
+	// objects).
+	SubmitSpec(ctx context.Context, spec *task.Spec) error
+	// FetchObject blocks until the object is available locally and returns
+	// its payload. isError reports whether the payload is a serialized
+	// application error.
+	FetchObject(ctx context.Context, id types.ObjectID) (data []byte, isError bool, err error)
+	// StoreObject writes a payload into the local object store and registers
+	// it with the GCS.
+	StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error
+	// WaitObjects blocks until at least k of the given objects are available
+	// anywhere in the cluster or the timeout expires, returning the ready set.
+	WaitObjects(ctx context.Context, ids []types.ObjectID, k int, timeoutMillis int64) ([]types.ObjectID, error)
+	// NodeID identifies the node this runtime belongs to.
+	NodeID() types.NodeID
+}
