@@ -36,6 +36,10 @@ func BenchmarkFig8aLocality(b *testing.B) { runExperiment(b, bench.Fig8aLocality
 // BenchmarkFig8bScalability regenerates Figure 8b (task throughput scaling).
 func BenchmarkFig8bScalability(b *testing.B) { runExperiment(b, bench.Fig8bScalability) }
 
+// BenchmarkThroughputBatched measures the batched GCS + scheduler hot path
+// against the synchronous per-task baseline.
+func BenchmarkThroughputBatched(b *testing.B) { runExperiment(b, bench.ThroughputBatched) }
+
 // BenchmarkFig9ObjectStore regenerates Figure 9 (object store throughput/IOPS).
 func BenchmarkFig9ObjectStore(b *testing.B) { runExperiment(b, bench.Fig9ObjectStore) }
 

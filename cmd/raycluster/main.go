@@ -23,6 +23,7 @@ func main() {
 	cpus := flag.Float64("cpus", 4, "CPUs per node")
 	tasks := flag.Int("tasks", 200, "number of tasks to run")
 	kill := flag.Int("kill", 1, "number of nodes to kill mid-run")
+	batched := flag.Bool("batched", false, "enable the batched control plane (GCS write batching + coalesced heartbeats)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -31,6 +32,8 @@ func main() {
 	cfg.CPUsPerNode = *cpus
 	cfg.SpilloverThreshold = 4
 	cfg.CheckpointInterval = 10
+	cfg.GCSBatchWrites = *batched
+	cfg.CoalesceHeartbeats = *batched
 	rt, err := core.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module ray
+
+go 1.24

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseCell parses a numeric table cell rendered by f().
+func parseCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+// TestFig8bScalabilitySmoke exercises the 1.4k-line harness end to end at
+// Quick scale: build clusters, drive per-node submitters, render the table.
+func TestFig8bScalabilitySmoke(t *testing.T) {
+	table, err := Fig8bScalability(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("Fig8b Quick produced %d rows, want 3 (1/2/4 nodes)", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if tp := parseCell(t, row[2]); tp <= 0 {
+			t.Fatalf("non-positive throughput in row %v", row)
+		}
+	}
+	if !strings.Contains(table.String(), "tasks/sec") {
+		t.Fatal("rendered table missing header")
+	}
+}
+
+// TestThroughputBatchedBeatsBaseline is the acceptance check for the batched
+// control-plane hot path: at Quick scale, batched GCS writes + coalesced
+// heartbeats + slot-pool dispatch must deliver more tasks/sec than the
+// synchronous per-task baseline on the same hardware. One retry absorbs
+// scheduler noise on loaded CI machines.
+func TestThroughputBatchedBeatsBaseline(t *testing.T) {
+	const attempts = 3
+	var lastRatio float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		table, err := ThroughputBatched(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(table.Rows) != 2 {
+			t.Fatalf("expected unbatched+batched rows, got %v", table.Rows)
+		}
+		unbatched := parseCell(t, table.Rows[0][2])
+		batched := parseCell(t, table.Rows[1][2])
+		lastRatio = batched / unbatched
+		if batched > unbatched {
+			t.Logf("batched %.0f tasks/sec vs unbatched %.0f (%.2fx)", batched, unbatched, lastRatio)
+			return
+		}
+		t.Logf("attempt %d: batched %.0f <= unbatched %.0f, retrying", attempt, batched, unbatched)
+	}
+	t.Fatalf("batched hot path never beat the baseline (last ratio %.2fx)", lastRatio)
+}

@@ -152,13 +152,22 @@ func (c *Chain) Reconfigurations() int64 { return c.reconfigurations.Load() }
 // failure to the master, waits for reconfiguration, and retries, so callers
 // see increased latency rather than an error (unless every replica is gone).
 func (c *Chain) Put(ctx context.Context, key string, value []byte) error {
+	return c.writeWithRepair(ctx, fmt.Sprintf("put %q", key), func(ctx context.Context) error {
+		return c.tryPut(ctx, key, value)
+	})
+}
+
+// writeWithRepair runs one write attempt under the write lock, repairing the
+// chain and retrying on replica failure — the shared commit protocol of Put
+// and PutBatch.
+func (c *Chain) writeWithRepair(ctx context.Context, what string, try func(context.Context) error) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	for attempt := 0; attempt < 8; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		err := c.tryPut(ctx, key, value)
+		err := try(ctx)
 		if err == nil {
 			return nil
 		}
@@ -169,7 +178,56 @@ func (c *Chain) Put(ctx context.Context, key string, value []byte) error {
 			return rerr
 		}
 	}
-	return fmt.Errorf("chain: put %q failed after repeated reconfigurations", key)
+	return fmt.Errorf("chain: %s failed after repeated reconfigurations", what)
+}
+
+// PutBatch writes a group of key=value pairs through the chain as a single
+// commit: the whole batch rides one message per hop instead of one message
+// per key, and the chain's write lock is taken once. The GCS batching write
+// path uses it to amortize per-task control-plane appends (the paper's
+// sharded-GCS throughput argument). Pairs are applied in slice order, so a
+// later duplicate key wins, exactly as with sequential Puts. On replica
+// failure the whole batch is retried after reconfiguration; replays are
+// idempotent because writes are last-writer-wins per key.
+func (c *Chain) PutBatch(ctx context.Context, keys []string, values [][]byte) error {
+	if len(keys) != len(values) {
+		return fmt.Errorf("chain: batch size mismatch (%d keys, %d values)", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	return c.writeWithRepair(ctx, fmt.Sprintf("batch of %d puts", len(keys)), func(ctx context.Context) error {
+		return c.tryPutBatch(ctx, keys, values)
+	})
+}
+
+func (c *Chain) tryPutBatch(ctx context.Context, keys []string, values [][]byte) error {
+	c.configMu.RLock()
+	replicas := make([]*Replica, len(c.replicas))
+	copy(replicas, c.replicas)
+	c.configMu.RUnlock()
+	if len(replicas) == 0 {
+		return ErrNoReplicas
+	}
+	for _, r := range replicas {
+		// One message per hop for the whole batch — this is the batching win.
+		if c.cfg.Network != nil {
+			if err := c.cfg.Network.MessageDelay(ctx); err != nil {
+				return err
+			}
+		}
+		for i := range keys {
+			if err := r.apply(keys[i], values[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if fn := c.onApply.Load(); fn != nil {
+		for i := range keys {
+			(*fn)(keys[i], values[i])
+		}
+	}
+	return nil
 }
 
 func (c *Chain) tryPut(ctx context.Context, key string, value []byte) error {

@@ -284,3 +284,78 @@ func mustPut(t *testing.T, c *Chain, key string, value []byte) {
 		t.Fatalf("put %s: %v", key, err)
 	}
 }
+
+func TestPutBatchCommitsAllKeys(t *testing.T) {
+	c := New(DefaultConfig())
+	ctx := context.Background()
+	keys := []string{"a", "b", "a"}
+	values := [][]byte{[]byte("1"), []byte("2"), []byte("3")}
+	if err := c.PutBatch(ctx, keys, values); err != nil {
+		t.Fatal(err)
+	}
+	// Later duplicate key wins, exactly as with sequential Puts.
+	if v, ok, _ := c.Get(ctx, "a"); !ok || string(v) != "3" {
+		t.Fatalf("a=%q ok=%v", v, ok)
+	}
+	if v, ok, _ := c.Get(ctx, "b"); !ok || string(v) != "2" {
+		t.Fatalf("b=%q ok=%v", v, ok)
+	}
+	// Every replica holds the batch.
+	for _, r := range c.Replicas() {
+		if r.Store().Len() != 2 {
+			t.Fatalf("replica %s has %d keys, want 2", r.ID, r.Store().Len())
+		}
+	}
+	// Empty batches are no-ops; mismatched lengths are errors.
+	if err := c.PutBatch(ctx, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutBatch(ctx, []string{"x"}, nil); err == nil {
+		t.Fatal("mismatched batch must error")
+	}
+}
+
+func TestPutBatchFiresOnApplyPerKey(t *testing.T) {
+	c := New(DefaultConfig())
+	var mu sync.Mutex
+	applied := map[string]string{}
+	c.SetOnApply(func(key string, value []byte) {
+		mu.Lock()
+		applied[key] = string(value)
+		mu.Unlock()
+	})
+	if err := c.PutBatch(context.Background(), []string{"x", "y"}, [][]byte{[]byte("1"), []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if applied["x"] != "1" || applied["y"] != "2" {
+		t.Fatalf("onApply saw %v", applied)
+	}
+}
+
+func TestPutBatchSurvivesReplicaFailure(t *testing.T) {
+	c := New(Config{ReplicationFactor: 3, StateTransferBytesPerEntry: 64})
+	ctx := context.Background()
+	if err := c.Put(ctx, "seed", []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	c.KillReplica(1)
+	keys := make([]string, 16)
+	values := make([][]byte, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%02d", i)
+		values[i] = []byte{byte(i)}
+	}
+	if err := c.PutBatch(ctx, keys, values); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reconfigurations() == 0 {
+		t.Fatal("batch through a dead replica must trigger reconfiguration")
+	}
+	for _, k := range keys {
+		if _, ok, _ := c.Get(ctx, k); !ok {
+			t.Fatalf("key %s lost across reconfiguration", k)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// resource mechanism). The collective and training workloads use it to
 	// place one participant per node.
 	LabelNodes bool
+	// CoalesceHeartbeats replaces the per-node heartbeat loops with one
+	// cluster-level aggregator that writes every node's load to the GCS as a
+	// single batched commit per shard per tick, so heartbeat write load does
+	// not grow with cluster size.
+	CoalesceHeartbeats bool
 }
 
 // NodeLabel is the custom resource name that pins work to the i-th node when
@@ -81,6 +86,11 @@ type Cluster struct {
 	reconMu       sync.Mutex
 	reconInflight map[types.ActorID]chan error
 
+	// coalesced heartbeat aggregator lifecycle.
+	heartbeatCancel context.CancelFunc
+	heartbeatDone   chan struct{}
+	shutdownOnce    sync.Once
+
 	forwards       atomic.Int64
 	actorRoutes    atomic.Int64
 	reconstructedA atomic.Int64
@@ -106,8 +116,9 @@ func New(cfg Config) *Cluster {
 		reconInflight: make(map[types.ActorID]chan error),
 	}
 	c.globals = scheduler.NewPool(cfg.GlobalSchedulers, cfg.Scheduling, c.gcs)
+	c.cfg.Node.CoalescedHeartbeats = cfg.CoalesceHeartbeats
 	for i := 0; i < cfg.Nodes; i++ {
-		ncfg := cfg.Node
+		ncfg := c.cfg.Node
 		if cfg.LabelNodes {
 			custom := make(map[string]float64, len(ncfg.CustomResources)+1)
 			for k, v := range ncfg.CustomResources {
@@ -130,23 +141,65 @@ func (c *Cluster) addNodeLocked(cfg node.Config) *node.Node {
 	return n
 }
 
-// Start registers every node with the GCS and begins heartbeating.
+// Start registers every node with the GCS and begins heartbeating — one loop
+// per node, or a single cluster-level aggregator when heartbeats are
+// coalesced.
 func (c *Cluster) Start(ctx context.Context) error {
 	for _, n := range c.NodeList() {
 		if err := n.Start(ctx); err != nil {
 			return err
 		}
 	}
+	if c.cfg.CoalesceHeartbeats && c.heartbeatDone == nil {
+		hbCtx, cancel := context.WithCancel(context.Background())
+		c.heartbeatCancel = cancel
+		c.heartbeatDone = make(chan struct{})
+		go c.heartbeatLoop(hbCtx)
+	}
 	return nil
 }
 
-// Shutdown stops every node gracefully.
-func (c *Cluster) Shutdown() {
-	for _, n := range c.NodeList() {
-		if !n.Dead() {
-			n.Stop()
+// heartbeatLoop is the coalesced heartbeat aggregator: every tick it gathers
+// each alive node's load snapshot and writes the whole cluster's heartbeats
+// through one batched GCS commit per shard.
+func (c *Cluster) heartbeatLoop(ctx context.Context) {
+	defer close(c.heartbeatDone)
+	interval := c.cfg.Node.HeartbeatInterval
+	if interval <= 0 {
+		interval = 20 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			alive := c.AliveNodes()
+			updates := make([]gcs.HeartbeatUpdate, 0, len(alive))
+			for _, n := range alive {
+				updates = append(updates, n.LoadUpdate())
+			}
+			_ = c.gcs.HeartbeatBatch(ctx, updates)
 		}
 	}
+}
+
+// Shutdown stops every node gracefully, then the heartbeat aggregator, then
+// flushes and closes the GCS write path. Idempotent.
+func (c *Cluster) Shutdown() {
+	c.shutdownOnce.Do(func() {
+		for _, n := range c.NodeList() {
+			if !n.Dead() {
+				n.Stop()
+			}
+		}
+		if c.heartbeatCancel != nil {
+			c.heartbeatCancel()
+			<-c.heartbeatDone
+		}
+		_ = c.gcs.Close()
+	})
 }
 
 // GCS returns the cluster's Global Control Store.
@@ -202,6 +255,7 @@ func (c *Cluster) HeadNode() *node.Node {
 // AddNode adds and starts a new node with the given configuration
 // (elastic scale-out, used by the Figure 11a experiment).
 func (c *Cluster) AddNode(ctx context.Context, cfg node.Config) (*node.Node, error) {
+	cfg.CoalescedHeartbeats = c.cfg.CoalesceHeartbeats
 	n := c.addNodeLocked(cfg)
 	if err := n.Start(ctx); err != nil {
 		return nil, err

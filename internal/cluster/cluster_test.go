@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ray/internal/codec"
+	"ray/internal/gcs"
+	"ray/internal/netsim"
+	"ray/internal/node"
+	"ray/internal/resources"
+	"ray/internal/types"
+	"ray/internal/worker"
+)
+
+// newTestCluster builds and starts a cluster with test-friendly remote
+// functions registered. The cleanup shuts it down.
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c := New(cfg)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	err := c.Registry().Register("test.echo", func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+		return [][]byte{args[0]}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Registry().Register("test.sleep", func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+		var ms int
+		if err := codec.Decode(args[0], &ms); err != nil {
+			return nil, err
+		}
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+		return [][]byte{codec.MustEncode(true)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Registry().RegisterActor("test.Counter", func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+		return &counterActor{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// counterActor is a minimal stateful actor: "add" increments and returns the
+// running total.
+type counterActor struct {
+	total int
+}
+
+func (a *counterActor) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
+	switch method {
+	case "add":
+		var n int
+		if err := codec.Decode(args[0], &n); err != nil {
+			return nil, err
+		}
+		a.total += n
+		return [][]byte{codec.MustEncode(a.total)}, nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+}
+
+// driverOn attaches a driver-like task context to a node, the same way
+// core.NewDriverOn does.
+func driverOn(n *node.Node) *worker.TaskContext {
+	return worker.NewTaskContext(context.Background(), n.IDs().NextTaskID(), types.NewDriverID(), n.ID(), n, n.IDs())
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	c := newTestCluster(t, cfg)
+
+	if len(c.AliveNodes()) != 3 {
+		t.Fatalf("alive nodes = %d, want 3", len(c.AliveNodes()))
+	}
+	entries, err := c.GCS().AliveNodes(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("GCS membership = %d entries, want 3", len(entries))
+	}
+
+	// Run one task end to end through the runtime surface.
+	d := driverOn(c.HeadNode())
+	ref, err := d.Call1("test.echo", worker.CallOptions{}, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	if err := d.Get(ref, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello" {
+		t.Fatalf("echo returned %q", out)
+	}
+
+	// Shutdown is graceful and idempotent.
+	c.Shutdown()
+	c.Shutdown()
+	if c.HeadNode() == nil {
+		t.Fatal("graceful shutdown must not kill nodes")
+	}
+}
+
+func TestAddNodeAndKillNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	c := newTestCluster(t, cfg)
+	ctx := context.Background()
+
+	added, err := c.AddNode(ctx, cfg.Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.AliveNodes()) != 2 {
+		t.Fatalf("alive nodes = %d after AddNode, want 2", len(c.AliveNodes()))
+	}
+	entries, err := c.GCS().AliveNodes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("GCS membership = %d after AddNode, want 2", len(entries))
+	}
+
+	if err := c.KillNode(ctx, added.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if !added.Dead() {
+		t.Fatal("killed node must report dead")
+	}
+	if len(c.AliveNodes()) != 1 {
+		t.Fatalf("alive nodes = %d after KillNode, want 1", len(c.AliveNodes()))
+	}
+	entry, ok, err := c.GCS().GetNode(ctx, added.ID())
+	if err != nil || !ok {
+		t.Fatalf("killed node missing from GCS: %v", err)
+	}
+	if entry.State != types.NodeDead {
+		t.Fatal("GCS must record the node as dead")
+	}
+	if err := c.KillNode(ctx, types.NewNodeID()); !errors.Is(err, types.ErrNodeNotFound) {
+		t.Fatalf("killing an unknown node: %v, want ErrNodeNotFound", err)
+	}
+}
+
+func TestForwardTaskSpillsOverloadedNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.Node.CPUs = 1
+	cfg.Node.SpilloverThreshold = 1
+	c := newTestCluster(t, cfg)
+
+	// Make load visible to the global scheduler before the burst.
+	for _, n := range c.AliveNodes() {
+		if err := n.SendHeartbeat(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A burst of sleeping tasks against a threshold of 1 must spill from the
+	// head node through the global scheduler.
+	d := driverOn(c.HeadNode())
+	refs := make([]types.ObjectID, 12)
+	for i := range refs {
+		ref, err := d.Call1("test.sleep", worker.CallOptions{Resources: resources.CPUs(1)}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	for _, ref := range refs {
+		var ok bool
+		if err := d.Get(ref, &ok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Stats().Forwards == 0 {
+		t.Fatal("overloaded node never forwarded to the global scheduler")
+	}
+	var completed int64
+	for _, n := range c.NodeList() {
+		completed += n.Stats().Scheduler.Completed
+	}
+	if completed != int64(len(refs)) {
+		t.Fatalf("completed = %d, want %d", completed, len(refs))
+	}
+}
+
+func TestActorReconstructionAfterNodeKill(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 3
+	c := newTestCluster(t, cfg)
+	ctx := context.Background()
+
+	d := driverOn(c.HeadNode())
+	handle, err := d.CreateActor("test.Counter", worker.CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := d.CallActor1(handle, "add", worker.CallOptions{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	if err := d.Get(ref, &total); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("total = %d, want 5", total)
+	}
+
+	// Kill the node hosting the actor.
+	entry, ok, err := c.GCS().GetActor(ctx, handle.ID)
+	if err != nil || !ok {
+		t.Fatalf("actor entry missing: %v", err)
+	}
+	if err := c.KillNode(ctx, entry.Node); err != nil {
+		t.Fatal(err)
+	}
+
+	// The next method call routes through RouteActorTask, which must replay
+	// the creation and the lost method on a surviving node. The driver moves
+	// to a survivor too (its node may have hosted the actor).
+	d2 := driverOn(c.HeadNode())
+	ref, err = d2.CallActor1(handle, "add", worker.CallOptions{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Get(ref, &total); err != nil {
+		t.Fatal(err)
+	}
+	if total != 8 {
+		t.Fatalf("total after reconstruction = %d, want 8 (state replayed)", total)
+	}
+	if c.Stats().ActorsReconstructed == 0 {
+		t.Fatal("reconstruction not recorded")
+	}
+	fresh, ok, err := c.GCS().GetActor(ctx, handle.ID)
+	if err != nil || !ok {
+		t.Fatal("actor entry missing after reconstruction")
+	}
+	if fresh.State != types.ActorAlive {
+		t.Fatalf("actor state %v, want alive", fresh.State)
+	}
+	if host := c.Node(fresh.Node); host == nil || host.Dead() {
+		t.Fatal("actor rehomed to a dead node")
+	}
+}
+
+func TestBatchedClusterRunsTasksEndToEnd(t *testing.T) {
+	// The batched control plane — GCS write batching plus coalesced
+	// heartbeats — must behave identically from the application's view.
+	cfg := Config{
+		Nodes:              3,
+		Node:               node.Config{CPUs: 4, RecordLineage: true, HeartbeatInterval: 5 * time.Millisecond},
+		GCS:                gcs.Config{Shards: 4, ReplicationFactor: 2, BatchWrites: true},
+		Network:            netsim.InstantConfig(),
+		GlobalSchedulers:   1,
+		CoalesceHeartbeats: true,
+	}
+	c := newTestCluster(t, cfg)
+	d := driverOn(c.HeadNode())
+	refs := make([]types.ObjectID, 50)
+	for i := range refs {
+		ref, err := d.Call1("test.echo", worker.CallOptions{}, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	for i, ref := range refs {
+		var out int
+		if err := d.Get(ref, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out != i {
+			t.Fatalf("task %d returned %d", i, out)
+		}
+	}
+	// Batched writes actually flowed through the batching path.
+	if c.GCS().Stats().BatchedWrites == 0 {
+		t.Fatal("no writes took the batching path")
+	}
+	// Coalesced heartbeats keep membership fresh: every node's entry was
+	// heartbeated recently by the aggregator.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		entries, err := c.GCS().AliveNodes(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := 0
+		for _, e := range entries {
+			if e.HeartbeatAge(time.Now()) < time.Second {
+				fresh++
+			}
+		}
+		if len(entries) == 3 && fresh == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeats stale: %d of %d fresh", fresh, len(entries))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -54,6 +54,24 @@ type Config struct {
 	// GCSShards and GCSReplication configure the Global Control Store.
 	GCSShards      int
 	GCSReplication int
+	// GCSBatchWrites enables the GCS batching write path: per-shard pending
+	// buffers committed as single chain batches, amortizing per-task
+	// control-plane appends. Off by default (the synchronous path is the
+	// ablation baseline).
+	GCSBatchWrites bool
+	// GCSBatchFlushInterval and GCSBatchMaxEntries tune the batching write
+	// path (zero = 2ms / 256 entries).
+	GCSBatchFlushInterval time.Duration
+	GCSBatchMaxEntries    int
+	// CoalesceHeartbeats aggregates all nodes' heartbeats into one batched
+	// GCS write per tick instead of one write per node.
+	CoalesceHeartbeats bool
+	// SchedulerSlots sets each local scheduler's reusable worker-slot count
+	// (0 = derive from CPU capacity).
+	SchedulerSlots int
+	// DirectDispatch restores goroutine-per-task dispatch in local
+	// schedulers (the pre-slot-pool baseline, kept for ablations).
+	DirectDispatch bool
 	// GlobalSchedulers is the number of global scheduler replicas.
 	GlobalSchedulers int
 	// LocalityAware toggles locality-aware global placement (Figure 8a).
@@ -123,8 +141,9 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 		cfg.CPUsPerNode = 4
 	}
 	ccfg := cluster.Config{
-		Nodes:      cfg.Nodes,
-		LabelNodes: cfg.LabelNodes,
+		Nodes:              cfg.Nodes,
+		LabelNodes:         cfg.LabelNodes,
+		CoalesceHeartbeats: cfg.CoalesceHeartbeats,
 		Node: node.Config{
 			CPUs:                     cfg.CPUsPerNode,
 			GPUs:                     cfg.GPUsPerNode,
@@ -136,10 +155,15 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 			RecordLineage:            cfg.RecordLineage,
 			InjectedSchedulerLatency: cfg.InjectedSchedulerLatency,
 			HeartbeatInterval:        cfg.HeartbeatInterval,
+			SchedulerSlots:           cfg.SchedulerSlots,
+			DirectDispatch:           cfg.DirectDispatch,
 		},
 		GCS: gcs.Config{
-			Shards:            max(cfg.GCSShards, 1),
-			ReplicationFactor: max(cfg.GCSReplication, 1),
+			Shards:             max(cfg.GCSShards, 1),
+			ReplicationFactor:  max(cfg.GCSReplication, 1),
+			BatchWrites:        cfg.GCSBatchWrites,
+			BatchFlushInterval: cfg.GCSBatchFlushInterval,
+			BatchMaxEntries:    cfg.GCSBatchMaxEntries,
 		},
 		Network:          cfg.Network,
 		GlobalSchedulers: cfg.GlobalSchedulers,

@@ -18,6 +18,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ray/internal/chain"
 	"ray/internal/netsim"
@@ -40,6 +41,19 @@ type Config struct {
 	FlushThresholdBytes int64
 	// FlushWriter receives flushed entries. Defaults to io.Discard.
 	FlushWriter io.Writer
+	// BatchWrites enables the batching write path: writes are deposited in a
+	// per-shard pending buffer (which doubles as a read overlay, preserving
+	// read-your-writes for this Store's clients) and committed in groups via
+	// single chain commits. This amortizes per-task control-plane appends at
+	// the cost of a deferred durability acknowledgement. Off by default so
+	// the synchronous path remains the ablation baseline.
+	BatchWrites bool
+	// BatchFlushInterval is the longest a pending write waits before being
+	// committed. Zero means 2ms.
+	BatchFlushInterval time.Duration
+	// BatchMaxEntries triggers an early flush once a shard's pending buffer
+	// reaches this many distinct keys. Zero means 256.
+	BatchMaxEntries int
 }
 
 // DefaultConfig returns a small in-process GCS: 4 shards, 2-way replication.
@@ -51,10 +65,28 @@ func DefaultConfig() Config {
 type Store struct {
 	cfg    Config
 	shards []*chain.Chain
+	// batchers is non-nil (one per shard) when cfg.BatchWrites is set.
+	batchers []*shardBatcher
 
 	// pub-sub registry: key -> subscriber channels.
 	subMu sync.Mutex
 	subs  map[string][]chan []byte
+
+	// nodeIDs indexes the membership table so Nodes() — which the global
+	// scheduler reads on every placement decision — costs O(nodes) point
+	// reads instead of a prefix scan over every resident key (task lineage
+	// entries would otherwise make scheduling cost grow with tasks ever
+	// submitted). The chain remains the source of truth for entry contents.
+	nodeMu  sync.RWMutex
+	nodeIDs []types.NodeID
+
+	// hbMu serializes membership read-modify-writes (Heartbeat,
+	// HeartbeatBatch, MarkNodeDead) so a heartbeat that read a node as alive
+	// cannot write that stale state back over a concurrent MarkNodeDead and
+	// resurrect a dead node. Per-node heartbeat loops stop before their
+	// node's death is recorded, but the cluster's coalesced aggregator runs
+	// concurrently with failure injection.
+	hbMu sync.Mutex
 
 	// stats counters.
 	puts      atomic.Int64
@@ -65,6 +97,7 @@ type Store struct {
 	flushedBy atomic.Int64
 
 	flushMu sync.Mutex
+	closed  atomic.Bool
 }
 
 // New creates a GCS with the given configuration.
@@ -78,6 +111,12 @@ func New(cfg Config) *Store {
 	if cfg.FlushWriter == nil {
 		cfg.FlushWriter = io.Discard
 	}
+	if cfg.BatchFlushInterval <= 0 {
+		cfg.BatchFlushInterval = 2 * time.Millisecond
+	}
+	if cfg.BatchMaxEntries <= 0 {
+		cfg.BatchMaxEntries = 256
+	}
 	s := &Store{
 		cfg:  cfg,
 		subs: make(map[string][]chan []byte),
@@ -89,8 +128,41 @@ func New(cfg Config) *Store {
 		})
 		ch.SetOnApply(s.publish)
 		s.shards = append(s.shards, ch)
+		if cfg.BatchWrites {
+			s.batchers = append(s.batchers, newShardBatcher(ch, cfg.BatchFlushInterval, cfg.BatchMaxEntries, s.maybeFlush))
+		}
 	}
 	return s
+}
+
+// Batching reports whether the batching write path is active.
+func (s *Store) Batching() bool { return s.batchers != nil }
+
+// Sync commits every pending batched write. It is a no-op on a synchronous
+// store. Tests and shutdown paths call it before inspecting chain state.
+func (s *Store) Sync(ctx context.Context) error {
+	var firstErr error
+	for _, b := range s.batchers {
+		if err := b.drain(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close stops the batching flushers after committing pending writes. It is
+// idempotent and a no-op on a synchronous store.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	for _, b := range s.batchers {
+		if err := b.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // NumShards returns the number of shards.
@@ -100,14 +172,14 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // experiment (killing a chain replica).
 func (s *Store) Shard(i int) *chain.Chain { return s.shards[i] }
 
-// shardFor maps a key's owning ID to a shard.
-func (s *Store) shardFor(id types.UniqueID) *chain.Chain {
-	return s.shards[types.ShardIndex(id, len(s.shards))]
+// shardFor maps a key's owning ID to a shard index.
+func (s *Store) shardFor(id types.UniqueID) int {
+	return types.ShardIndex(id, len(s.shards))
 }
 
 // shardForKey maps arbitrary string keys (function names, event sequence
-// numbers) onto shards with a simple FNV hash.
-func (s *Store) shardForKey(key string) *chain.Chain {
+// numbers) onto shard indices with a simple FNV hash.
+func (s *Store) shardForKey(key string) int {
 	const offset64 = 14695981039346656037
 	const prime64 = 1099511628211
 	h := uint64(offset64)
@@ -115,21 +187,36 @@ func (s *Store) shardForKey(key string) *chain.Chain {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
-	return s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(len(s.shards)))
 }
 
-func (s *Store) put(ctx context.Context, shard *chain.Chain, key string, value []byte) error {
+func (s *Store) put(ctx context.Context, si int, key string, value []byte) error {
 	s.puts.Add(1)
-	if err := shard.Put(ctx, key, value); err != nil {
+	if s.batchers != nil {
+		// Batched path: deposit into the shard's pending buffer. The write is
+		// immediately visible to reads through this Store (overlay) and is
+		// chain-committed by the next flush; pub-sub fires at commit time.
+		// After Close the batcher refuses new work (its flusher is gone), so
+		// stragglers fall through to the synchronous chain write below.
+		if s.batchers[si].enqueue(key, value) {
+			return nil
+		}
+	}
+	if err := s.shards[si].Put(ctx, key, value); err != nil {
 		return fmt.Errorf("gcs: put %q: %w", key, err)
 	}
 	s.maybeFlush()
 	return nil
 }
 
-func (s *Store) get(ctx context.Context, shard *chain.Chain, key string) ([]byte, bool, error) {
+func (s *Store) get(ctx context.Context, si int, key string) ([]byte, bool, error) {
 	s.gets.Add(1)
-	v, ok, err := shard.Get(ctx, key)
+	if s.batchers != nil {
+		if v, ok := s.batchers[si].lookup(key); ok {
+			return v, true, nil
+		}
+	}
+	v, ok, err := s.shards[si].Get(ctx, key)
 	if err != nil {
 		return nil, false, fmt.Errorf("gcs: get %q: %w", key, err)
 	}
@@ -282,11 +369,18 @@ type Stats struct {
 	FlushedBytes   int64
 	ResidentBytes  int64
 	ResidentKeys   int
+	// BatchedWrites counts writes that went through the batching path.
+	BatchedWrites int64
+	// BatchCoalesced counts writes absorbed by an already-pending entry for
+	// the same key (never individually committed).
+	BatchCoalesced int64
+	// BatchCommits counts chain batch commits performed by the flushers.
+	BatchCommits int64
 }
 
 // Stats returns a snapshot of operation counters.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Puts:           s.puts.Load(),
 		Gets:           s.gets.Load(),
 		Flushes:        s.flushes.Load(),
@@ -295,6 +389,12 @@ func (s *Store) Stats() Stats {
 		ResidentBytes:  s.Bytes(),
 		ResidentKeys:   s.Entries(),
 	}
+	for _, b := range s.batchers {
+		st.BatchedWrites += b.enqueued.Load()
+		st.BatchCoalesced += b.coalesced.Load()
+		st.BatchCommits += b.flushes.Load()
+	}
+	return st
 }
 
 // Key prefixes for each table.

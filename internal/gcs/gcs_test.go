@@ -486,3 +486,348 @@ func TestEntryDecodersRejectGarbage(t *testing.T) {
 		t.Fatal("empty task entry must not be terminal")
 	}
 }
+
+// --- Batching write path ------------------------------------------------------
+
+// slowBatchStore returns a batched store whose flusher will not run for a
+// minute, so tests can observe the pending-overlay state deterministically.
+func slowBatchStore() *Store {
+	return New(Config{
+		Shards:             4,
+		ReplicationFactor:  2,
+		BatchWrites:        true,
+		BatchFlushInterval: time.Minute,
+		BatchMaxEntries:    1 << 20,
+	})
+}
+
+func TestBatchedWritesAreReadYourWrites(t *testing.T) {
+	s := slowBatchStore()
+	defer s.Close()
+	ctx := context.Background()
+	spec := &task.Spec{ID: types.NewTaskID(), Driver: types.NewDriverID(), Function: "f", NumReturns: 1}
+	if err := s.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Visible through the overlay before any chain commit.
+	if s.Entries() != 0 {
+		t.Fatal("write should still be pending, not chain-committed")
+	}
+	entry, ok, err := s.GetTask(ctx, spec.ID)
+	if err != nil || !ok || entry.Spec.Function != "f" {
+		t.Fatalf("pending write not readable: %v %v", ok, err)
+	}
+	// Sync commits it to the chain.
+	if err := s.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries() != 1 {
+		t.Fatalf("after sync: %d chain entries, want 1", s.Entries())
+	}
+	if _, ok, _ := s.GetTask(ctx, spec.ID); !ok {
+		t.Fatal("entry lost after sync")
+	}
+}
+
+func TestBatchedWritesCoalescePerKey(t *testing.T) {
+	s := slowBatchStore()
+	defer s.Close()
+	ctx := context.Background()
+	spec := &task.Spec{ID: types.NewTaskID(), Driver: types.NewDriverID(), Function: "f", NumReturns: 1}
+	if err := s.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	for _, status := range []types.TaskStatus{types.TaskWaiting, types.TaskRunning, types.TaskFinished} {
+		if err := s.UpdateTaskStatus(ctx, spec.ID, status, types.NilNodeID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.BatchedWrites != 4 {
+		t.Fatalf("batched writes = %d, want 4", st.BatchedWrites)
+	}
+	if st.BatchCoalesced != 3 {
+		t.Fatalf("coalesced = %d, want 3 (status updates absorbed)", st.BatchCoalesced)
+	}
+	if err := s.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok, err := s.GetTask(ctx, spec.ID)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if entry.Status != types.TaskFinished {
+		t.Fatalf("status %v, want last-writer-wins TaskFinished", entry.Status)
+	}
+}
+
+func TestBatchedNodeScanSeesPendingRegistration(t *testing.T) {
+	s := slowBatchStore()
+	defer s.Close()
+	ctx := context.Background()
+	id := types.NewNodeID()
+	err := s.RegisterNode(ctx, &NodeEntry{
+		ID: id, State: types.NodeAlive,
+		TotalResources:     map[string]float64{resources.CPU: 4},
+		AvailableResources: map[string]float64{resources.CPU: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := s.AliveNodes(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0].ID != id {
+		t.Fatalf("pending registration invisible to Nodes scan: %v", nodes)
+	}
+}
+
+func TestBatchedSubscriberNotifiedAtCommit(t *testing.T) {
+	s := New(Config{Shards: 2, ReplicationFactor: 1, BatchWrites: true, BatchFlushInterval: time.Millisecond})
+	defer s.Close()
+	ctx := context.Background()
+	obj := types.NewObjectID()
+	notify, cancel := s.SubscribeObject(obj)
+	defer cancel()
+	node := types.NewNodeID()
+	if err := s.AddObjectLocation(ctx, obj, node, 10, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case entry := <-notify:
+		if !entry.HasLocation(node) {
+			t.Fatal("notification missing location")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no pub-sub notification after flush interval")
+	}
+}
+
+func TestBatchedSizeCapTriggersEarlyFlush(t *testing.T) {
+	s := New(Config{Shards: 1, ReplicationFactor: 1, BatchWrites: true, BatchFlushInterval: time.Minute, BatchMaxEntries: 8})
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		spec := &task.Spec{ID: types.NewTaskID(), Driver: types.NewDriverID(), Function: "f", NumReturns: 1}
+		if err := s.AddTask(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Entries() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("size cap did not trigger a flush")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s.Stats().BatchCommits == 0 {
+		t.Fatal("no batch commits recorded")
+	}
+}
+
+func TestBatchedCloseIsIdempotentAndDrains(t *testing.T) {
+	s := slowBatchStore()
+	ctx := context.Background()
+	spec := &task.Spec{ID: types.NewTaskID(), Driver: types.NewDriverID(), Function: "f", NumReturns: 1}
+	if err := s.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries() != 1 {
+		t.Fatal("close must drain pending writes to the chain")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous stores accept Sync/Close as no-ops.
+	plain := newTestStore()
+	if err := plain.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeartbeatBatchBothModes(t *testing.T) {
+	for _, batched := range []bool{false, true} {
+		cfg := Config{Shards: 4, ReplicationFactor: 2}
+		if batched {
+			cfg.BatchWrites = true
+			cfg.BatchFlushInterval = time.Minute
+			cfg.BatchMaxEntries = 1 << 20
+		}
+		s := New(cfg)
+		ctx := context.Background()
+		ids := make([]types.NodeID, 3)
+		for i := range ids {
+			ids[i] = types.NewNodeID()
+			err := s.RegisterNode(ctx, &NodeEntry{
+				ID: ids[i], State: types.NodeAlive,
+				TotalResources:     map[string]float64{resources.CPU: 4},
+				AvailableResources: map[string]float64{resources.CPU: 4},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		updates := make([]HeartbeatUpdate, 0, len(ids)+1)
+		for i, id := range ids {
+			updates = append(updates, HeartbeatUpdate{
+				ID:            id,
+				Available:     map[string]float64{resources.CPU: float64(i)},
+				QueueLength:   10 + i,
+				AvgTaskMillis: 2,
+			})
+		}
+		// An unregistered node must be skipped, not fail the batch.
+		updates = append(updates, HeartbeatUpdate{ID: types.NewNodeID(), QueueLength: 99})
+		if err := s.HeartbeatBatch(ctx, updates); err != nil {
+			t.Fatalf("batched=%v: %v", batched, err)
+		}
+		for i, id := range ids {
+			entry, ok, err := s.GetNode(ctx, id)
+			if err != nil || !ok {
+				t.Fatalf("batched=%v: node %d missing: %v", batched, i, err)
+			}
+			if entry.QueueLength != 10+i {
+				t.Fatalf("batched=%v: queue length %d, want %d", batched, entry.QueueLength, 10+i)
+			}
+			if entry.AvailableResources[resources.CPU] != float64(i) {
+				t.Fatalf("batched=%v: available CPU %v", batched, entry.AvailableResources)
+			}
+		}
+		if err := s.HeartbeatBatch(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBatchedConcurrentMixedOperations(t *testing.T) {
+	s := New(Config{Shards: 4, ReplicationFactor: 2, BatchWrites: true, BatchFlushInterval: time.Millisecond, BatchMaxEntries: 32})
+	defer s.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				spec := &task.Spec{ID: types.NewTaskID(), Driver: types.NewDriverID(), Function: "f", NumReturns: 1}
+				if err := s.AddTask(ctx, spec); err != nil {
+					errs <- err
+					return
+				}
+				if err := s.UpdateTaskStatus(ctx, spec.ID, types.TaskFinished, types.NilNodeID); err != nil {
+					errs <- err
+					return
+				}
+				if _, ok, err := s.GetTask(ctx, spec.ID); err != nil || !ok {
+					errs <- fmt.Errorf("task invisible after write: %v %v", ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries() != 8*50 {
+		t.Fatalf("entries=%d want %d", s.Entries(), 8*50)
+	}
+}
+
+func TestHeartbeatBatchNeverResurrectsDeadNode(t *testing.T) {
+	s := newTestStore()
+	ctx := context.Background()
+	id := types.NewNodeID()
+	err := s.RegisterNode(ctx, &NodeEntry{
+		ID: id, State: types.NodeAlive,
+		TotalResources:     map[string]float64{resources.CPU: 4},
+		AvailableResources: map[string]float64{resources.CPU: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkNodeDead(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	// A heartbeat for the dead node (a coalesced aggregator racing the kill)
+	// must not write its stale alive state back.
+	err = s.HeartbeatBatch(ctx, []HeartbeatUpdate{{ID: id, Available: map[string]float64{resources.CPU: 4}, QueueLength: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok, err := s.GetNode(ctx, id)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if entry.State != types.NodeDead {
+		t.Fatal("heartbeat batch resurrected a dead node")
+	}
+}
+
+func TestBatchedPutAfterCloseFallsBackToChain(t *testing.T) {
+	s := slowBatchStore()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := &task.Spec{ID: types.NewTaskID(), Driver: types.NewDriverID(), Function: "f", NumReturns: 1}
+	if err := s.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// The write must land in the chain directly, not in an orphaned buffer.
+	if s.Entries() != 1 {
+		t.Fatalf("post-close write not chain-committed: %d entries", s.Entries())
+	}
+	if _, ok, _ := s.GetTask(ctx, spec.ID); !ok {
+		t.Fatal("post-close write unreadable")
+	}
+}
+
+func TestBatchedFlushThresholdStillBoundsMemory(t *testing.T) {
+	var sink bytes.Buffer
+	s := New(Config{
+		Shards: 2, ReplicationFactor: 1,
+		BatchWrites: true, BatchFlushInterval: time.Millisecond,
+		FlushThresholdBytes: 64 * 1024, FlushWriter: &sink,
+	})
+	defer s.Close()
+	ctx := context.Background()
+	driver := types.NewDriverID()
+	for i := 0; i < 2000; i++ {
+		spec := &task.Spec{ID: types.NewTaskID(), Driver: driver, Function: "noop", NumReturns: 1}
+		if err := s.AddTask(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.UpdateTaskStatus(ctx, spec.ID, types.TaskFinished, types.NilNodeID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().FlushedEntries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flush threshold ignored under batching: resident=%d", s.Bytes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if sink.Len() == 0 {
+		t.Fatal("flushed entries never reached the writer")
+	}
+}

@@ -208,12 +208,29 @@ func (s *Store) RegisterNode(ctx context.Context, entry *NodeEntry) error {
 	if entry.HeartbeatUnixNano == 0 {
 		entry.HeartbeatUnixNano = time.Now().UnixNano()
 	}
-	return s.put(ctx, s.shardFor(types.UniqueID(entry.ID)), nodeKey(entry.ID), entry.marshal())
+	if err := s.put(ctx, s.shardFor(types.UniqueID(entry.ID)), nodeKey(entry.ID), entry.marshal()); err != nil {
+		return err
+	}
+	s.nodeMu.Lock()
+	known := false
+	for _, id := range s.nodeIDs {
+		if id == entry.ID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.nodeIDs = append(s.nodeIDs, entry.ID)
+	}
+	s.nodeMu.Unlock()
+	return nil
 }
 
 // Heartbeat refreshes a node's load and resource availability. The global
 // scheduler consumes these entries to estimate queueing delay per node.
 func (s *Store) Heartbeat(ctx context.Context, id types.NodeID, available map[string]float64, queueLength int, avgTaskMillis float64) error {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
 	shard := s.shardFor(types.UniqueID(id))
 	raw, ok, err := s.get(ctx, shard, nodeKey(id))
 	if err != nil {
@@ -233,9 +250,74 @@ func (s *Store) Heartbeat(ctx context.Context, id types.NodeID, available map[st
 	return s.put(ctx, shard, nodeKey(id), entry.marshal())
 }
 
+// HeartbeatUpdate is one node's load report inside a coalesced heartbeat.
+type HeartbeatUpdate struct {
+	ID            types.NodeID
+	Available     map[string]float64
+	QueueLength   int
+	AvgTaskMillis float64
+}
+
+// HeartbeatBatch records many nodes' heartbeats with one chain commit per
+// shard instead of one per node. The cluster's heartbeat aggregator uses it
+// so the per-tick GCS write load stays constant as the cluster grows (the
+// control-plane scaling property behind Figure 8b). Nodes not present in the
+// membership table (not yet registered) or no longer alive (racing a
+// concurrent kill) are skipped rather than failing the whole batch.
+func (s *Store) HeartbeatBatch(ctx context.Context, updates []HeartbeatUpdate) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
+	now := time.Now().UnixNano()
+	perShardKeys := make(map[int][]string)
+	perShardValues := make(map[int][][]byte)
+	for _, u := range updates {
+		si := s.shardFor(types.UniqueID(u.ID))
+		raw, ok, err := s.get(ctx, si, nodeKey(u.ID))
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		entry, err := unmarshalNodeEntry(raw)
+		if err != nil {
+			return err
+		}
+		if entry.State != types.NodeAlive {
+			// Writing the update back would resurrect a dead node's entry.
+			continue
+		}
+		entry.AvailableResources = u.Available
+		entry.QueueLength = u.QueueLength
+		entry.AvgTaskMillis = u.AvgTaskMillis
+		entry.HeartbeatUnixNano = now
+		perShardKeys[si] = append(perShardKeys[si], nodeKey(u.ID))
+		perShardValues[si] = append(perShardValues[si], entry.marshal())
+	}
+	for si, keys := range perShardKeys {
+		values := perShardValues[si]
+		s.puts.Add(int64(len(keys)))
+		if s.batchers != nil {
+			for i, key := range keys {
+				s.batchers[si].enqueue(key, values[i])
+			}
+			continue
+		}
+		if err := s.shards[si].PutBatch(ctx, keys, values); err != nil {
+			return fmt.Errorf("gcs: heartbeat batch: %w", err)
+		}
+	}
+	return nil
+}
+
 // MarkNodeDead records a node failure. Schedulers and object managers learn
 // about it on their next read (or via SubscribeNodeEvents).
 func (s *Store) MarkNodeDead(ctx context.Context, id types.NodeID) error {
+	s.hbMu.Lock()
+	defer s.hbMu.Unlock()
 	shard := s.shardFor(types.UniqueID(id))
 	raw, ok, err := s.get(ctx, shard, nodeKey(id))
 	if err != nil {
@@ -266,34 +348,58 @@ func (s *Store) GetNode(ctx context.Context, id types.NodeID) (*NodeEntry, bool,
 }
 
 // Nodes returns every registered node, sorted by ID for determinism. The
-// global scheduler calls this on its scheduling path; with tens to hundreds
-// of nodes the scan is cheap and always up to date.
+// global scheduler calls this on every placement decision, so it reads
+// through the membership index — O(nodes) point reads that also observe
+// writes still pending in the batching overlay — rather than scanning every
+// resident key.
 func (s *Store) Nodes(ctx context.Context) ([]*NodeEntry, error) {
-	var out []*NodeEntry
-	// Scan keys on each shard's tail store.
-	for _, shard := range s.shards {
-		reps := shard.Replicas()
-		if len(reps) == 0 {
+	s.nodeMu.RLock()
+	ids := make([]types.NodeID, len(s.nodeIDs))
+	copy(ids, s.nodeIDs)
+	s.nodeMu.RUnlock()
+	out := make([]*NodeEntry, 0, len(ids))
+	for _, id := range ids {
+		raw, ok, err := s.get(ctx, s.shardFor(types.UniqueID(id)), nodeKey(id))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			continue
 		}
-		tail := reps[len(reps)-1]
-		for _, key := range tail.Store().Keys(keyPrefixNode) {
-			raw, ok, err := s.get(ctx, shard, key)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			entry, err := unmarshalNodeEntry(raw)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, entry)
+		entry, err := unmarshalNodeEntry(raw)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, entry)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID.Hex() < out[j].ID.Hex() })
 	return out, nil
+}
+
+// shardKeys lists the keys with the given prefix on shard si: the chain
+// tail's resident keys plus any pending batched writes, deduplicated.
+func (s *Store) shardKeys(si int, prefix string) []string {
+	var keys []string
+	if reps := s.shards[si].Replicas(); len(reps) > 0 {
+		keys = reps[len(reps)-1].Store().Keys(prefix)
+	}
+	if s.batchers == nil {
+		return keys
+	}
+	pending := s.batchers[si].pendingKeys(prefix)
+	if len(pending) == 0 {
+		return keys
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for _, k := range pending {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	return keys
 }
 
 // AliveNodes returns the subset of Nodes that are alive.
@@ -325,14 +431,9 @@ func (s *Store) AppendEvent(ctx context.Context, kind, message string) error {
 // number. Flushed events are excluded (they live in the flush log).
 func (s *Store) Events(ctx context.Context) ([]*Event, error) {
 	var out []*Event
-	for _, shard := range s.shards {
-		reps := shard.Replicas()
-		if len(reps) == 0 {
-			continue
-		}
-		tail := reps[len(reps)-1]
-		for _, key := range tail.Store().Keys(keyPrefixEvent) {
-			raw, ok, err := s.get(ctx, shard, key)
+	for si := range s.shards {
+		for _, key := range s.shardKeys(si, keyPrefixEvent) {
+			raw, ok, err := s.get(ctx, si, key)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,209 @@
+package lineage
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ray/internal/gcs"
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+func newStore() *gcs.Store {
+	return gcs.New(gcs.Config{Shards: 4, ReplicationFactor: 1})
+}
+
+// addLostObject records a task in the lineage table and its output object as
+// known-but-lost (it once had a replica that is now gone), returning the
+// object ID. deps become the task's object-reference arguments.
+func addLostObject(t *testing.T, store *gcs.Store, spec *task.Spec) types.ObjectID {
+	t.Helper()
+	ctx := context.Background()
+	if err := store.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	obj := spec.Returns()[0]
+	node := types.NewNodeID()
+	if err := store.AddObjectLocation(ctx, obj, node, 8, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RemoveObjectLocation(ctx, obj, node); err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func lostSpec(deps ...types.ObjectID) *task.Spec {
+	spec := &task.Spec{
+		ID:         types.NewTaskID(),
+		Driver:     types.NewDriverID(),
+		Function:   "producer",
+		NumReturns: 1,
+	}
+	for _, dep := range deps {
+		spec.Args = append(spec.Args, task.RefArg(dep))
+	}
+	return spec
+}
+
+func TestConcurrentReconstructionsDeduplicated(t *testing.T) {
+	store := newStore()
+	ctx := context.Background()
+	spec := lostSpec()
+	obj := addLostObject(t, store, spec)
+
+	var resubmits atomic.Int64
+	r := New(store, func(ctx context.Context, entry *gcs.TaskEntry) error {
+		resubmits.Add(1)
+		// Simulate re-execution: after a short delay the object reappears.
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			_ = store.AddObjectLocation(context.Background(), obj, types.NewNodeID(), 8, entry.Spec.ID)
+		}()
+		return nil
+	})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.ReconstructObject(ctx, obj); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if n := resubmits.Load(); n != 1 {
+		t.Fatalf("lost hot object resubmitted %d times, want exactly 1", n)
+	}
+	st := r.Stats()
+	if st.ReconstructedTasks != 1 || st.ReconstructedObjects != 1 {
+		t.Fatalf("stats %+v, want 1 task / 1 object", st)
+	}
+}
+
+func TestRecursiveReconstructionRebuildsInputs(t *testing.T) {
+	store := newStore()
+	ctx := context.Background()
+	// leaf <- mid <- root: all lost; reconstructing root must rebuild the
+	// whole chain, leaf first.
+	leafSpec := lostSpec()
+	leaf := addLostObject(t, store, leafSpec)
+	midSpec := lostSpec(leaf)
+	mid := addLostObject(t, store, midSpec)
+	rootSpec := lostSpec(mid)
+	root := addLostObject(t, store, rootSpec)
+
+	var mu sync.Mutex
+	var order []types.TaskID
+	r := New(store, func(ctx context.Context, entry *gcs.TaskEntry) error {
+		mu.Lock()
+		order = append(order, entry.Spec.ID)
+		mu.Unlock()
+		return store.AddObjectLocation(ctx, entry.Spec.Returns()[0], types.NewNodeID(), 8, entry.Spec.ID)
+	})
+	if err := r.ReconstructObject(ctx, root); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []types.TaskID{leafSpec.ID, midSpec.ID, rootSpec.ID}
+	if len(order) != len(want) {
+		t.Fatalf("resubmitted %d tasks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("resubmission order %v, want dependencies first %v", order, want)
+		}
+	}
+}
+
+func TestMaxDepthHaltsOnCorruptLineage(t *testing.T) {
+	store := newStore()
+	ctx := context.Background()
+	// A lineage chain deeper than maxDepth — the shape a corrupted or cyclic
+	// task table produces — must halt with a depth error instead of
+	// recursing forever.
+	const depth = 80 // > the reconstructor's maxDepth of 64
+	dep := types.NilObjectID
+	var head types.ObjectID
+	for i := 0; i < depth; i++ {
+		var spec *task.Spec
+		if dep.IsNil() {
+			spec = lostSpec()
+		} else {
+			spec = lostSpec(dep)
+		}
+		head = addLostObject(t, store, spec)
+		dep = head
+	}
+
+	r := New(store, func(ctx context.Context, entry *gcs.TaskEntry) error {
+		t.Error("corrupt lineage must not reach resubmission")
+		return nil
+	})
+	err := r.ReconstructObject(ctx, head)
+	if err == nil {
+		t.Fatal("reconstruction of an over-deep lineage chain must fail")
+	}
+	if !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("error %q does not mention the depth bound", err)
+	}
+}
+
+func TestReconstructionErrors(t *testing.T) {
+	store := newStore()
+	ctx := context.Background()
+	r := New(store, func(ctx context.Context, entry *gcs.TaskEntry) error { return nil })
+
+	// Unknown object: no table entry at all.
+	if err := r.ReconstructObject(ctx, types.NewObjectID()); !errors.Is(err, types.ErrObjectNotFound) {
+		t.Fatalf("unknown object: %v, want ErrObjectNotFound", err)
+	}
+
+	// Object with live replicas needs no reconstruction.
+	spec := lostSpec()
+	if err := store.AddTask(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	alive := spec.Returns()[0]
+	if err := store.AddObjectLocation(ctx, alive, types.NewNodeID(), 8, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReconstructObject(ctx, alive); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().ReconstructedTasks != 0 {
+		t.Fatal("live object must not trigger resubmission")
+	}
+
+	// ray.put object (no creator task) cannot be rebuilt.
+	put := types.NewObjectID()
+	node := types.NewNodeID()
+	if err := store.AddObjectLocation(ctx, put, node, 8, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RemoveObjectLocation(ctx, put, node); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReconstructObject(ctx, put); !errors.Is(err, types.ErrObjectLost) {
+		t.Fatalf("put object: %v, want ErrObjectLost", err)
+	}
+
+	// IsReconstructable distinguishes lost objects from other failures.
+	if !IsReconstructable(types.ErrObjectLost) || IsReconstructable(errors.New("boom")) {
+		t.Fatal("IsReconstructable misclassifies")
+	}
+}

@@ -63,6 +63,16 @@ type Config struct {
 	// HeartbeatInterval is how often load is reported to the GCS. Zero means
 	// 20ms (scaled in-process equivalent of the paper's 100ms heartbeats).
 	HeartbeatInterval time.Duration
+	// CoalescedHeartbeats suppresses this node's own heartbeat loop because
+	// the cluster aggregates every node's load into one batched GCS write
+	// per tick (cluster.Config.CoalesceHeartbeats).
+	CoalescedHeartbeats bool
+	// SchedulerSlots sets the local scheduler's reusable worker-slot count
+	// (0 = derive from CPU capacity and GOMAXPROCS).
+	SchedulerSlots int
+	// DirectDispatch restores goroutine-per-task dispatch in the local
+	// scheduler (the unbatched ablation baseline).
+	DirectDispatch bool
 }
 
 // DefaultConfig returns a 4-CPU node with defaults suitable for tests.
@@ -155,6 +165,8 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 		Pool:               n.pool,
 		SpilloverThreshold: cfg.SpilloverThreshold,
 		InjectedLatency:    cfg.InjectedSchedulerLatency,
+		WorkerSlots:        cfg.SchedulerSlots,
+		DirectDispatch:     cfg.DirectDispatch,
 	}, n.workers, n, n.router)
 	return n
 }
@@ -205,11 +217,28 @@ func (n *Node) Start(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if n.cfg.CoalescedHeartbeats {
+		// The cluster's aggregator reports this node's load in its batched
+		// per-tick write; no per-node loop.
+		return nil
+	}
 	hbCtx, cancel := context.WithCancel(context.Background())
 	n.heartbeatCancel = cancel
 	n.heartbeatDone = make(chan struct{})
 	go n.heartbeatLoop(hbCtx)
 	return nil
+}
+
+// LoadUpdate returns this node's current load as a HeartbeatUpdate for the
+// cluster's coalesced heartbeat writer.
+func (n *Node) LoadUpdate() gcs.HeartbeatUpdate {
+	load := n.local.Load()
+	return gcs.HeartbeatUpdate{
+		ID:            n.id,
+		Available:     load.AvailableResources,
+		QueueLength:   load.QueueLength,
+		AvgTaskMillis: load.AvgTaskMillis,
+	}
 }
 
 // SendHeartbeat pushes the node's current load to the GCS immediately.

@@ -3,6 +3,7 @@ package scheduler
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +55,19 @@ type LocalConfig struct {
 	// EMAAlpha is the exponential-averaging coefficient for task durations
 	// reported in heartbeats. Zero means 0.2.
 	EMAAlpha float64
+	// WorkerSlots is the number of reusable dispatch slots: the maximum
+	// number of worker goroutines concurrently driving tasks. Tasks beyond
+	// the slot count wait in a FIFO queue instead of each spawning a
+	// goroutine, which removes per-task goroutine churn from the submission
+	// hot path. A task that blocks on a Get/Wait lends its slot to queued
+	// work for the duration (like Ray workers blocking in ray.get), so
+	// nested task trees cannot deadlock on slots. Zero picks a default from
+	// the node's CPU capacity and GOMAXPROCS.
+	WorkerSlots int
+	// DirectDispatch restores the pre-slot-pool behaviour of one goroutine
+	// per accepted task. The scheduler-ablation benchmarks use it as the
+	// baseline.
+	DirectDispatch bool
 }
 
 // Local is one node's local scheduler. Tasks submitted on the node come here
@@ -77,10 +91,30 @@ type Local struct {
 	// killed by failure injection.
 	draining bool
 
+	// Slot pool state (used unless cfg.DirectDispatch). Guarded by poolMu,
+	// which is separate from mu so slot bookkeeping never contends with the
+	// queue/resource accounting above.
+	poolMu sync.Mutex
+	// taskQ is the FIFO of accepted tasks awaiting a slot; qHead indexes the
+	// next task so dequeue is O(1) without reallocating.
+	taskQ []queuedTask
+	qHead int
+	// slotWorkers counts live worker goroutines, including blocked ones;
+	// slotBlocked counts the subset currently parked in user code (Get/Wait)
+	// that have lent their slot out.
+	slotWorkers int
+	slotBlocked int
+
 	scheduledLocal atomic.Int64
 	forwarded      atomic.Int64
 	completed      atomic.Int64
 	failed         atomic.Int64
+}
+
+// queuedTask pairs a task with the context it was submitted under.
+type queuedTask struct {
+	ctx  context.Context
+	spec *task.Spec
 }
 
 // NewLocal creates a local scheduler.
@@ -90,6 +124,9 @@ func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forwa
 	}
 	if cfg.EMAAlpha <= 0 || cfg.EMAAlpha > 1 {
 		cfg.EMAAlpha = 0.2
+	}
+	if cfg.WorkerSlots <= 0 {
+		cfg.WorkerSlots = defaultWorkerSlots(cfg.Pool)
 	}
 	l := &Local{
 		cfg:       cfg,
@@ -101,6 +138,22 @@ func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forwa
 	}
 	l.cond = sync.NewCond(&l.mu)
 	return l
+}
+
+// defaultWorkerSlots sizes the slot pool: enough to keep every CPU the node
+// offers busy with headroom for tasks in their pull/acquire phases, and never
+// fewer than 8 so small nodes still overlap I/O with execution.
+func defaultWorkerSlots(pool *resources.Pool) int {
+	slots := 2 * runtime.GOMAXPROCS(0)
+	if pool != nil {
+		if byCPU := int(2 * pool.Total(resources.CPU)); byCPU > slots {
+			slots = byCPU
+		}
+	}
+	if slots < 8 {
+		slots = 8
+	}
+	return slots
 }
 
 // NodeID returns the owning node's ID.
@@ -167,7 +220,9 @@ func (l *Local) delay(ctx context.Context) error {
 	}
 }
 
-// accept queues the task locally and runs it asynchronously.
+// accept queues the task locally and runs it asynchronously: through the
+// reusable slot pool by default, or on a dedicated goroutine per task under
+// DirectDispatch.
 func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 	l.mu.Lock()
 	if l.draining {
@@ -177,8 +232,65 @@ func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 	l.queued++
 	l.mu.Unlock()
 	l.scheduledLocal.Add(1)
-	go l.runTask(ctx, spec)
+	if l.cfg.DirectDispatch {
+		go l.runTask(ctx, spec)
+		return nil
+	}
+	l.poolMu.Lock()
+	l.taskQ = append(l.taskQ, queuedTask{ctx: ctx, spec: spec})
+	l.spawnWorkerLocked()
+	l.poolMu.Unlock()
 	return nil
+}
+
+// spawnWorkerLocked starts a slot worker when there is queued work and a free
+// slot (a blocked worker's slot counts as free). Called with poolMu held.
+func (l *Local) spawnWorkerLocked() {
+	if len(l.taskQ)-l.qHead > 0 && l.slotWorkers-l.slotBlocked < l.cfg.WorkerSlots {
+		l.slotWorkers++
+		go l.slotWorker()
+	}
+}
+
+// slotWorker drains the task queue. Workers exit when the queue is empty or
+// when unblocked tasks have pushed the active count over the slot target, so
+// the pool shrinks back to its configured size on its own.
+func (l *Local) slotWorker() {
+	for {
+		l.poolMu.Lock()
+		if len(l.taskQ)-l.qHead == 0 || l.slotWorkers-l.slotBlocked > l.cfg.WorkerSlots {
+			l.slotWorkers--
+			l.poolMu.Unlock()
+			return
+		}
+		qt := l.taskQ[l.qHead]
+		l.taskQ[l.qHead] = queuedTask{} // release references
+		l.qHead++
+		if l.qHead > 64 && l.qHead*2 >= len(l.taskQ) {
+			l.taskQ = append(l.taskQ[:0], l.taskQ[l.qHead:]...)
+			l.qHead = 0
+		}
+		l.poolMu.Unlock()
+		l.runTask(qt.ctx, qt.spec)
+	}
+}
+
+// noteBlocked records that a slot worker is parked in user code and hands its
+// slot to queued work — without this, a task tree deeper than the slot count
+// would deadlock waiting for its own descendants.
+func (l *Local) noteBlocked() {
+	l.poolMu.Lock()
+	l.slotBlocked++
+	l.spawnWorkerLocked()
+	l.poolMu.Unlock()
+}
+
+// noteUnblocked is the counterpart of noteBlocked, called after the task has
+// re-acquired whatever it needs to resume.
+func (l *Local) noteUnblocked() {
+	l.poolMu.Lock()
+	l.slotBlocked--
+	l.poolMu.Unlock()
 }
 
 // runTask drives one task through dependency resolution, resource
@@ -231,24 +343,38 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 		}
 	}
 
-	// 3. Execute. Plain tasks get block hooks so that a nested blocking Get
-	//    releases this task's resources while it waits for its children —
-	//    otherwise a recursion deeper than the node's CPU count deadlocks.
+	// 3. Execute. Block hooks make a nested blocking Get release what this
+	//    task holds while it waits for its children: plain tasks release
+	//    their resources (otherwise a recursion deeper than the node's CPU
+	//    count deadlocks), and any task run through the slot pool lends its
+	//    dispatch slot to queued work for the same reason.
 	runCtx := ctx
-	if !isMethod && !spec.ActorCreation {
+	releaseResources := !isMethod && !spec.ActorCreation
+	lendSlot := !l.cfg.DirectDispatch
+	if releaseResources || lendSlot {
 		runCtx = types.WithBlockHooks(ctx, types.BlockHooks{
 			OnBlock: func() {
-				l.mu.Lock()
-				l.cfg.Pool.Release(spec.Resources)
-				l.mu.Unlock()
-				l.cond.Broadcast()
+				if releaseResources {
+					l.mu.Lock()
+					l.cfg.Pool.Release(spec.Resources)
+					l.mu.Unlock()
+					l.cond.Broadcast()
+				}
+				if lendSlot {
+					l.noteBlocked()
+				}
 			},
 			OnUnblock: func() {
-				l.mu.Lock()
-				for !l.cfg.Pool.Acquire(spec.Resources) {
-					l.cond.Wait()
+				if releaseResources {
+					l.mu.Lock()
+					for !l.cfg.Pool.Acquire(spec.Resources) {
+						l.cond.Wait()
+					}
+					l.mu.Unlock()
 				}
-				l.mu.Unlock()
+				if lendSlot {
+					l.noteUnblocked()
+				}
 			},
 		})
 	}
@@ -351,6 +477,11 @@ type LocalStats struct {
 	Completed        int64
 	Failed           int64
 	Queued           int
+	// SlotWorkers is the number of live slot-pool worker goroutines
+	// (including blocked ones); zero under DirectDispatch.
+	SlotWorkers int
+	// SlotQueueLen is the number of accepted tasks still waiting for a slot.
+	SlotQueueLen int
 }
 
 // Stats returns a snapshot of counters.
@@ -358,11 +489,17 @@ func (l *Local) Stats() LocalStats {
 	l.mu.Lock()
 	queued := l.queued
 	l.mu.Unlock()
+	l.poolMu.Lock()
+	workers := l.slotWorkers
+	slotQueue := len(l.taskQ) - l.qHead
+	l.poolMu.Unlock()
 	return LocalStats{
 		ScheduledLocally: l.scheduledLocal.Load(),
 		Forwarded:        l.forwarded.Load(),
 		Completed:        l.completed.Load(),
 		Failed:           l.failed.Load(),
 		Queued:           queued,
+		SlotWorkers:      workers,
+		SlotQueueLen:     slotQueue,
 	}
 }

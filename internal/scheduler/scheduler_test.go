@@ -579,3 +579,87 @@ func TestCentralizedBalancesLoad(t *testing.T) {
 		t.Fatal("cancelled schedule must fail")
 	}
 }
+
+// --- Slot pool tests -------------------------------------------------------------
+
+func TestSlotPoolBoundsConcurrentWorkers(t *testing.T) {
+	runner := &fakeRunner{duration: 20 * time.Millisecond}
+	// 8 CPUs but only 2 slots: concurrency is slot-bound, not resource-bound.
+	l := newLocal(LocalConfig{Pool: resources.NewNodePool(8, 0, 0), WorkerSlots: 2, SpilloverThreshold: 100}, runner, &fakePuller{}, &fakeForwarder{})
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := l.Submit(ctx, simpleSpec(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return l.Stats().Completed == 8 }, "all tasks complete")
+	if max := runner.maxConc.Load(); max > 2 {
+		t.Fatalf("slot pool over-committed: %d concurrent tasks with 2 slots", max)
+	}
+	// Idle pool shrinks back to zero workers.
+	waitFor(t, func() bool { return l.Stats().SlotWorkers == 0 }, "workers retire when idle")
+}
+
+// blockingRunner simulates a task that blocks on a nested Get: the "parent"
+// task enters the scheduler's block hooks and waits until the "child" task
+// has run. With one slot this only completes if the blocked parent lends its
+// slot to the child.
+type blockingRunner struct {
+	childDone chan struct{}
+}
+
+func (r *blockingRunner) Run(ctx context.Context, spec *task.Spec) error {
+	if spec.Function == "parent" {
+		hooks, ok := types.BlockHooksFrom(ctx)
+		if !ok {
+			return errors.New("parent task has no block hooks")
+		}
+		hooks.OnBlock()
+		select {
+		case <-r.childDone:
+		case <-time.After(5 * time.Second):
+			return errors.New("child never ran: slot was not lent out")
+		}
+		hooks.OnUnblock()
+		return nil
+	}
+	close(r.childDone)
+	return nil
+}
+
+func (r *blockingRunner) Fail(ctx context.Context, spec *task.Spec, cause error) error { return nil }
+
+func TestSlotPoolBlockedTaskLendsSlot(t *testing.T) {
+	runner := &blockingRunner{childDone: make(chan struct{})}
+	l := newLocal(LocalConfig{Pool: resources.NewNodePool(8, 0, 0), WorkerSlots: 1, SpilloverThreshold: 100}, runner, &fakePuller{}, &fakeForwarder{})
+	ctx := context.Background()
+	parent := simpleSpec(1)
+	parent.Function = "parent"
+	if err := l.Submit(ctx, parent); err != nil {
+		t.Fatal(err)
+	}
+	child := simpleSpec(1)
+	child.Function = "child"
+	if err := l.Submit(ctx, child); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return l.Stats().Completed == 2 }, "parent and child complete")
+	if l.Stats().Failed != 0 {
+		t.Fatal("blocked parent must not fail")
+	}
+}
+
+func TestDirectDispatchKnob(t *testing.T) {
+	runner := &fakeRunner{duration: 10 * time.Millisecond}
+	l := newLocal(LocalConfig{DirectDispatch: true, SpilloverThreshold: 100}, runner, &fakePuller{}, &fakeForwarder{})
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := l.Submit(ctx, simpleSpec(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().SlotWorkers != 0 {
+		t.Fatal("direct dispatch must not start slot workers")
+	}
+	waitFor(t, func() bool { return l.Stats().Completed == 4 }, "tasks complete")
+}
