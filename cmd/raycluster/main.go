@@ -14,8 +14,7 @@ import (
 	"time"
 
 	"ray/internal/codec"
-	"ray/internal/core"
-	"ray/internal/worker"
+	"ray/ray"
 )
 
 func main() {
@@ -23,39 +22,33 @@ func main() {
 	cpus := flag.Float64("cpus", 4, "CPUs per node")
 	tasks := flag.Int("tasks", 200, "number of tasks to run")
 	kill := flag.Int("kill", 1, "number of nodes to kill mid-run")
-	batched := flag.Bool("batched", false, "enable the batched control plane (GCS write batching + coalesced heartbeats)")
+	sync := flag.Bool("sync", false, "disable the batched control plane (synchronous GCS writes + per-node heartbeats, the ablation baseline)")
 	flag.Parse()
 
 	ctx := context.Background()
-	cfg := core.DefaultConfig()
+	cfg := ray.DefaultConfig()
 	cfg.Nodes = *nodes
 	cfg.CPUsPerNode = *cpus
 	cfg.SpilloverThreshold = 4
 	cfg.CheckpointInterval = 10
-	cfg.GCSBatchWrites = *batched
-	cfg.CoalesceHeartbeats = *batched
-	rt, err := core.Init(ctx, cfg)
+	cfg.SyncWrites = *sync
+	cfg.PerNodeHeartbeats = *sync
+	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 
-	err = rt.Register("work", "burns a few milliseconds and returns its input + 1",
-		func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
-			var x int
-			if err := codec.Decode(args[0], &x); err != nil {
-				return nil, err
-			}
+	work, err := ray.Register1(rt, "work", "burns a few milliseconds and returns its input + 1",
+		func(tc *ray.Context, x int) (int, error) {
 			time.Sleep(2 * time.Millisecond)
-			return [][]byte{codec.MustEncode(x + 1)}, nil
+			return x + 1, nil
 		})
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = rt.RegisterActor("Counter", "stateful counter",
-		func(tc *core.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-			return &counter{}, nil
-		})
+	Counter, err := ray.RegisterActor0(rt, "Counter", "stateful counter",
+		func(tc *ray.Context) (ray.ActorInstance, error) { return &counter{}, nil })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,14 +57,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	actor, err := driver.CreateActor("Counter", core.CallOptions{})
+	actor, err := Counter.New(driver)
 	if err != nil {
 		log.Fatal(err)
 	}
+	inc := ray.Method0[int](actor, "inc")
 
 	fmt.Printf("running %d tasks across %d nodes, killing %d node(s) mid-run...\n", *tasks, *nodes, *kill)
 	killed := 0
-	var refs []core.ObjectRef
+	var refs []ray.ObjectRef[int]
 	for i := 0; i < *tasks; i++ {
 		if killed < *kill && i == (*tasks/2)*(killed+1)/(*kill) {
 			for _, n := range rt.Cluster().NodeList() {
@@ -83,20 +77,20 @@ func main() {
 				}
 			}
 		}
-		ref, err := driver.Call1("work", core.CallOptions{}, i)
+		ref, err := work.Remote(driver, i)
 		if err != nil {
 			log.Fatal(err)
 		}
 		refs = append(refs, ref)
 		if i%10 == 0 {
-			if _, err := driver.CallActor1(actor, "inc", core.CallOptions{}); err != nil {
+			if _, err := inc.Remote(driver); err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
 	ok := 0
 	for _, ref := range refs {
-		if _, err := core.Get[int](driver.TaskContext, ref); err == nil {
+		if _, err := ray.Get(driver, ref); err == nil {
 			ok++
 		}
 	}
@@ -128,7 +122,7 @@ func main() {
 
 type counter struct{ value int }
 
-func (c *counter) Call(ctx *core.TaskContext, method string, args [][]byte) ([][]byte, error) {
+func (c *counter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
 	switch method {
 	case "inc":
 		c.value++

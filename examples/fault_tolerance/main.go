@@ -12,14 +12,13 @@ import (
 	"log"
 
 	"ray/internal/codec"
-	"ray/internal/core"
-	"ray/internal/worker"
+	"ray/ray"
 )
 
 // tally is a checkpointable actor that counts how many values it has seen.
 type tally struct{ seen int }
 
-func (t *tally) Call(ctx *core.TaskContext, method string, args [][]byte) ([][]byte, error) {
+func (t *tally) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
 	switch method {
 	case "observe":
 		t.seen++
@@ -35,30 +34,24 @@ func (t *tally) Restore(data []byte) error   { return codec.Decode(data, &t.seen
 func main() {
 	ctx := context.Background()
 
-	cfg := core.DefaultConfig()
+	cfg := ray.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.LabelNodes = true      // so the actor can be pinned to a node we will kill
 	cfg.CheckpointInterval = 5 // checkpoint actors every 5 method calls
 	cfg.SpilloverThreshold = 2 // spread work across the cluster aggressively
-	rt, err := core.Init(ctx, cfg)
+	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 
-	err = rt.Register("increment", "adds one to its input", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
-		var x int
-		if err := codec.Decode(args[0], &x); err != nil {
-			return nil, err
-		}
-		return [][]byte{codec.MustEncode(x + 1)}, nil
-	})
+	increment, err := ray.Register1(rt, "increment", "adds one to its input",
+		func(tc *ray.Context, x int) (int, error) { return x + 1, nil })
 	if err != nil {
 		log.Fatal(err)
 	}
-	err = rt.RegisterActor("Tally", "counts observations", func(tc *core.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-		return &tally{}, nil
-	})
+	Tally, err := ray.RegisterActor0(rt, "Tally", "counts observations",
+		func(tc *ray.Context) (ray.ActorInstance, error) { return &tally{}, nil })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,15 +60,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	actor, err := driver.CreateActor("Tally", core.CallOptions{})
+	actor, err := Tally.New(driver)
 	if err != nil {
 		log.Fatal(err)
 	}
+	observe := ray.Method1[int, int](actor, "observe")
 
 	// Build a chain of 30 increment tasks and feed every intermediate value
 	// to the tally actor. Kill a node a third of the way through and another
 	// two thirds of the way through.
-	token, err := driver.Put(0)
+	token, err := ray.Put(driver, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,24 +88,24 @@ func main() {
 				}
 			}
 		}
-		token, err = driver.Call1("increment", core.CallOptions{}, token)
+		token, err = increment.RemoteRef(driver, token)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := driver.CallActor1(actor, "observe", core.CallOptions{}, token); err != nil {
+		if _, err := observe.RemoteRef(driver, token); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	final, err := core.Get[int](driver.TaskContext, token)
+	final, err := ray.Get(driver, token)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seenRef, err := driver.CallActor1(actor, "observe", core.CallOptions{}, token)
+	seenRef, err := observe.RemoteRef(driver, token)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seen, err := core.Get[int](driver.TaskContext, seenRef)
+	seen, err := ray.Get(driver, seenRef)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,18 +10,18 @@ import (
 	"fmt"
 	"log"
 
-	"ray/internal/core"
 	"ray/internal/sgd"
+	"ray/ray"
 )
 
 func main() {
 	ctx := context.Background()
 
-	cfg := core.DefaultConfig()
+	cfg := ray.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.CPUsPerNode = 4
 	cfg.LabelNodes = true
-	rt, err := core.Init(ctx, cfg)
+	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,7 +1,17 @@
-// Command quickstart is the smallest end-to-end Ray program: it starts an
-// in-process cluster, registers a remote function and an actor class, and
-// exercises the whole API of the paper's Table 1 — f.remote, ray.get,
-// ray.wait, actor creation, and actor method calls.
+// Command quickstart is the smallest end-to-end Ray program, written against
+// the typed API in the ray package. It walks the whole of the paper's
+// Table 1, one mapping per section:
+//
+//	futures = f.remote(args)        -> square.Remote(driver, 7)
+//	objects = ray.get(futures)      -> ray.Get(driver, fut)
+//	ready   = ray.wait(futures,k,t) -> ray.Wait(driver, futs, 1, time.Second)
+//	actor   = Class.remote(args)    -> Counter.New(driver)
+//	futures = actor.method.remote() -> add.Remote(driver, i)
+//
+// Every handle is typed: square only accepts a float64 (passing a string is
+// a compile error), its future is an ObjectRef[float64], and ray.Get returns
+// a float64 — no casts, no out-pointers, no stringly-typed function names at
+// the call sites.
 package main
 
 import (
@@ -12,14 +22,15 @@ import (
 	"time"
 
 	"ray/internal/codec"
-	"ray/internal/core"
-	"ray/internal/worker"
+	"ray/ray"
 )
 
-// counter is a tiny stateful actor.
+// counter is a tiny stateful actor. Methods are dispatched by name inside
+// Call; the typed method handles below pin the argument and result types on
+// the caller's side.
 type counter struct{ value int }
 
-func (c *counter) Call(ctx *core.TaskContext, method string, args [][]byte) ([][]byte, error) {
+func (c *counter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
 	switch method {
 	case "add":
 		var delta int
@@ -39,41 +50,34 @@ func main() {
 	ctx := context.Background()
 
 	// Start a 3-node cluster with 4 CPUs per node.
-	cfg := core.DefaultConfig()
+	cfg := ray.DefaultConfig()
 	cfg.Nodes = 3
-	rt, err := core.Init(ctx, cfg)
+	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
 
-	// Register a remote function: square(x) = x².
-	err = rt.Register("square", "squares a float64", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
-		var x float64
-		if err := codec.Decode(args[0], &x); err != nil {
-			return nil, err
-		}
-		return [][]byte{codec.MustEncode(x * x)}, nil
-	})
+	// --- Registration mints typed handles -----------------------------------
+	// square is a Func1[float64, float64]: the wrapper decodes the argument
+	// and encodes the result, so the implementation is plain Go.
+	square, err := ray.Register1(rt, "square", "squares a float64",
+		func(tc *ray.Context, x float64) (float64, error) { return x * x, nil })
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Register a slow function so ray.wait has something to race.
-	err = rt.Register("slow_square", "squares a float64, slowly", func(tc *core.TaskContext, args [][]byte) ([][]byte, error) {
-		time.Sleep(200 * time.Millisecond)
-		var x float64
-		if err := codec.Decode(args[0], &x); err != nil {
-			return nil, err
-		}
-		return [][]byte{codec.MustEncode(x * x)}, nil
-	})
+	// A slow variant so ray.Wait has something to race.
+	slowSquare, err := ray.Register1(rt, "slow_square", "squares a float64, slowly",
+		func(tc *ray.Context, x float64) (float64, error) {
+			time.Sleep(200 * time.Millisecond)
+			return x * x, nil
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Register the Counter actor class.
-	err = rt.RegisterActor("Counter", "a stateful counter", func(tc *core.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-		return &counter{}, nil
-	})
+	// The Counter actor class, with a no-argument constructor.
+	Counter, err := ray.RegisterActor0(rt, "Counter", "a stateful counter",
+		func(tc *ray.Context) (ray.ActorInstance, error) { return &counter{}, nil })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,45 +89,50 @@ func main() {
 	}
 
 	// --- Tasks: futures = f.remote(args); values = ray.get(futures) --------
-	fut, err := driver.Call1("square", core.CallOptions{}, 7.0)
+	fut, err := square.Remote(driver, 7.0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	squared, err := core.Get[float64](driver.TaskContext, fut)
+	squared, err := ray.Get(driver, fut)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("square(7) = %v\n", squared)
 
-	// Futures chain without blocking: square(square(7)).
-	fut2, err := driver.Call1("square", core.CallOptions{}, fut)
+	// Futures chain without blocking: square(square(7)). RemoteRef passes
+	// the future itself, so the dependency flows through the task graph.
+	fut2, err := square.RemoteRef(driver, fut)
 	if err != nil {
 		log.Fatal(err)
 	}
-	chained, _ := core.Get[float64](driver.TaskContext, fut2)
+	chained, _ := ray.Get(driver, fut2)
 	fmt.Printf("square(square(7)) = %v\n", chained)
 
 	// --- ray.wait: react to whichever result is ready first -----------------
-	fast, _ := driver.Call1("square", core.CallOptions{}, 3.0)
-	slow, _ := driver.Call1("slow_square", core.CallOptions{}, 4.0)
-	ready, notReady, err := driver.Wait([]core.ObjectRef{fast, slow}, 1, time.Second)
+	fast, _ := square.Remote(driver, 3.0)
+	slow, _ := slowSquare.Remote(driver, 4.0)
+	ready, notReady, err := ray.Wait(driver, []ray.ObjectRef[float64]{fast, slow}, 1, time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ray.wait: %d ready, %d still running\n", len(ready), len(notReady))
 
 	// --- Actors: stateful computation ---------------------------------------
-	handle, err := driver.CreateActor("Counter", core.CallOptions{})
+	// Counter.New is the Class.remote() of Table 1; the typed method handles
+	// pin add to int -> int and value to () -> int.
+	handle, err := Counter.New(driver)
 	if err != nil {
 		log.Fatal(err)
 	}
+	add := ray.Method1[int, int](handle, "add")
+	value := ray.Method0[int](handle, "value")
 	for i := 1; i <= 5; i++ {
-		if _, err := driver.CallActor1(handle, "add", core.CallOptions{}, i); err != nil {
+		if _, err := add.Remote(driver, i); err != nil {
 			log.Fatal(err)
 		}
 	}
-	valueRef, _ := driver.CallActor1(handle, "value", core.CallOptions{})
-	total, _ := core.Get[int](driver.TaskContext, valueRef)
+	valueRef, _ := value.Remote(driver)
+	total, _ := ray.Get(driver, valueRef)
 	fmt.Printf("counter value after 5 adds = %d (expected 15)\n", total)
 
 	// Cluster statistics: how much work each node did.

@@ -11,18 +11,18 @@ import (
 	"fmt"
 	"log"
 
-	"ray/internal/core"
 	"ray/internal/rl/es"
+	"ray/ray"
 )
 
 func main() {
 	ctx := context.Background()
 
-	cfg := core.DefaultConfig()
+	cfg := ray.DefaultConfig()
 	cfg.Nodes = 4
 	cfg.CPUsPerNode = 4
 	cfg.LabelNodes = true
-	rt, err := core.Init(ctx, cfg)
+	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

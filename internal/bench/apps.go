@@ -6,7 +6,6 @@ import (
 
 	"ray/internal/baselines/bsp"
 	"ray/internal/baselines/mpi"
-	"ray/internal/codec"
 	"ray/internal/collective"
 	"ray/internal/core"
 	"ray/internal/netsim"
@@ -16,17 +15,18 @@ import (
 	"ray/internal/serve"
 	"ray/internal/sgd"
 	"ray/internal/sim"
+	"ray/ray"
 )
 
 // runSimRollout backs the bench.sim_rollout remote function.
-func runSimRollout(envName string, seed int64, maxSteps int) ([][]byte, error) {
+func runSimRollout(envName string, seed int64, maxSteps int) (int, error) {
 	env, err := sim.New(envName)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
 	policy := rl.NewLinearPolicy(env.ObservationSize(), env.ActionSize())
 	traj := rl.Rollout(env, policy, seed, maxSteps, false)
-	return [][]byte{codec.MustEncode(traj.Steps)}, nil
+	return traj.Steps, nil
 }
 
 // Fig12aAllreduce reproduces Figure 12a: ring allreduce completion time for
@@ -334,13 +334,14 @@ func raySimulationRun(workers, totalRollouts, maxSteps int) (float64, error) {
 		return 0, err
 	}
 	defer rt.Shutdown()
-	if err := registerBenchFunctions(rt); err != nil {
+	fns, err := registerBenchFunctions(rt)
+	if err != nil {
 		return 0, err
 	}
 	start := time.Now()
-	refs := make([]core.ObjectRef, totalRollouts)
+	refs := make([]ray.ObjectRef[int], totalRollouts)
 	for i := 0; i < totalRollouts; i++ {
-		ref, err := d.Call1(simRolloutName, core.CallOptions{}, "humanoid-like", int64(i), maxSteps)
+		ref, err := fns.simRollout.Remote(d, "humanoid-like", int64(i), maxSteps)
 		if err != nil {
 			return 0, err
 		}
@@ -351,13 +352,13 @@ func raySimulationRun(workers, totalRollouts, maxSteps int) (float64, error) {
 	totalSteps := 0
 	remaining := refs
 	for len(remaining) > 0 {
-		ready, notReady, err := d.Wait(remaining, 1, 0)
+		ready, notReady, err := ray.Wait(d, remaining, 1, 0)
 		if err != nil {
 			return 0, err
 		}
 		for _, ref := range ready {
-			var steps int
-			if err := d.Get(ref, &steps); err != nil {
+			steps, err := ray.Get(d, ref)
+			if err != nil {
 				return 0, err
 			}
 			totalSteps += steps

@@ -18,10 +18,9 @@ import (
 	"strings"
 	"time"
 
-	"ray/internal/codec"
 	"ray/internal/core"
 	"ray/internal/netsim"
-	"ray/internal/worker"
+	"ray/ray"
 )
 
 // Scale selects how much work an experiment does.
@@ -114,85 +113,73 @@ func newCluster(cfg core.Config) (*core.Runtime, *core.Driver, error) {
 	return rt, d, nil
 }
 
-// Benchmark remote functions shared by several experiments.
-const (
-	noopTaskName    = "bench.noop"
-	dependerName    = "bench.consume"
-	makeBytesName   = "bench.make_bytes"
-	chainStepName   = "bench.chain_step"
-	simRolloutName  = "bench.sim_rollout"
-	benchCounterCls = "bench.Counter"
-)
+// benchFuncs holds the typed handles of the small remote functions the
+// microbenchmarks use. Handles are minted at registration, so experiment
+// code cannot misspell a function name or mistype an argument.
+type benchFuncs struct {
+	// noop is the empty task of the throughput microbenchmark.
+	noop ray.Func0[bool]
+	// consume takes one payload object and returns its size.
+	consume ray.Func1[[]byte, int]
+	// makeBytes produces a payload of the requested size.
+	makeBytes ray.Func1[int, []byte]
+	// chainStep sleeps sleepMillis then returns token+1.
+	chainStep ray.Func2[int, int, int]
+	// simRollout runs one simulator rollout (env, seed, maxSteps) and
+	// returns its step count.
+	simRollout ray.Func3[string, int64, int, int]
+	// counter is the checkpointable counter actor class of the
+	// fault-tolerance experiments.
+	counter ray.ActorClass0
+}
 
-// registerBenchFunctions publishes the small remote functions the
-// microbenchmarks use.
-func registerBenchFunctions(rt *core.Runtime) error {
-	if err := rt.Register(noopTaskName, "empty task (throughput microbenchmark)",
-		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
-			return [][]byte{codec.MustEncode(true)}, nil
-		}); err != nil {
-		return err
+// registerBenchFunctions publishes the benchmark functions and returns their
+// typed handles.
+func registerBenchFunctions(rt *core.Runtime) (benchFuncs, error) {
+	var fns benchFuncs
+	var err error
+	fns.noop, err = ray.Register0(rt, "bench.noop", "empty task (throughput microbenchmark)",
+		func(ctx *ray.Context) (bool, error) { return true, nil })
+	if err != nil {
+		return fns, err
 	}
-	if err := rt.Register(dependerName, "consumes one object and returns its size",
-		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
-			var payload []byte
-			if err := codec.Decode(args[0], &payload); err != nil {
-				return nil, err
-			}
-			return [][]byte{codec.MustEncode(len(payload))}, nil
-		}); err != nil {
-		return err
+	fns.consume, err = ray.Register1(rt, "bench.consume", "consumes one object and returns its size",
+		func(ctx *ray.Context, payload []byte) (int, error) { return len(payload), nil })
+	if err != nil {
+		return fns, err
 	}
-	if err := rt.Register(makeBytesName, "produces a payload of the requested size",
-		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
-			var size int
-			if err := codec.Decode(args[0], &size); err != nil {
-				return nil, err
-			}
+	fns.makeBytes, err = ray.Register1(rt, "bench.make_bytes", "produces a payload of the requested size",
+		func(ctx *ray.Context, size int) ([]byte, error) {
 			payload := make([]byte, size)
 			for i := range payload {
 				payload[i] = byte(i)
 			}
-			return [][]byte{codec.MustEncode(payload)}, nil
-		}); err != nil {
-		return err
+			return payload, nil
+		})
+	if err != nil {
+		return fns, err
 	}
-	if err := rt.Register(chainStepName, "sleeps briefly and passes a token along a chain",
-		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
-			var token int
-			if err := codec.Decode(args[0], &token); err != nil {
-				return nil, err
-			}
-			var sleepMillis int
-			if err := codec.Decode(args[1], &sleepMillis); err != nil {
-				return nil, err
-			}
+	fns.chainStep, err = ray.Register2(rt, "bench.chain_step", "sleeps briefly and passes a token along a chain",
+		func(ctx *ray.Context, token, sleepMillis int) (int, error) {
 			if sleepMillis > 0 {
 				time.Sleep(time.Duration(sleepMillis) * time.Millisecond)
 			}
-			return [][]byte{codec.MustEncode(token + 1)}, nil
-		}); err != nil {
-		return err
+			return token + 1, nil
+		})
+	if err != nil {
+		return fns, err
 	}
-	if err := rt.Register(simRolloutName, "runs one simulator rollout and returns its step count",
-		func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
-			var envName string
-			if err := codec.Decode(args[0], &envName); err != nil {
-				return nil, err
-			}
-			var seed int64
-			if err := codec.Decode(args[1], &seed); err != nil {
-				return nil, err
-			}
-			var maxSteps int
-			if err := codec.Decode(args[2], &maxSteps); err != nil {
-				return nil, err
-			}
+	fns.simRollout, err = ray.Register3(rt, "bench.sim_rollout", "runs one simulator rollout and returns its step count",
+		func(ctx *ray.Context, envName string, seed int64, maxSteps int) (int, error) {
 			return runSimRollout(envName, seed, maxSteps)
-		}); err != nil {
-		return err
+		})
+	if err != nil {
+		return fns, err
 	}
-	return rt.RegisterActor(benchCounterCls, "checkpointable counter actor (fault-tolerance experiments)", newBenchCounter)
+	fns.counter, err = ray.RegisterActor0(rt, "bench.Counter",
+		"checkpointable counter actor (fault-tolerance experiments)",
+		func(ctx *ray.Context) (ray.ActorInstance, error) { return &benchCounter{}, nil })
+	return fns, err
 }
 
 // realisticNetwork returns a data-plane model matching the paper's testbed

@@ -9,6 +9,7 @@ import (
 	"ray/internal/codec"
 	"ray/internal/core"
 	"ray/internal/worker"
+	"ray/ray"
 )
 
 // benchCounter is a checkpointable counter actor used by the actor
@@ -16,10 +17,6 @@ import (
 type benchCounter struct {
 	mu    sync.Mutex
 	value int
-}
-
-func newBenchCounter(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-	return &benchCounter{}, nil
 }
 
 // Call implements worker.ActorInstance.
@@ -73,7 +70,8 @@ func Fig11aTaskReconstruction(scale Scale) (*Table, error) {
 		return nil, err
 	}
 	defer rt.Shutdown()
-	if err := registerBenchFunctions(rt); err != nil {
+	fns, err := registerBenchFunctions(rt)
+	if err != nil {
 		return nil, err
 	}
 	ctx := context.Background()
@@ -81,14 +79,14 @@ func Fig11aTaskReconstruction(scale Scale) (*Table, error) {
 	// Phase 1: run the first half of every chain.
 	half := stepsPerChain / 2
 	phase1Start := time.Now()
-	heads := make([]core.ObjectRef, chains)
+	heads := make([]ray.ObjectRef[int], chains)
 	for c := 0; c < chains; c++ {
-		token, err := d.Put(0)
+		token, err := ray.Put(d, 0)
 		if err != nil {
 			return nil, err
 		}
 		for s := 0; s < half; s++ {
-			token, err = d.Call1(chainStepName, core.CallOptions{}, token, stepMillis)
+			token, err = fns.chainStep.RemoteRef(d, token, ray.ValueRef(stepMillis))
 			if err != nil {
 				return nil, err
 			}
@@ -96,8 +94,7 @@ func Fig11aTaskReconstruction(scale Scale) (*Table, error) {
 		heads[c] = token
 	}
 	for _, h := range heads {
-		var v int
-		if err := d.Get(h, &v); err != nil {
+		if _, err := ray.Get(d, h); err != nil {
 			return nil, err
 		}
 	}
@@ -125,7 +122,7 @@ func Fig11aTaskReconstruction(scale Scale) (*Table, error) {
 		token := heads[c]
 		var err error
 		for s := half; s < stepsPerChain; s++ {
-			token, err = d.Call1(chainStepName, core.CallOptions{}, token, stepMillis)
+			token, err = fns.chainStep.RemoteRef(d, token, ray.ValueRef(stepMillis))
 			if err != nil {
 				return nil, err
 			}
@@ -138,8 +135,8 @@ func Fig11aTaskReconstruction(scale Scale) (*Table, error) {
 	}
 	var finalSum int
 	for _, h := range heads {
-		var v int
-		if err := d.Get(h, &v); err != nil {
+		v, err := ray.Get(d, h)
+		if err != nil {
 			return nil, err
 		}
 		finalSum += v
@@ -207,28 +204,30 @@ func actorReconstructionRun(actors, methodsBefore int, checkpoint bool) ([]strin
 		return nil, err
 	}
 	defer rt.Shutdown()
-	if err := registerBenchFunctions(rt); err != nil {
+	fns, err := registerBenchFunctions(rt)
+	if err != nil {
 		return nil, err
 	}
 	ctx := context.Background()
 
-	handles := make([]*worker.ActorHandle, actors)
+	handles := make([]*ray.Actor, actors)
+	incs := make([]ray.MethodHandle0[int], actors)
 	for i := range handles {
-		h, err := d.CreateActor(benchCounterCls, core.CallOptions{})
+		h, err := fns.counter.New(d)
 		if err != nil {
 			return nil, err
 		}
 		handles[i] = h
+		incs[i] = ray.Method0[int](h, "inc")
 	}
 	// Run the pre-failure methods.
 	for m := 0; m < methodsBefore; m++ {
-		for _, h := range handles {
-			ref, err := d.CallActor1(h, "inc", core.CallOptions{})
+		for _, inc := range incs {
+			ref, err := inc.Remote(d)
 			if err != nil {
 				return nil, err
 			}
-			var v int
-			if err := d.Get(ref, &v); err != nil {
+			if _, err := ray.Get(d, ref); err != nil {
 				return nil, err
 			}
 		}
@@ -253,13 +252,13 @@ func actorReconstructionRun(actors, methodsBefore int, checkpoint bool) ([]strin
 	// Touch every actor once more; lost ones reconstruct transparently.
 	recoveryStart := time.Now()
 	correct := true
-	for _, h := range handles {
-		ref, err := d.CallActor1(h, "inc", core.CallOptions{})
+	for _, inc := range incs {
+		ref, err := inc.Remote(d)
 		if err != nil {
 			return nil, err
 		}
-		var v int
-		if err := d.Get(ref, &v); err != nil {
+		v, err := ray.Get(d, ref)
+		if err != nil {
 			return nil, err
 		}
 		if v != methodsBefore+1 {

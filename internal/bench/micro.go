@@ -15,6 +15,7 @@ import (
 	"ray/internal/objectstore"
 	"ray/internal/task"
 	"ray/internal/types"
+	"ray/ray"
 )
 
 // Fig8aLocality reproduces Figure 8a: mean task latency for tasks with one
@@ -60,7 +61,8 @@ func localityRun(aware bool, objectSize, numTasks int) (time.Duration, error) {
 		return 0, err
 	}
 	defer rt.Shutdown()
-	if err := registerBenchFunctions(rt); err != nil {
+	fns, err := registerBenchFunctions(rt)
+	if err != nil {
 		return 0, err
 	}
 	// Create one dependency object per task (the paper's tasks each depend on
@@ -68,31 +70,30 @@ func localityRun(aware bool, objectSize, numTasks int) (time.Duration, error) {
 	// exist (without pulling them to the driver) so each object has exactly
 	// one replica, on the node that produced it.
 	numObjects := numTasks
-	objects := make([]core.ObjectRef, numObjects)
+	objects := make([]ray.ObjectRef[[]byte], numObjects)
 	for i := range objects {
-		ref, err := d.Call1(makeBytesName, core.CallOptions{Resources: core.OnNode(i % 2)}, objectSize)
+		ref, err := fns.makeBytes.Remote(d, objectSize, ray.OnNode(i%2))
 		if err != nil {
 			return 0, err
 		}
 		objects[i] = ref
 	}
-	if _, _, err := d.Wait(objects, len(objects), 0); err != nil {
+	if _, _, err := ray.Wait(d, objects, len(objects), 0); err != nil {
 		return 0, err
 	}
 	rng := rand.New(rand.NewSource(7))
 	start := time.Now()
-	refs := make([]core.ObjectRef, numTasks)
+	refs := make([]ray.ObjectRef[int], numTasks)
 	for i := 0; i < numTasks; i++ {
 		dep := objects[rng.Intn(numObjects)]
-		ref, err := d.Call1(dependerName, core.CallOptions{ZeroResources: true}, dep)
+		ref, err := fns.consume.RemoteRef(d, dep, ray.ZeroResources())
 		if err != nil {
 			return 0, err
 		}
 		refs[i] = ref
 	}
 	for _, ref := range refs {
-		var n int
-		if err := d.Get(ref, &n); err != nil {
+		if _, err := ray.Get(d, ref); err != nil {
 			return 0, err
 		}
 	}
@@ -144,7 +145,8 @@ func throughputRun(cfg core.Config, tasksPerNode int) (float64, int, error) {
 		return 0, 0, err
 	}
 	defer rt.Shutdown()
-	if err := registerBenchFunctions(rt); err != nil {
+	fns, err := registerBenchFunctions(rt)
+	if err != nil {
 		return 0, 0, err
 	}
 	// One driver per node, each submitting its own stream of empty tasks,
@@ -167,7 +169,7 @@ func throughputRun(cfg core.Config, tasksPerNode int) (float64, int, error) {
 		go func(d *core.Driver) {
 			defer wg.Done()
 			for i := 0; i < tasksPerNode; i++ {
-				if _, err := d.Call1(noopTaskName, core.CallOptions{ZeroResources: true}); err != nil {
+				if _, err := fns.noop.Remote(d, ray.ZeroResources()); err != nil {
 					errs <- err
 					return
 				}
@@ -246,12 +248,14 @@ func throughputBatchedConfig(nodes int, batched bool) core.Config {
 	cfg.CPUsPerNode = 4
 	cfg.GCSShards = 8
 	// Unlike Fig8b, lineage recording stays on: the point is the cost of the
-	// per-task control-plane appends themselves.
+	// per-task control-plane appends themselves. The batched hot path is the
+	// default; the unbatched ablation restores the seed configuration —
+	// synchronous GCS appends, per-node heartbeats, goroutine-per-task
+	// dispatch.
 	cfg.RecordLineage = true
-	if batched {
-		cfg.GCSBatchWrites = true
-		cfg.CoalesceHeartbeats = true
-	} else {
+	if !batched {
+		cfg.SyncWrites = true
+		cfg.PerNodeHeartbeats = true
 		cfg.DirectDispatch = true
 	}
 	return cfg
@@ -411,7 +415,9 @@ func Fig10bGCSFlush(scale Scale) (*Table, error) {
 }
 
 func gcsFlushRun(tasks int, flush bool) (peakBytes int64, flushed int64, err error) {
-	cfg := gcs.Config{Shards: 2, ReplicationFactor: 1}
+	// The synchronous write path isolates what the figure measures (resident
+	// memory vs flushing) from batch-flush timing.
+	cfg := gcs.Config{Shards: 2, ReplicationFactor: 1, SyncWrites: true}
 	if flush {
 		cfg.FlushThresholdBytes = 256 * 1024
 		cfg.FlushWriter = io.Discard

@@ -46,11 +46,12 @@ type Config struct {
 	// resource mechanism). The collective and training workloads use it to
 	// place one participant per node.
 	LabelNodes bool
-	// CoalesceHeartbeats replaces the per-node heartbeat loops with one
-	// cluster-level aggregator that writes every node's load to the GCS as a
-	// single batched commit per shard per tick, so heartbeat write load does
-	// not grow with cluster size.
-	CoalesceHeartbeats bool
+	// PerNodeHeartbeats restores one heartbeat loop (and one GCS write) per
+	// node per tick — the ablation baseline. By default heartbeats are
+	// coalesced: a single cluster-level aggregator writes every node's load
+	// to the GCS as one batched commit per shard per tick, so heartbeat
+	// write load does not grow with cluster size.
+	PerNodeHeartbeats bool
 }
 
 // NodeLabel is the custom resource name that pins work to the i-th node when
@@ -116,7 +117,7 @@ func New(cfg Config) *Cluster {
 		reconInflight: make(map[types.ActorID]chan error),
 	}
 	c.globals = scheduler.NewPool(cfg.GlobalSchedulers, cfg.Scheduling, c.gcs)
-	c.cfg.Node.CoalescedHeartbeats = cfg.CoalesceHeartbeats
+	c.cfg.Node.CoalescedHeartbeats = !cfg.PerNodeHeartbeats
 	for i := 0; i < cfg.Nodes; i++ {
 		ncfg := c.cfg.Node
 		if cfg.LabelNodes {
@@ -150,7 +151,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 			return err
 		}
 	}
-	if c.cfg.CoalesceHeartbeats && c.heartbeatDone == nil {
+	if !c.cfg.PerNodeHeartbeats && c.heartbeatDone == nil {
 		hbCtx, cancel := context.WithCancel(context.Background())
 		c.heartbeatCancel = cancel
 		c.heartbeatDone = make(chan struct{})
@@ -255,7 +256,7 @@ func (c *Cluster) HeadNode() *node.Node {
 // AddNode adds and starts a new node with the given configuration
 // (elastic scale-out, used by the Figure 11a experiment).
 func (c *Cluster) AddNode(ctx context.Context, cfg node.Config) (*node.Node, error) {
-	cfg.CoalescedHeartbeats = c.cfg.CoalesceHeartbeats
+	cfg.CoalescedHeartbeats = !c.cfg.PerNodeHeartbeats
 	n := c.addNodeLocked(cfg)
 	if err := n.Start(ctx); err != nil {
 		return nil, err

@@ -260,60 +260,71 @@ func TestActorReconstructionAfterNodeKill(t *testing.T) {
 	}
 }
 
-func TestBatchedClusterRunsTasksEndToEnd(t *testing.T) {
-	// The batched control plane — GCS write batching plus coalesced
-	// heartbeats — must behave identically from the application's view.
-	cfg := Config{
-		Nodes:              3,
-		Node:               node.Config{CPUs: 4, RecordLineage: true, HeartbeatInterval: 5 * time.Millisecond},
-		GCS:                gcs.Config{Shards: 4, ReplicationFactor: 2, BatchWrites: true},
-		Network:            netsim.InstantConfig(),
-		GlobalSchedulers:   1,
-		CoalesceHeartbeats: true,
-	}
-	c := newTestCluster(t, cfg)
-	d := driverOn(c.HeadNode())
-	refs := make([]types.ObjectID, 50)
-	for i := range refs {
-		ref, err := d.Call1("test.echo", worker.CallOptions{}, i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		refs[i] = ref
-	}
-	for i, ref := range refs {
-		var out int
-		if err := d.Get(ref, &out); err != nil {
-			t.Fatal(err)
-		}
-		if out != i {
-			t.Fatalf("task %d returned %d", i, out)
-		}
-	}
-	// Batched writes actually flowed through the batching path.
-	if c.GCS().Stats().BatchedWrites == 0 {
-		t.Fatal("no writes took the batching path")
-	}
-	// Coalesced heartbeats keep membership fresh: every node's entry was
-	// heartbeated recently by the aggregator.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		entries, err := c.GCS().AliveNodes(context.Background())
-		if err != nil {
-			t.Fatal(err)
-		}
-		fresh := 0
-		for _, e := range entries {
-			if e.HeartbeatAge(time.Now()) < time.Second {
-				fresh++
+func TestClusterRunsTasksEndToEndBothControlPlanes(t *testing.T) {
+	// The batched control plane (the default: GCS write batching plus
+	// coalesced heartbeats) and the synchronous ablation baseline
+	// (SyncWrites + PerNodeHeartbeats) must behave identically from the
+	// application's view.
+	for _, mode := range []string{"batched", "sync"} {
+		t.Run(mode, func(t *testing.T) {
+			sync := mode == "sync"
+			cfg := Config{
+				Nodes:             3,
+				Node:              node.Config{CPUs: 4, RecordLineage: true, HeartbeatInterval: 5 * time.Millisecond},
+				GCS:               gcs.Config{Shards: 4, ReplicationFactor: 2, SyncWrites: sync},
+				Network:           netsim.InstantConfig(),
+				GlobalSchedulers:  1,
+				PerNodeHeartbeats: sync,
 			}
-		}
-		if len(entries) == 3 && fresh == 3 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("heartbeats stale: %d of %d fresh", fresh, len(entries))
-		}
-		time.Sleep(time.Millisecond)
+			c := newTestCluster(t, cfg)
+			d := driverOn(c.HeadNode())
+			refs := make([]types.ObjectID, 50)
+			for i := range refs {
+				ref, err := d.Call1("test.echo", worker.CallOptions{}, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs[i] = ref
+			}
+			for i, ref := range refs {
+				var out int
+				if err := d.Get(ref, &out); err != nil {
+					t.Fatal(err)
+				}
+				if out != i {
+					t.Fatalf("task %d returned %d", i, out)
+				}
+			}
+			// The configured write path is the one that actually ran.
+			batchedWrites := c.GCS().Stats().BatchedWrites
+			if sync && batchedWrites != 0 {
+				t.Fatalf("sync mode took the batching path (%d writes)", batchedWrites)
+			}
+			if !sync && batchedWrites == 0 {
+				t.Fatal("no writes took the batching path")
+			}
+			// Heartbeats keep membership fresh in both modes: via the
+			// cluster-level aggregator (batched) or per-node loops (sync).
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				entries, err := c.GCS().AliveNodes(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh := 0
+				for _, e := range entries {
+					if e.HeartbeatAge(time.Now()) < time.Second {
+						fresh++
+					}
+				}
+				if len(entries) == 3 && fresh == 3 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("heartbeats stale: %d of %d fresh", fresh, len(entries))
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
 	}
 }

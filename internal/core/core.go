@@ -54,18 +54,19 @@ type Config struct {
 	// GCSShards and GCSReplication configure the Global Control Store.
 	GCSShards      int
 	GCSReplication int
-	// GCSBatchWrites enables the GCS batching write path: per-shard pending
+	// SyncWrites disables the GCS batching write path (per-shard pending
 	// buffers committed as single chain batches, amortizing per-task
-	// control-plane appends. Off by default (the synchronous path is the
-	// ablation baseline).
-	GCSBatchWrites bool
+	// control-plane appends) and restores one synchronous chain commit per
+	// append. Batching is the default; SyncWrites is the ablation baseline.
+	SyncWrites bool
 	// GCSBatchFlushInterval and GCSBatchMaxEntries tune the batching write
 	// path (zero = 2ms / 256 entries).
 	GCSBatchFlushInterval time.Duration
 	GCSBatchMaxEntries    int
-	// CoalesceHeartbeats aggregates all nodes' heartbeats into one batched
-	// GCS write per tick instead of one write per node.
-	CoalesceHeartbeats bool
+	// PerNodeHeartbeats restores one heartbeat GCS write per node per tick
+	// instead of the default single coalesced batch per tick (the ablation
+	// baseline).
+	PerNodeHeartbeats bool
 	// SchedulerSlots sets each local scheduler's reusable worker-slot count
 	// (0 = derive from CPU capacity).
 	SchedulerSlots int
@@ -141,9 +142,9 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 		cfg.CPUsPerNode = 4
 	}
 	ccfg := cluster.Config{
-		Nodes:              cfg.Nodes,
-		LabelNodes:         cfg.LabelNodes,
-		CoalesceHeartbeats: cfg.CoalesceHeartbeats,
+		Nodes:             cfg.Nodes,
+		LabelNodes:        cfg.LabelNodes,
+		PerNodeHeartbeats: cfg.PerNodeHeartbeats,
 		Node: node.Config{
 			CPUs:                     cfg.CPUsPerNode,
 			GPUs:                     cfg.GPUsPerNode,
@@ -161,7 +162,7 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 		GCS: gcs.Config{
 			Shards:             max(cfg.GCSShards, 1),
 			ReplicationFactor:  max(cfg.GCSReplication, 1),
-			BatchWrites:        cfg.GCSBatchWrites,
+			SyncWrites:         cfg.SyncWrites,
 			BatchFlushInterval: cfg.GCSBatchFlushInterval,
 			BatchMaxEntries:    cfg.GCSBatchMaxEntries,
 		},
@@ -196,14 +197,25 @@ func (r *Runtime) Config() Config { return r.cfg }
 // Shutdown stops the cluster.
 func (r *Runtime) Shutdown() { r.cluster.Shutdown() }
 
-// Register publishes a remote function under the given name on every node and
-// records it in the GCS function table.
+// Register publishes a single-return remote function under the given name on
+// every node and records it in the GCS function table.
 func (r *Runtime) Register(name string, doc string, fn worker.Function) error {
+	return r.RegisterN(name, doc, 1, fn)
+}
+
+// RegisterN publishes a remote function that produces numReturns objects per
+// invocation, recording the declared arity in the GCS function table (the
+// typed ray package passes the arity of the registered handle here; Register
+// used to hardcode 1 regardless of the function's actual return count).
+func (r *Runtime) RegisterN(name string, doc string, numReturns int, fn worker.Function) error {
+	if numReturns < 1 {
+		numReturns = 1
+	}
 	if err := r.cluster.Registry().Register(name, fn); err != nil {
 		return err
 	}
 	return r.cluster.GCS().RegisterFunction(context.Background(),
-		&gcs.FunctionEntry{Name: name, Doc: doc, NumReturns: 1})
+		&gcs.FunctionEntry{Name: name, Doc: doc, NumReturns: numReturns})
 }
 
 // RegisterActor publishes an actor class under the given name.

@@ -26,9 +26,9 @@ import (
 // in-process consumers (schedulers, object managers, lineage). What batching
 // trades away is the durability acknowledgement: put returns before the
 // entry is chain-replicated, and a shard that loses every replica in the
-// flush window loses the pending entries. The synchronous path (Config.
-// BatchWrites=false) remains the default and is what the ablation benchmarks
-// compare against.
+// flush window loses the pending entries. The synchronous path
+// (Config.SyncWrites=true) is kept as the explicit ablation knob the
+// benchmarks compare against.
 type shardBatcher struct {
 	chain         *chain.Chain
 	flushInterval time.Duration

@@ -41,13 +41,14 @@ type Config struct {
 	FlushThresholdBytes int64
 	// FlushWriter receives flushed entries. Defaults to io.Discard.
 	FlushWriter io.Writer
-	// BatchWrites enables the batching write path: writes are deposited in a
-	// per-shard pending buffer (which doubles as a read overlay, preserving
-	// read-your-writes for this Store's clients) and committed in groups via
-	// single chain commits. This amortizes per-task control-plane appends at
-	// the cost of a deferred durability acknowledgement. Off by default so
-	// the synchronous path remains the ablation baseline.
-	BatchWrites bool
+	// SyncWrites disables the batching write path and restores one
+	// synchronous chain commit per table append. Batching — per-shard pending
+	// buffers (which double as a read overlay, preserving read-your-writes
+	// for this Store's clients) committed in groups via single chain commits
+	// — is the default: it amortizes per-task control-plane appends at the
+	// cost of a deferred durability acknowledgement, and the benchmarks show
+	// ~1.5x task throughput for it. Set SyncWrites for the ablation baseline.
+	SyncWrites bool
 	// BatchFlushInterval is the longest a pending write waits before being
 	// committed. Zero means 2ms.
 	BatchFlushInterval time.Duration
@@ -65,7 +66,7 @@ func DefaultConfig() Config {
 type Store struct {
 	cfg    Config
 	shards []*chain.Chain
-	// batchers is non-nil (one per shard) when cfg.BatchWrites is set.
+	// batchers is non-nil (one per shard) unless cfg.SyncWrites is set.
 	batchers []*shardBatcher
 
 	// pub-sub registry: key -> subscriber channels.
@@ -128,7 +129,7 @@ func New(cfg Config) *Store {
 		})
 		ch.SetOnApply(s.publish)
 		s.shards = append(s.shards, ch)
-		if cfg.BatchWrites {
+		if !cfg.SyncWrites {
 			s.batchers = append(s.batchers, newShardBatcher(ch, cfg.BatchFlushInterval, cfg.BatchMaxEntries, s.maybeFlush))
 		}
 	}
@@ -316,7 +317,7 @@ func (s *Store) maybeFlush() {
 	if s.Bytes() < s.cfg.FlushThresholdBytes {
 		return
 	}
-	n, freed, _ := s.FlushNow()
+	n, freed, _ := s.flushTail()
 	s.flushedN.Add(int64(n))
 	s.flushedBy.Add(freed)
 }
@@ -325,6 +326,25 @@ func (s *Store) maybeFlush() {
 // from every shard to the configured writer. It returns the number of entries
 // flushed and the bytes freed.
 func (s *Store) FlushNow() (int, int64, error) {
+	// Commit pending batched writes first so an explicit flush covers
+	// everything written so far, not just what the background flusher has
+	// already chain-committed. The threshold-driven path (maybeFlush) calls
+	// flushTail directly: it runs inside a batch commit's onCommit hook, so
+	// syncing there would deadlock on the batcher's flush lock. flushMu is
+	// taken only after Sync returns — its onCommit hooks take the same lock
+	// — and serializes this flush with maybeFlush so two flushes cannot
+	// interleave different shards' entries mid-stream into one FlushWriter.
+	if err := s.Sync(context.Background()); err != nil {
+		return 0, 0, err
+	}
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	return s.flushTail()
+}
+
+// flushTail flushes flushable chain-resident entries without committing
+// pending batched writes first.
+func (s *Store) flushTail() (int, int64, error) {
 	s.flushes.Add(1)
 	var total int
 	var freed int64

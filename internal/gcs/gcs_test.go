@@ -292,6 +292,7 @@ func TestFlushingBoundsMemory(t *testing.T) {
 	s := New(Config{
 		Shards:              2,
 		ReplicationFactor:   1,
+		SyncWrites:          true,
 		FlushThresholdBytes: 64 * 1024,
 		FlushWriter:         &sink,
 	})
@@ -495,7 +496,6 @@ func slowBatchStore() *Store {
 	return New(Config{
 		Shards:             4,
 		ReplicationFactor:  2,
-		BatchWrites:        true,
 		BatchFlushInterval: time.Minute,
 		BatchMaxEntries:    1 << 20,
 	})
@@ -584,7 +584,7 @@ func TestBatchedNodeScanSeesPendingRegistration(t *testing.T) {
 }
 
 func TestBatchedSubscriberNotifiedAtCommit(t *testing.T) {
-	s := New(Config{Shards: 2, ReplicationFactor: 1, BatchWrites: true, BatchFlushInterval: time.Millisecond})
+	s := New(Config{Shards: 2, ReplicationFactor: 1, BatchFlushInterval: time.Millisecond})
 	defer s.Close()
 	ctx := context.Background()
 	obj := types.NewObjectID()
@@ -605,7 +605,7 @@ func TestBatchedSubscriberNotifiedAtCommit(t *testing.T) {
 }
 
 func TestBatchedSizeCapTriggersEarlyFlush(t *testing.T) {
-	s := New(Config{Shards: 1, ReplicationFactor: 1, BatchWrites: true, BatchFlushInterval: time.Minute, BatchMaxEntries: 8})
+	s := New(Config{Shards: 1, ReplicationFactor: 1, BatchFlushInterval: time.Minute, BatchMaxEntries: 8})
 	defer s.Close()
 	ctx := context.Background()
 	for i := 0; i < 64; i++ {
@@ -643,7 +643,7 @@ func TestBatchedCloseIsIdempotentAndDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Synchronous stores accept Sync/Close as no-ops.
-	plain := newTestStore()
+	plain := New(Config{Shards: 4, ReplicationFactor: 2, SyncWrites: true})
 	if err := plain.Sync(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -656,9 +656,10 @@ func TestHeartbeatBatchBothModes(t *testing.T) {
 	for _, batched := range []bool{false, true} {
 		cfg := Config{Shards: 4, ReplicationFactor: 2}
 		if batched {
-			cfg.BatchWrites = true
 			cfg.BatchFlushInterval = time.Minute
 			cfg.BatchMaxEntries = 1 << 20
+		} else {
+			cfg.SyncWrites = true
 		}
 		s := New(cfg)
 		ctx := context.Background()
@@ -710,7 +711,7 @@ func TestHeartbeatBatchBothModes(t *testing.T) {
 }
 
 func TestBatchedConcurrentMixedOperations(t *testing.T) {
-	s := New(Config{Shards: 4, ReplicationFactor: 2, BatchWrites: true, BatchFlushInterval: time.Millisecond, BatchMaxEntries: 32})
+	s := New(Config{Shards: 4, ReplicationFactor: 2, BatchFlushInterval: time.Millisecond, BatchMaxEntries: 32})
 	defer s.Close()
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -802,7 +803,7 @@ func TestBatchedFlushThresholdStillBoundsMemory(t *testing.T) {
 	var sink bytes.Buffer
 	s := New(Config{
 		Shards: 2, ReplicationFactor: 1,
-		BatchWrites: true, BatchFlushInterval: time.Millisecond,
+		BatchFlushInterval:  time.Millisecond,
 		FlushThresholdBytes: 64 * 1024, FlushWriter: &sink,
 	})
 	defer s.Close()

@@ -65,7 +65,7 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// CoalescedHeartbeats suppresses this node's own heartbeat loop because
 	// the cluster aggregates every node's load into one batched GCS write
-	// per tick (cluster.Config.CoalesceHeartbeats).
+	// per tick (the default unless cluster.Config.PerNodeHeartbeats is set).
 	CoalescedHeartbeats bool
 	// SchedulerSlots sets the local scheduler's reusable worker-slot count
 	// (0 = derive from CPU capacity and GOMAXPROCS).

@@ -23,14 +23,28 @@ import (
 	"ray/internal/core"
 	"ray/internal/rl"
 	"ray/internal/worker"
+	"ray/ray"
 )
 
 // policyServerName is the registered actor class for policy servers.
 const policyServerName = "serve.PolicyServer"
 
+// policyServerClass is the immutable typed handle of the policy-server actor
+// class. Handles carry only the class name, so one static handle addresses
+// the class on whichever runtime Register published it to.
+var policyServerClass = ray.NamedActorClass1[ModelConfig](policyServerName)
+
 // Register publishes the policy-server actor class with the runtime.
 func Register(rt *core.Runtime) error {
-	return rt.RegisterActor(policyServerName, "embedded policy serving actor", newPolicyServer)
+	_, err := ray.RegisterActor1(rt, policyServerName, "embedded policy serving actor",
+		func(ctx *ray.Context, cfg ModelConfig) (ray.ActorInstance, error) {
+			return &policyServer{
+				policy:  rl.NewMLPPolicy(cfg.ObsSize, cfg.ActionSize, cfg.Hidden, cfg.Seed),
+				obsSize: cfg.ObsSize,
+				delay:   cfg.EvalDelay,
+			}, nil
+		})
+	return err
 }
 
 // ModelConfig describes the served policy.
@@ -54,18 +68,6 @@ type policyServer struct {
 	obsSize int
 	delay   time.Duration
 	served  int
-}
-
-func newPolicyServer(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-	var cfg ModelConfig
-	if err := codec.Decode(args[0], &cfg); err != nil {
-		return nil, err
-	}
-	return &policyServer{
-		policy:  rl.NewMLPPolicy(cfg.ObsSize, cfg.ActionSize, cfg.Hidden, cfg.Seed),
-		obsSize: cfg.ObsSize,
-		delay:   cfg.EvalDelay,
-	}, nil
 }
 
 // fit pads or truncates a state to the policy's input size, so clients can
@@ -115,42 +117,40 @@ func (p *policyServer) evaluate(batch [][]float64) [][]float64 {
 
 // RayServer serves a policy from an actor reachable through the object store.
 type RayServer struct {
-	handle *worker.ActorHandle
+	actor   *ray.Actor
+	predict ray.MethodHandle1[[][]float64, [][]float64]
+	served  ray.MethodHandle0[int]
 }
 
 // NewRayServer creates the serving actor.
 func NewRayServer(ctx *worker.TaskContext, cfg ModelConfig) (*RayServer, error) {
-	h, err := ctx.CreateActor(policyServerName, core.CallOptions{}, cfg)
+	actor, err := policyServerClass.New(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &RayServer{handle: h}, nil
+	return &RayServer{
+		actor:   actor,
+		predict: ray.Method1[[][]float64, [][]float64](actor, "predict"),
+		served:  ray.Method0[int](actor, "served"),
+	}, nil
 }
 
 // Predict evaluates a batch of states and returns the actions.
 func (s *RayServer) Predict(ctx *worker.TaskContext, states [][]float64) ([][]float64, error) {
-	ref, err := ctx.CallActor1(s.handle, "predict", core.CallOptions{}, states)
+	ref, err := s.predict.Remote(ctx, states)
 	if err != nil {
 		return nil, err
 	}
-	var actions [][]float64
-	if err := ctx.Get(ref, &actions); err != nil {
-		return nil, err
-	}
-	return actions, nil
+	return ray.Get(ctx, ref)
 }
 
 // Served returns the number of states the actor has evaluated.
 func (s *RayServer) Served(ctx *worker.TaskContext) (int, error) {
-	ref, err := ctx.CallActor1(s.handle, "served", core.CallOptions{})
+	ref, err := s.served.Remote(ctx)
 	if err != nil {
 		return 0, err
 	}
-	var n int
-	if err := ctx.Get(ref, &n); err != nil {
-		return 0, err
-	}
-	return n, nil
+	return ray.Get(ctx, ref)
 }
 
 // --- Clipper-like REST baseline -----------------------------------------------------

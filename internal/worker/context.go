@@ -66,6 +66,23 @@ func NewTaskContext(ctx context.Context, id types.TaskID, driver types.DriverID,
 // Runtime exposes the underlying cluster runtime (used by the core package).
 func (c *TaskContext) Runtime() Runtime { return c.runtime }
 
+// CallContext returns the context itself. It exists so that every value that
+// embeds a *TaskContext (drivers, application wrappers) satisfies the public
+// ray package's Caller interface without further plumbing. The name avoids
+// colliding with core.Driver's embedded TaskContext field, which would shadow
+// a promoted method of the same name.
+func (c *TaskContext) CallContext() *TaskContext { return c }
+
+// TaskArgument is implemented by external future wrappers — the public ray
+// package's typed ObjectRef[T] — so they convert themselves into task
+// arguments when passed to Call/CreateActor/CallActor, keeping object
+// dependencies flowing through the task graph.
+type TaskArgument interface {
+	// TaskArg returns the argument representation: an object reference for
+	// real futures, an inline value for pre-encoded constants.
+	TaskArg() task.Arg
+}
+
 // RawValue marks an argument as already serialized: it is passed through to
 // the callee unchanged instead of being re-encoded. Library code uses it to
 // forward payloads it received as its own arguments (e.g. a policy broadcast
@@ -79,6 +96,8 @@ func buildArgs(args []any) ([]task.Arg, error) {
 		switch v := a.(type) {
 		case types.ObjectID:
 			out = append(out, task.RefArg(v))
+		case TaskArgument:
+			out = append(out, v.TaskArg())
 		case RawValue:
 			out = append(out, task.ValueArg([]byte(v)))
 		case *ActorHandle:

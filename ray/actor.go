@@ -1,0 +1,192 @@
+package ray
+
+import (
+	"ray/internal/worker"
+)
+
+// ActorInstance is a live actor: private state plus methods invoked
+// serially. Actor types also implementing worker.Checkpointable get
+// user-defined checkpoints that bound reconstruction replay.
+type ActorInstance = worker.ActorInstance
+
+// ActorClass0 is a typed handle to a registered actor class whose
+// constructor takes no arguments. New instantiates actors — the
+// Class.remote() of Table 1.
+type ActorClass0 struct{ name string }
+
+// ActorClass1 is a typed handle to a registered actor class whose
+// constructor takes an A.
+type ActorClass1[A any] struct{ name string }
+
+// Name returns the registered class name.
+func (c ActorClass0) Name() string { return c.name }
+
+// Name returns the registered class name.
+func (c ActorClass1[A]) Name() string { return c.name }
+
+// RegisterActor0 registers an actor class with a no-argument constructor and
+// returns its typed handle.
+func RegisterActor0(rt *Runtime, name, doc string, ctor func(ctx *Context) (ActorInstance, error)) (ActorClass0, error) {
+	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+		return ctor(ctx)
+	})
+	return ActorClass0{name: name}, err
+}
+
+// RegisterActor1 registers an actor class whose constructor takes an A and
+// returns its typed handle.
+func RegisterActor1[A any](rt *Runtime, name, doc string, ctor func(ctx *Context, a A) (ActorInstance, error)) (ActorClass1[A], error) {
+	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+		a, err := decode1[A](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return ctor(ctx, a)
+	})
+	return ActorClass1[A]{name: name}, err
+}
+
+// NamedActorClass0 mints a typed handle for an actor class registered (or to
+// be registered) under a compile-time constant name. Prefer the handle
+// RegisterActor0 returns; this exists so a package can bind an immutable
+// package-level handle to a class it registers per runtime. New fails with
+// a function-not-found error if the class was never registered.
+func NamedActorClass0(name string) ActorClass0 { return ActorClass0{name: name} }
+
+// NamedActorClass1 is NamedActorClass0 for classes whose constructor takes
+// an A.
+func NamedActorClass1[A any](name string) ActorClass1[A] { return ActorClass1[A]{name: name} }
+
+// New instantiates a remote actor of the class. The creation is itself a
+// task — it may be scheduled on any node satisfying the resource options —
+// and returns immediately with a handle.
+func (c ActorClass0) New(caller Caller, opts ...Option) (*Actor, error) {
+	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Actor{h: h}, nil
+}
+
+// New instantiates a remote actor of the class with a constructor argument.
+func (c ActorClass1[A]) New(caller Caller, a A, opts ...Option) (*Actor, error) {
+	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts), a)
+	if err != nil {
+		return nil, err
+	}
+	return &Actor{h: h}, nil
+}
+
+// Actor is a handle to a remote actor. Method calls through the handle
+// return futures exactly like task invocations; consecutive calls are
+// chained with stateful edges so the actor's lineage can be replayed after a
+// failure.
+type Actor struct {
+	h *worker.ActorHandle
+}
+
+// Handle exposes the underlying worker-layer handle for interop with
+// internal plumbing (and for passing the actor to another task as an
+// argument).
+func (a *Actor) Handle() *worker.ActorHandle { return a.h }
+
+// WrapActor adopts a worker-layer actor handle (e.g. one received as a task
+// argument via worker.DecodeActorHandle) into the typed API.
+func WrapActor(h *worker.ActorHandle) *Actor { return &Actor{h: h} }
+
+// Method returns the untyped variadic handle for the named method — the
+// escape hatch mirroring FuncN. Prefer the typed Method0/Method1/Method2
+// constructors, which pin argument and result types at compile time.
+func (a *Actor) Method(name string) ActorMethod {
+	return ActorMethod{actor: a, name: name}
+}
+
+// ActorMethod is an untyped method handle: counter.Method("add").Remote(...).
+type ActorMethod struct {
+	actor *Actor
+	name  string
+	opts  []Option
+}
+
+// With returns a copy of the handle with the options pre-bound.
+func (m ActorMethod) With(opts ...Option) ActorMethod {
+	bound := make([]Option, 0, len(m.opts)+len(opts))
+	bound = append(bound, m.opts...)
+	bound = append(bound, opts...)
+	return ActorMethod{actor: m.actor, name: m.name, opts: bound}
+}
+
+// Remote invokes the method and returns one raw reference per declared
+// return — the actor.method.remote(args) of Table 1, untyped.
+func (m ActorMethod) Remote(c Caller, args ...any) ([]RawRef, error) {
+	return c.CallContext().CallActor(m.actor.h, m.name, buildOpts(m.opts), args...)
+}
+
+// MethodHandle0 is a typed handle to a no-argument actor method returning R.
+type MethodHandle0[R any] struct {
+	actor *Actor
+	name  string
+}
+
+// MethodHandle1 is a typed handle to an actor method A -> R.
+type MethodHandle1[A, R any] struct {
+	actor *Actor
+	name  string
+}
+
+// MethodHandle2 is a typed handle to an actor method (A, B) -> R.
+type MethodHandle2[A, B, R any] struct {
+	actor *Actor
+	name  string
+}
+
+// Method0 binds a typed no-argument method handle to an actor instance.
+func Method0[R any](a *Actor, name string) MethodHandle0[R] {
+	return MethodHandle0[R]{actor: a, name: name}
+}
+
+// Method1 binds a typed one-argument method handle to an actor instance.
+func Method1[A, R any](a *Actor, name string) MethodHandle1[A, R] {
+	return MethodHandle1[A, R]{actor: a, name: name}
+}
+
+// Method2 binds a typed two-argument method handle to an actor instance.
+func Method2[A, B, R any](a *Actor, name string) MethodHandle2[A, B, R] {
+	return MethodHandle2[A, B, R]{actor: a, name: name}
+}
+
+// Remote invokes the method; the future of its result returns immediately.
+func (m MethodHandle0[R]) Remote(c Caller, opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, m.actor, m.name, opts)
+}
+
+// Remote invokes the method with a concrete argument.
+func (m MethodHandle1[A, R]) Remote(c Caller, a A, opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, m.actor, m.name, opts, a)
+}
+
+// RemoteRef invokes the method with a future argument; the dependency flows
+// through the task graph.
+func (m MethodHandle1[A, R]) RemoteRef(c Caller, a ObjectRef[A], opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, m.actor, m.name, opts, a)
+}
+
+// Remote invokes the method with concrete arguments.
+func (m MethodHandle2[A, B, R]) Remote(c Caller, a A, b B, opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, m.actor, m.name, opts, a, b)
+}
+
+// RemoteRef invokes the method with future arguments (use ValueRef to mix in
+// constants).
+func (m MethodHandle2[A, B, R]) RemoteRef(c Caller, a ObjectRef[A], b ObjectRef[B], opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, m.actor, m.name, opts, a, b)
+}
+
+// callActor is the shared typed actor-method submission path.
+func callActor[R any](c Caller, a *Actor, method string, opts []Option, args ...any) (ObjectRef[R], error) {
+	id, err := c.CallContext().CallActor1(a.h, method, buildOpts(opts), args...)
+	if err != nil {
+		return ObjectRef[R]{}, err
+	}
+	return ObjectRef[R]{ID: id}, nil
+}

@@ -1,0 +1,42 @@
+package ray_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTestdata compiles one of the testdata programs with the module's
+// toolchain and returns the combined compiler output.
+func buildTestdata(t *testing.T, pkg string) (string, error) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	out := filepath.Join(t.TempDir(), "bin")
+	cmd := exec.Command("go", "build", "-o", out, "./testdata/"+pkg)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	b, err := cmd.CombinedOutput()
+	return string(b), err
+}
+
+// TestWrongTypedArgumentFailsToCompile is the compile-time regression test
+// for the typed API: a program passing a string to a Func1[float64, float64]
+// handle (and assigning its ObjectRef[float64] to an ObjectRef[string]) must
+// be rejected by the compiler, while the identical well-typed program builds.
+func TestWrongTypedArgumentFailsToCompile(t *testing.T) {
+	if out, err := buildTestdata(t, "goodcall"); err != nil {
+		t.Fatalf("well-typed control program failed to build: %v\n%s", err, out)
+	}
+	out, err := buildTestdata(t, "badcall")
+	if err == nil {
+		t.Fatal("badcall compiled; the typed handles no longer reject mistyped arguments")
+	}
+	for _, want := range []string{"cannot use", "badcall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compiler output missing %q — failed for the wrong reason?\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package ray
+
+import (
+	"ray/internal/cluster"
+	"ray/internal/resources"
+	"ray/internal/worker"
+)
+
+// Option is a fluent call option for Remote invocations and actor creation —
+// the `@ray.remote(num_gpus=1)` annotations of the paper's Figure 3, applied
+// per call. Options compose; resource options accumulate into one demand.
+type Option func(*worker.CallOptions)
+
+// WithCPUs adds n CPUs to the call's resource demand (replacing the default
+// {CPU:1} for stateless tasks).
+func WithCPUs(n float64) Option {
+	return func(o *worker.CallOptions) {
+		o.Resources = o.Resources.Add(resources.CPUs(n))
+	}
+}
+
+// WithGPUs adds n GPUs and one CPU to the call's resource demand, the common
+// shape of a training task.
+func WithGPUs(n float64) Option {
+	return func(o *worker.CallOptions) {
+		o.Resources = o.Resources.Add(resources.GPUs(n))
+	}
+}
+
+// WithResources adds arbitrary named resources to the call's demand.
+func WithResources(quantities map[string]float64) Option {
+	return func(o *worker.CallOptions) {
+		o.Resources = o.Resources.Add(resources.NewRequest(quantities))
+	}
+}
+
+// OnNode pins the task or actor to node i via its label resource (requires
+// Config.LabelNodes).
+func OnNode(i int) Option {
+	return func(o *worker.CallOptions) {
+		o.Resources = o.Resources.Add(resources.NewRequest(map[string]float64{cluster.NodeLabel(i): 1}))
+	}
+}
+
+// NumReturns declares how many objects the call produces (default 1). Only
+// the variadic FuncN handle exposes every return; typed handles yield the
+// first.
+func NumReturns(n int) Option {
+	return func(o *worker.CallOptions) { o.NumReturns = n }
+}
+
+// ZeroResources declares the call free to run anywhere regardless of CPU
+// availability, suppressing the default {CPU:1} demand. The task-throughput
+// microbenchmark uses it for its empty tasks.
+func ZeroResources() Option {
+	return func(o *worker.CallOptions) { o.ZeroResources = true }
+}
+
+// buildOpts folds options into the CallOptions the worker layer consumes.
+func buildOpts(opts []Option) worker.CallOptions {
+	var o worker.CallOptions
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}

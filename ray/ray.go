@@ -1,0 +1,140 @@
+// Package ray is the canonical application-facing API of this Ray
+// reproduction: compile-time-typed futures, function handles, actor handles,
+// and fluent call options layered over the dynamic task graph in
+// internal/core and internal/worker.
+//
+// The API is the paper's Table 1, with Go generics carrying the types that
+// Python carries dynamically:
+//
+//	Paper (Table 1)                      This package
+//	-------------------------------      ------------------------------------------
+//	futures = f.remote(args)             ref, err := f.Remote(driver, args...)
+//	objects = ray.get(futures)           value, err := ray.Get(driver, ref)
+//	ready   = ray.wait(futures, k, t)    ready, rest, err := ray.Wait(driver, refs, k, t)
+//	actor   = Class.remote(args)         counter, err := Counter.New(driver, args...)
+//	futures = actor.method.remote(args)  ref, err := method.Remote(driver, args...)
+//	ray.put(value)                       ref, err := ray.Put(driver, value)
+//
+// Handles are created at registration time — ray.Register1 returns a
+// Func1[A, R] whose Remote only accepts an A and only yields an
+// ObjectRef[R] — so a misspelled function name, a mistyped argument, or a
+// misread result type is a compile error instead of a runtime failure.
+// Typed futures are themselves task arguments: passing an ObjectRef[T] to
+// another Remote call keeps the data dependency inside the task graph, so
+// chains like square.RemoteRef(driver, square.Remote(driver, 7)) never block
+// the caller.
+//
+// The stringly-typed layer underneath (core.Driver.Call1, worker.CallOptions
+// literals) remains available to internal plumbing and benchmarks, but
+// application code should not need it.
+package ray
+
+import (
+	"context"
+	"time"
+
+	"ray/internal/codec"
+	"ray/internal/core"
+	"ray/internal/types"
+	"ray/internal/worker"
+)
+
+// Re-exported so applications import only this package.
+type (
+	// Runtime owns a running cluster and its function registry.
+	Runtime = core.Runtime
+	// Config describes the cluster a Runtime manages.
+	Config = core.Config
+	// Context is the API surface available inside remote functions, actor
+	// constructors, and actor methods; drivers embed one too.
+	Context = worker.TaskContext
+	// Driver is a user program connected to the cluster.
+	Driver = core.Driver
+	// RawRef is an untyped object reference, the currency of the variadic
+	// escape hatches (FuncN, Actor.Method). RefAs re-types one.
+	RawRef = types.ObjectID
+)
+
+// Caller is anything that can submit work to the cluster: a *Driver at the
+// top level, or the *Context handed to every remote function and actor
+// method (so tasks can submit nested tasks, paper Section 3.1).
+type Caller interface {
+	CallContext() *worker.TaskContext
+}
+
+// Init builds and starts a cluster.
+func Init(ctx context.Context, cfg Config) (*Runtime, error) { return core.Init(ctx, cfg) }
+
+// DefaultConfig returns a small test-friendly cluster: 4 nodes × 4 CPUs,
+// instant data plane, lineage recording on, batched control plane.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Get blocks until the future is available and returns its value — the
+// ray.get of Table 1, typed: the result type is carried by the reference.
+func Get[T any](c Caller, ref ObjectRef[T]) (T, error) {
+	var out T
+	if ref.inline != nil {
+		err := codec.Decode(ref.inline, &out)
+		return out, err
+	}
+	err := c.CallContext().Get(ref.ID, &out)
+	return out, err
+}
+
+// GetInto fetches an untyped reference (from a FuncN or Actor.Method escape
+// hatch) and decodes it into out, which must be a pointer.
+func GetInto(c Caller, ref RawRef, out any) error {
+	return c.CallContext().Get(ref, out)
+}
+
+// Put stores a value in the object store and returns a typed future for it —
+// the ray.put of Table 1. Use it to share one large value across many task
+// submissions without re-serializing it into every task spec.
+func Put[T any](c Caller, value T) (ObjectRef[T], error) {
+	id, err := c.CallContext().Put(value)
+	return ObjectRef[T]{ID: id}, err
+}
+
+// Wait blocks until at least k of the futures are available or the timeout
+// expires, returning the ready and not-ready sets — the ray.wait of Table 1,
+// added so applications can react to whichever rollout finishes first.
+// k <= 0 (or k > len(refs)) waits for all; a timeout <= 0 means no timeout.
+// Inline references (ValueRef) are ready by construction.
+func Wait[T any](c Caller, refs []ObjectRef[T], k int, timeout time.Duration) (ready, notReady []ObjectRef[T], err error) {
+	byID := make(map[types.ObjectID]ObjectRef[T], len(refs))
+	ids := make([]types.ObjectID, 0, len(refs))
+	for _, r := range refs {
+		if r.inline != nil {
+			ready = append(ready, r)
+			continue
+		}
+		byID[r.ID] = r
+		ids = append(ids, r.ID)
+	}
+	if k <= 0 || k > len(refs) {
+		k = len(refs)
+	}
+	k -= len(ready)
+	if len(ids) == 0 {
+		return ready, nil, nil
+	}
+	if k <= 0 {
+		// Inline references already satisfy the quorum; report the real
+		// futures as not ready without blocking.
+		for _, id := range ids {
+			notReady = append(notReady, byID[id])
+		}
+		return ready, notReady, nil
+	}
+	readyIDs, notReadyIDs, err := c.CallContext().Wait(ids, k, timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, id := range readyIDs {
+		ready = append(ready, byID[id])
+	}
+	for _, id := range notReadyIDs {
+		notReady = append(notReady, byID[id])
+	}
+	return ready, notReady, nil
+}

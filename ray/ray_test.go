@@ -1,0 +1,377 @@
+package ray_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ray/internal/codec"
+	"ray/internal/types"
+	"ray/ray"
+)
+
+// newTestRuntime starts a small cluster and returns a connected driver.
+func newTestRuntime(t *testing.T) (*ray.Runtime, *ray.Driver) {
+	t.Helper()
+	cfg := ray.DefaultConfig()
+	cfg.Nodes = 3
+	rt, err := ray.Init(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	d, err := rt.NewDriver(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, d
+}
+
+// TestTypedFutureChain is the quickstart-equivalent e2e: typed futures are
+// passed as arguments, so square(square(square(2))) builds a three-task
+// chain whose dependencies flow through the task graph.
+func TestTypedFutureChain(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	square, err := ray.Register1(rt, "square", "squares a float64",
+		func(ctx *ray.Context, x float64) (float64, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut, err := square.Remote(d, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		fut, err = square.RemoteRef(d, fut)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ray.Get(d, fut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 256 {
+		t.Fatalf("square chain = %v, want 256", got)
+	}
+}
+
+// TestValueRefMixesConstantsIntoRefCalls covers the inline-future bridge:
+// RemoteRef calls whose other arguments are constants wrap them in ValueRef
+// with no object-store round trip.
+func TestValueRefMixesConstantsIntoRefCalls(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	add, err := ray.Register2(rt, "add", "adds two ints",
+		func(ctx *ray.Context, a, b int) (int, error) { return a + b, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ray.Put(d, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := add.RemoteRef(d, base, ray.ValueRef(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ray.Get(d, sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("add = %d, want 42", got)
+	}
+	// Get on an inline ref decodes locally.
+	inline, err := ray.Get(d, ray.ValueRef(7))
+	if err != nil || inline != 7 {
+		t.Fatalf("inline Get = %d, %v", inline, err)
+	}
+}
+
+// TestActorRoundTrip covers typed actor classes and method handles: a
+// constructor argument, a typed mutating method, and a typed accessor.
+func TestActorRoundTrip(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	Counter, err := ray.RegisterActor1(rt, "Counter", "counter with start value",
+		func(ctx *ray.Context, start int) (ray.ActorInstance, error) {
+			return &testCounter{value: start}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := Counter.New(d, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := ray.Method1[int, int](counter, "add")
+	value := ray.Method0[int](counter, "value")
+	for i := 1; i <= 5; i++ {
+		if _, err := add.Remote(d, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref, err := value.Remote(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ray.Get(d, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 115 {
+		t.Fatalf("counter = %d, want 115", got)
+	}
+	// The untyped escape hatch reaches the same actor.
+	refs, err := counter.Method("add").Remote(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after int
+	if err := ray.GetInto(d, refs[0], &after); err != nil {
+		t.Fatal(err)
+	}
+	if after != 120 {
+		t.Fatalf("untyped add = %d, want 120", after)
+	}
+}
+
+// TestWaitTimeout covers ray.Wait semantics: k satisfied early, and the
+// timeout expiring with work still outstanding.
+func TestWaitTimeout(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	sleepEcho, err := ray.Register1(rt, "sleep_echo", "sleeps its argument in ms, returns it",
+		func(ctx *ray.Context, ms int) (int, error) {
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			return ms, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sleepEcho.Remote(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := sleepEcho.Remote(d, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := []ray.ObjectRef[int]{fast, slow}
+	ready, notReady, err := ray.Wait(d, refs, 2, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ready) != 1 || len(notReady) != 1 {
+		t.Fatalf("Wait(k=2, 150ms) = %d ready, %d notReady; want 1/1", len(ready), len(notReady))
+	}
+	if ready[0].ID != fast.ID {
+		t.Fatalf("ready ref is not the fast task")
+	}
+	// k=1 returns as soon as the fast task is done, well under the timeout.
+	start := time.Now()
+	ready, _, err = ray.Wait(d, refs, 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ready) < 1 {
+		t.Fatal("Wait(k=1) returned nothing")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Wait(k=1) blocked %v despite a ready task", elapsed)
+	}
+	// Inline refs are ready by construction.
+	ready, notReady, err = ray.Wait(d, []ray.ObjectRef[int]{ray.ValueRef(1), slow}, 1, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ready) != 1 || len(notReady) != 1 {
+		t.Fatalf("inline Wait = %d ready, %d notReady; want 1/1", len(ready), len(notReady))
+	}
+}
+
+// refEnvelope is a value type carrying a typed future, as applications might
+// embed in messages.
+type refEnvelope struct {
+	Ref   ray.ObjectRef[float64]
+	Label string
+}
+
+// TestObjectRefSurvivesEncodeDecodeAsTaskArg: a typed future embedded in a
+// struct argument re-encodes as its object ID through the codec, and the
+// receiving task can resolve it with ray.Get.
+func TestObjectRefSurvivesEncodeDecodeAsTaskArg(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	produce, err := ray.Register0(rt, "produce", "produces a float64",
+		func(ctx *ray.Context) (float64, error) { return 6.5, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve, err := ray.Register1(rt, "resolve", "resolves an embedded future",
+		func(ctx *ray.Context, env refEnvelope) (float64, error) {
+			return ray.Get(ctx, env.Ref)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := produce.Remote(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pure codec round trip preserves the identity.
+	data, err := codec.Encode(refEnvelope{Ref: ref, Label: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded refEnvelope
+	if err := codec.Decode(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Ref.ID != ref.ID || decoded.Label != "x" {
+		t.Fatalf("codec round trip lost the reference: %+v", decoded)
+	}
+
+	// End to end: the embedded future crosses a task boundary and resolves.
+	out, err := resolve.Remote(d, refEnvelope{Ref: ref, Label: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ray.Get(d, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6.5 {
+		t.Fatalf("resolved embedded future = %v, want 6.5", got)
+	}
+}
+
+// TestRegisteredArityRecorded covers the function-table fix: the declared
+// return count of a registration lands in the GCS instead of a hardcoded 1.
+func TestRegisteredArityRecorded(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	ctx := context.Background()
+	if _, err := ray.Register1(rt, "one_return", "",
+		func(c *ray.Context, x int) (int, error) { return x, nil }); err != nil {
+		t.Fatal(err)
+	}
+	splitter, err := ray.RegisterFuncN(rt, "two_returns", "splits a pair", 2,
+		func(c *ray.Context, args [][]byte) ([][]byte, error) {
+			return [][]byte{codec.MustEncode(1), codec.MustEncode(2)}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int{"one_return": 1, "two_returns": 2} {
+		entry, ok, err := rt.Cluster().GCS().GetFunction(ctx, name)
+		if err != nil || !ok {
+			t.Fatalf("GetFunction(%s): ok=%v err=%v", name, ok, err)
+		}
+		if entry.NumReturns != want {
+			t.Fatalf("function table records %d returns for %s, want %d", entry.NumReturns, name, want)
+		}
+	}
+	// The FuncN handle pre-binds its arity, so both outputs materialize.
+	refs, err := splitter.Remote(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 {
+		t.Fatalf("FuncN returned %d refs, want 2", len(refs))
+	}
+	var a, b int
+	if err := ray.GetInto(d, refs[0], &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ray.GetInto(d, refs[1], &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || b != 2 {
+		t.Fatalf("multi-return = (%d, %d), want (1, 2)", a, b)
+	}
+}
+
+// TestOptionsCompose covers fluent options: resource demands accumulate and
+// pinning places work on the labelled node.
+func TestOptionsCompose(t *testing.T) {
+	cfg := ray.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.LabelNodes = true
+	rt, err := ray.Init(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	d, err := rt.NewDriver(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	whereAmI, err := ray.Register0(rt, "where", "reports the executing node",
+		func(ctx *ray.Context) (string, error) { return ctx.Node.String(), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := rt.Cluster().NodeList()[1]
+	ref, err := whereAmI.Remote(d, ray.OnNode(1), ray.WithCPUs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ray.Get(d, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != target.ID().String() {
+		t.Fatalf("OnNode(1) ran on %s, want %s", got, target.ID())
+	}
+}
+
+// TestRefAsRetypesRawRefs covers the escape-hatch bridge back into the typed
+// world.
+func TestRefAsRetypesRawRefs(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	echo, err := ray.RegisterFuncN(rt, "echo_raw", "echoes its argument", 1,
+		func(c *ray.Context, args [][]byte) ([][]byte, error) {
+			return [][]byte{args[0]}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := echo.Remote(d, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed := ray.RefAs[int](refs[0])
+	got, err := ray.Get(d, typed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 13 {
+		t.Fatalf("RefAs round trip = %d, want 13", got)
+	}
+	if typed.Ref() != refs[0] {
+		t.Fatal("Ref() does not expose the raw ID")
+	}
+	var nilRef ray.ObjectRef[int]
+	if !nilRef.IsNil() {
+		t.Fatal("zero ObjectRef must be nil")
+	}
+	if nilRef.Ref() != types.NilObjectID {
+		t.Fatal("zero ObjectRef must expose the nil ID")
+	}
+}
+
+// testCounter is a minimal stateful actor for the round-trip test.
+type testCounter struct{ value int }
+
+func (c *testCounter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
+	switch method {
+	case "add":
+		var delta int
+		if err := codec.Decode(args[0], &delta); err != nil {
+			return nil, err
+		}
+		c.value += delta
+		return [][]byte{codec.MustEncode(c.value)}, nil
+	case "value":
+		return [][]byte{codec.MustEncode(c.value)}, nil
+	}
+	return nil, types.ErrFunctionNotFound
+}

@@ -1,0 +1,64 @@
+package ray
+
+import (
+	"fmt"
+
+	"ray/internal/codec"
+	"ray/internal/task"
+	"ray/internal/types"
+)
+
+// ObjectRef is a typed future: a reference to an object of type T that a
+// task will produce (or that Put stored). References are usable directly as
+// arguments to Remote calls — the dependency then flows through the task
+// graph, so consuming a future never blocks the submitter.
+//
+// The zero value is a nil reference. The ID field is exported so a reference
+// embedded in a larger value survives the codec (it re-encodes as its object
+// ID); references built with ValueRef carry an inline payload instead and
+// are valid only as direct call arguments.
+type ObjectRef[T any] struct {
+	// ID is the referenced object in the distributed object store.
+	ID types.ObjectID
+
+	// inline, when non-nil, is a pre-encoded constant masquerading as a
+	// future (see ValueRef). It is passed by value inside the task spec.
+	inline []byte
+}
+
+// ValueRef wraps an already-known value as an ObjectRef[T] without an object
+// store round trip. Use it to mix constants into RemoteRef calls whose other
+// arguments are real futures: the value is encoded inline into the task spec
+// exactly as a plain Remote argument would be.
+func ValueRef[T any](value T) ObjectRef[T] {
+	data, err := codec.Encode(value)
+	if err != nil {
+		// Encoding failures surface at submission: TaskArg embeds the error
+		// marker and buildArgs cannot represent it, so fail loudly here —
+		// the codec only fails on unencodable Go values (funcs, channels),
+		// which is a programming error, not a runtime condition.
+		panic(fmt.Sprintf("ray: ValueRef of unencodable %T: %v", value, err))
+	}
+	return ObjectRef[T]{inline: data}
+}
+
+// RefAs re-types a raw reference obtained from a variadic escape hatch
+// (FuncN.Remote, Actor.Method) into a typed future. The caller asserts the
+// object's type; Get fails at decode time if the assertion was wrong.
+func RefAs[T any](ref RawRef) ObjectRef[T] { return ObjectRef[T]{ID: ref} }
+
+// Ref returns the untyped object ID (nil for inline references).
+func (r ObjectRef[T]) Ref() RawRef { return r.ID }
+
+// IsNil reports whether the reference points at nothing (and is not inline).
+func (r ObjectRef[T]) IsNil() bool { return r.ID.IsNil() && r.inline == nil }
+
+// TaskArg implements worker.TaskArgument: real references become object
+// dependencies in the task graph, inline references become by-value
+// arguments in the task spec.
+func (r ObjectRef[T]) TaskArg() task.Arg {
+	if r.inline != nil {
+		return task.ValueArg(r.inline)
+	}
+	return task.RefArg(r.ID)
+}

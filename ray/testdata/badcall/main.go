@@ -1,0 +1,39 @@
+// Command badcall must NOT compile: it passes a string to a
+// Func1[float64, float64] handle and decodes its future into the wrong type.
+// The compile_test in the ray package asserts that `go build` rejects it —
+// the typed API's whole point is that these mistakes never reach runtime.
+package main
+
+import (
+	"context"
+	"log"
+
+	"ray/ray"
+)
+
+func main() {
+	rt, err := ray.Init(context.Background(), ray.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+	square, err := ray.Register1(rt, "square", "squares a float64",
+		func(ctx *ray.Context, x float64) (float64, error) { return x * x, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := rt.NewDriver(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := square.Remote(d, "seven") // wrong argument type: compile error
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wrong ray.ObjectRef[string] = ref // wrong future type: compile error
+	v, err := ray.Get(d, wrong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Println(v)
+}

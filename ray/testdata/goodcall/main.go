@@ -1,0 +1,36 @@
+// Command goodcall is the control for the compile-time regression test: the
+// same program as badcall with correctly typed arguments. It must compile.
+package main
+
+import (
+	"context"
+	"log"
+
+	"ray/ray"
+)
+
+func main() {
+	rt, err := ray.Init(context.Background(), ray.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+	square, err := ray.Register1(rt, "square", "squares a float64",
+		func(ctx *ray.Context, x float64) (float64, error) { return x * x, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := rt.NewDriver(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := square.Remote(d, 7.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := ray.Get(d, ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Println(v)
+}
