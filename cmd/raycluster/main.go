@@ -23,6 +23,9 @@ func main() {
 	tasks := flag.Int("tasks", 200, "number of tasks to run")
 	kill := flag.Int("kill", 1, "number of nodes to kill mid-run")
 	sync := flag.Bool("sync", false, "disable the batched control plane (synchronous GCS writes + per-node heartbeats, the ablation baseline)")
+	blocking := flag.Bool("blocking", false, "disable pipelined chunked object transfers (blocking whole-object pulls + serial dependency fetches, the ablation baseline)")
+	chunkBytes := flag.Int64("chunk-bytes", 0, "chunk granularity of pipelined object pulls (0 = 1 MiB)")
+	pipelineDepth := flag.Int("pipeline-depth", 0, "chunks per transfer message round trip (0 = 4)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -33,6 +36,9 @@ func main() {
 	cfg.CheckpointInterval = 10
 	cfg.SyncWrites = *sync
 	cfg.PerNodeHeartbeats = *sync
+	cfg.BlockingTransfers = *blocking
+	cfg.ChunkBytes = *chunkBytes
+	cfg.PipelineDepth = *pipelineDepth
 	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)

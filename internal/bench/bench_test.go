@@ -63,3 +63,31 @@ func TestThroughputBatchedBeatsBaseline(t *testing.T) {
 	}
 	t.Fatalf("batched hot path never beat the baseline (last ratio %.2fx)", lastRatio)
 }
+
+// TestTransferPipeliningBeatsBlocking is the acceptance check for the
+// chunked, pipelined transfer path: at Quick scale, chunked pulls with
+// overlapped multi-input fetching must beat the blocking single-transfer
+// baseline on two-input large-object tasks. Retries absorb scheduler noise
+// on loaded CI machines.
+func TestTransferPipeliningBeatsBlocking(t *testing.T) {
+	const attempts = 3
+	var lastRatio float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		table, err := TransferPipelining(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(table.Rows) != 2 {
+			t.Fatalf("expected blocking+pipelined rows, got %v", table.Rows)
+		}
+		blocking := parseCell(t, table.Rows[0][3])
+		pipelined := parseCell(t, table.Rows[1][3])
+		lastRatio = blocking / pipelined
+		if pipelined < blocking {
+			t.Logf("pipelined %.2fms vs blocking %.2fms per task (%.2fx)", pipelined, blocking, lastRatio)
+			return
+		}
+		t.Logf("attempt %d: pipelined %.2fms >= blocking %.2fms, retrying", attempt, pipelined, blocking)
+	}
+	t.Fatalf("pipelined transfers never beat the blocking baseline (last ratio %.2fx)", lastRatio)
+}

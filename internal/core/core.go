@@ -87,6 +87,16 @@ type Config struct {
 	RecordLineage bool
 	// TransferStreams is the number of parallel streams per object transfer.
 	TransferStreams int
+	// ChunkBytes is the chunk granularity of pipelined object pulls
+	// (0 = 1 MiB).
+	ChunkBytes int64
+	// PipelineDepth is how many chunks each transfer message carries
+	// (0 = 4).
+	PipelineDepth int
+	// BlockingTransfers restores blocking whole-object pulls and serial
+	// dependency fetching (the transfer_pipelining ablation baseline;
+	// pipelined chunked transfers are the default).
+	BlockingTransfers bool
 	// InjectedSchedulerLatency adds artificial scheduling latency (Fig 12b).
 	InjectedSchedulerLatency time.Duration
 	// Network configures the simulated data plane.
@@ -152,6 +162,9 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 			ObjectStoreBytes:         cfg.ObjectStoreBytes,
 			SpilloverThreshold:       cfg.SpilloverThreshold,
 			TransferStreams:          cfg.TransferStreams,
+			ChunkBytes:               cfg.ChunkBytes,
+			PipelineDepth:            cfg.PipelineDepth,
+			BlockingTransfers:        cfg.BlockingTransfers,
 			CheckpointInterval:       cfg.CheckpointInterval,
 			RecordLineage:            cfg.RecordLineage,
 			InjectedSchedulerLatency: cfg.InjectedSchedulerLatency,

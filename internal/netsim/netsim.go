@@ -9,6 +9,16 @@
 // to motivate multi-threaded transfers (Section 5.1, allreduce) and
 // locality-aware scheduling (Figure 8a).
 //
+// Two transfer granularities are offered. Transfer models a whole object
+// moved as one blocking message striped over k streams: one latency plus
+// size at k streams' worth of bandwidth. TransferChunk models one chunk
+// train moved over a single stream: one latency plus the chunk bytes at a
+// single stream's share of the NIC. A puller that splits an object into
+// chunks and issues them concurrently from several worker goroutines (the
+// object manager's pipelined pull path) pays the message latency once per
+// in-flight window rather than once per object, and can overlap chunks of
+// several objects — the multi-stream win of Figure 12a.
+//
 // A global TimeScale lets experiments that span hundreds of seconds in the
 // paper complete in seconds here while preserving every ratio between
 // compute, transfer, and scheduling delays.
@@ -108,6 +118,28 @@ func (n *Network) TransferDuration(size int64, streams int) time.Duration {
 // number of streams, or until the context is cancelled.
 func (n *Network) Transfer(ctx context.Context, size int64, streams int) error {
 	return n.sleep(ctx, n.TransferDuration(size, streams))
+}
+
+// ChunkDuration returns the unscaled time to move one chunk train of size
+// bytes over a single stream: one message latency plus the bytes at one
+// stream's share of the NIC (BandwidthBytesPerSec / MaxParallelStreams).
+// Chunked pullers run several such transfers concurrently — one per worker —
+// so a window of k in-flight chunks achieves k streams' aggregate bandwidth
+// while paying the latency once per window, not once per chunk round trip
+// per object.
+func (n *Network) ChunkDuration(size int64) time.Duration {
+	if size <= 0 {
+		return n.cfg.LatencyPerMessage
+	}
+	perStream := n.cfg.BandwidthBytesPerSec / float64(n.cfg.MaxParallelStreams)
+	seconds := float64(size) / perStream
+	return n.cfg.LatencyPerMessage + time.Duration(seconds*float64(time.Second))
+}
+
+// TransferChunk blocks for the scaled duration of moving one chunk train of
+// size bytes over a single stream, or until the context is cancelled.
+func (n *Network) TransferChunk(ctx context.Context, size int64) error {
+	return n.sleep(ctx, n.ChunkDuration(size))
 }
 
 // MessageDelay blocks for one scaled message latency (a control-plane RPC).

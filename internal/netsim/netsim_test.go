@@ -123,3 +123,33 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatal("negative time scale must clamp to zero")
 	}
 }
+
+func TestChunkDurationSingleStreamShare(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 1e9, MaxParallelStreams: 8, LatencyPerMessage: time.Millisecond})
+	// One chunk rides one stream: 1MB at 1/8 of a 1GB/s NIC ≈ 8ms + 1ms latency.
+	got := n.ChunkDuration(1 << 20)
+	want := time.Millisecond + time.Duration(float64(1<<20)/(1e9/8)*float64(time.Second))
+	if got < want*9/10 || got > want*11/10 {
+		t.Fatalf("chunk duration %v, want ≈%v", got, want)
+	}
+	// Zero/negative sizes cost one message latency.
+	if n.ChunkDuration(0) != time.Millisecond || n.ChunkDuration(-1) != time.Millisecond {
+		t.Fatal("empty chunk should cost one message latency")
+	}
+	// A full window of MaxParallelStreams concurrent chunks matches a
+	// whole-object transfer striped across every stream, modulo latency.
+	whole := n.TransferDuration(8<<20, 8)
+	chunked := n.ChunkDuration(1 << 20) // 8 of these run concurrently
+	if chunked > whole+time.Millisecond || whole > chunked*8 {
+		t.Fatalf("chunk model inconsistent with striped transfer: chunk=%v whole=%v", chunked, whole)
+	}
+}
+
+func TestTransferChunkHonoursCancellation(t *testing.T) {
+	n := New(Config{BandwidthBytesPerSec: 1, MaxParallelStreams: 1, TimeScale: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := n.TransferChunk(ctx, 1<<30); err == nil {
+		t.Fatal("cancelled chunk transfer must return an error")
+	}
+}

@@ -52,6 +52,15 @@ type Config struct {
 	SpilloverThreshold int
 	// TransferStreams is the number of parallel streams for object pulls.
 	TransferStreams int
+	// ChunkBytes is the chunk granularity of pipelined object pulls
+	// (0 = 1 MiB).
+	ChunkBytes int64
+	// PipelineDepth is how many chunks ride each transfer message round trip
+	// (0 = 4).
+	PipelineDepth int
+	// BlockingTransfers restores whole-object blocking pulls and serial
+	// dependency fetching — the pre-pipelining ablation baseline.
+	BlockingTransfers bool
 	// CheckpointInterval is the actor checkpoint period (method count).
 	CheckpointInterval int64
 	// RecordLineage controls task-table writes (on for every experiment
@@ -150,7 +159,12 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 			_ = store.RemoveObjectLocation(context.Background(), obj, id)
 		},
 	})
-	n.objects = objectmanager.New(objectmanager.Config{TransferStreams: cfg.TransferStreams}, id, n.store, store, network, peers)
+	n.objects = objectmanager.New(objectmanager.Config{
+		TransferStreams:   cfg.TransferStreams,
+		ChunkBytes:        cfg.ChunkBytes,
+		PipelineDepth:     cfg.PipelineDepth,
+		BlockingTransfers: cfg.BlockingTransfers,
+	}, id, n.store, store, network, peers)
 	n.workers = worker.NewPool(worker.PoolConfig{
 		NodeID:             id,
 		CheckpointInterval: cfg.CheckpointInterval,
@@ -167,6 +181,7 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 		InjectedLatency:    cfg.InjectedSchedulerLatency,
 		WorkerSlots:        cfg.SchedulerSlots,
 		DirectDispatch:     cfg.DirectDispatch,
+		SerialPulls:        cfg.BlockingTransfers,
 	}, n.workers, n, n.router)
 	return n
 }

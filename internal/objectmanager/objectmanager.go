@@ -1,9 +1,20 @@
 // Package objectmanager moves objects between nodes. When a task is about to
 // run on a node that lacks one of its inputs, the object manager looks the
-// object up in the GCS object table, pulls a replica from a node that has it
-// (striping the transfer across multiple parallel streams, as Ray stripes
-// large objects across TCP connections), stores it locally, and records the
-// new location back in the GCS.
+// object up in the GCS object table, pulls a replica from a node that has it,
+// stores it locally, and records the new location back in the GCS.
+//
+// Large objects move over a chunked, pipelined pull protocol, as Ray stripes
+// large objects across TCP connections: the object is split into ChunkBytes
+// chunks, consecutive chunks are grouped into windows of PipelineDepth (one
+// message latency buys a whole window), and windows are fetched by
+// TransferStreams concurrent workers that assemble directly into a
+// store-owned buffer reserved up front (objectstore.BeginPut) and committed
+// once complete. Workers stripe windows across every live replica of the
+// object, so a hot object is pulled from several sources at once, and a
+// window whose source dies mid-transfer fails over to another replica
+// without restarting the object. Objects no larger than one chunk keep the
+// single-message fast path; Config.BlockingTransfers restores one blocking
+// whole-object transfer per pull (the ablation baseline).
 //
 // Because object location metadata lives in the GCS rather than in the
 // scheduler, transfers never involve the scheduler — the decoupling of task
@@ -13,6 +24,7 @@ package objectmanager
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -22,6 +34,7 @@ import (
 	"ray/internal/gcs"
 	"ray/internal/netsim"
 	"ray/internal/objectstore"
+	"ray/internal/parallel"
 	"ray/internal/types"
 )
 
@@ -34,19 +47,37 @@ type PeerResolver interface {
 
 // Config controls manager behaviour.
 type Config struct {
-	// TransferStreams is the number of parallel streams used per pull.
-	// Ray uses multiple; the OpenMPI-like baseline in the allreduce
-	// experiment uses 1.
+	// TransferStreams is the number of parallel streams used per pull: the
+	// stripe width of a blocking whole-object transfer, and the number of
+	// concurrent chunk workers of a pipelined one. Ray uses multiple; the
+	// OpenMPI-like baseline in the allreduce experiment uses 1.
 	TransferStreams int
+	// ChunkBytes is the chunk granularity of the pipelined pull path.
+	// Objects no larger than one chunk use the single-message fast path.
+	// Zero means 1 MiB.
+	ChunkBytes int64
+	// PipelineDepth is how many consecutive chunks one worker fetches per
+	// message round trip (the in-flight window per stream); higher depths
+	// amortize the per-message latency over more bytes. Zero means 4.
+	PipelineDepth int
+	// BlockingTransfers disables the chunked pipeline and restores one
+	// blocking whole-object network transfer per pull — the ablation
+	// baseline of the transfer_pipelining experiment.
+	BlockingTransfers bool
 	// PullTimeout bounds how long a pull waits for the object to appear in
 	// the object table before giving up (the lineage layer then decides
 	// whether to reconstruct). Zero means wait until the context is done.
 	PullTimeout time.Duration
 }
 
-// DefaultConfig returns an 8-stream transfer configuration.
+// DefaultChunkBytes is the chunk granularity used when Config.ChunkBytes is
+// zero, mirroring Ray's ~1 MiB transfer chunks.
+const DefaultChunkBytes = 1 << 20
+
+// DefaultConfig returns an 8-stream pipelined transfer configuration
+// (1 MiB chunks, 4-chunk windows).
 func DefaultConfig() Config {
-	return Config{TransferStreams: 8}
+	return Config{TransferStreams: 8, ChunkBytes: DefaultChunkBytes, PipelineDepth: 4}
 }
 
 // Manager is one node's object manager.
@@ -65,12 +96,20 @@ type Manager struct {
 	pulls         atomic.Int64
 	bytesPulled   atomic.Int64
 	transferNanos atomic.Int64
+	chunkedPulls  atomic.Int64
+	chunksPulled  atomic.Int64
 }
 
 // New creates an object manager for the given node.
 func New(cfg Config, nodeID types.NodeID, local *objectstore.Store, store *gcs.Store, network *netsim.Network, peers PeerResolver) *Manager {
 	if cfg.TransferStreams < 1 {
 		cfg.TransferStreams = 1
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = DefaultChunkBytes
+	}
+	if cfg.PipelineDepth < 1 {
+		cfg.PipelineDepth = 4
 	}
 	return &Manager{
 		cfg:      cfg,
@@ -91,53 +130,95 @@ func (m *Manager) NodeID() types.NodeID { return m.nodeID }
 
 // Put stores a locally produced object and registers its location in the GCS
 // object table (which also fires any pub-sub callbacks registered by waiting
-// ray.get calls).
+// ray.get calls). If a previous copy of the object was just evicted from the
+// local store, the location registration waits for the eviction's location
+// removal to land first, so the directory never loses track of a resident
+// replica to out-of-order updates.
 func (m *Manager) Put(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error {
 	if err := m.local.Put(id, data, isError); err != nil {
 		return err
 	}
-	return m.gcs.AddObjectLocation(ctx, id, m.nodeID, int64(len(data)), creator)
+	return m.registerLocation(ctx, id, int64(len(data)), creator)
+}
+
+// registerLocation orders the GCS location add after any in-flight eviction
+// notification for the same object on this node (the evict/re-put race: a
+// stale RemoveObjectLocation landing after our AddObjectLocation would leave
+// the directory blind to a resident replica).
+func (m *Manager) registerLocation(ctx context.Context, id types.ObjectID, size int64, creator types.TaskID) error {
+	if err := m.local.WaitEvictions(ctx, id); err != nil {
+		return err
+	}
+	return m.gcs.AddObjectLocation(ctx, id, m.nodeID, size, creator)
 }
 
 // Pull ensures the object is in the local store, fetching a replica from a
 // remote node if necessary. It blocks until the object is local, the pull
 // times out, or the context is cancelled. A timeout with a known-but-lost
 // object returns types.ErrObjectLost so callers can trigger reconstruction.
+//
+// Concurrent pulls of the same object are deduplicated: one originator
+// transfers, the rest wait on its result. A waiter that inherits a context
+// error from the originator (the originator's caller was cancelled or timed
+// out — nothing wrong with the object) retries the pull under its own
+// context instead of failing with someone else's cancellation.
 func (m *Manager) Pull(ctx context.Context, id types.ObjectID) error {
-	if m.local.Contains(id) {
-		return nil
-	}
-	// Deduplicate concurrent pulls.
-	m.mu.Lock()
-	if ch, ok := m.inflight[id]; ok {
-		m.mu.Unlock()
-		select {
-		case err := <-ch:
-			// Propagate and re-signal for any other waiter.
-			select {
-			case ch <- err:
-			default:
-			}
-			return err
-		case <-ctx.Done():
-			return ctx.Err()
+	for {
+		if m.local.Contains(id) {
+			return nil
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Deduplicate concurrent pulls.
+		m.mu.Lock()
+		if ch, ok := m.inflight[id]; ok {
+			m.mu.Unlock()
+			select {
+			case err := <-ch:
+				// Propagate and re-signal for any other waiter.
+				select {
+				case ch <- err:
+				default:
+				}
+				if err != nil && isContextError(err) && ctx.Err() == nil {
+					// Inherited the originator's cancellation while our own
+					// context is live: restart the pull ourselves.
+					continue
+				}
+				return err
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		ch := make(chan error, 1)
+		m.inflight[id] = ch
+		m.mu.Unlock()
+
+		err := m.pull(ctx, id)
+
+		m.mu.Lock()
+		delete(m.inflight, id)
+		m.mu.Unlock()
+		ch <- err
+		return err
 	}
-	ch := make(chan error, 1)
-	m.inflight[id] = ch
-	m.mu.Unlock()
+}
 
-	err := m.pull(ctx, id)
-
-	m.mu.Lock()
-	delete(m.inflight, id)
-	m.mu.Unlock()
-	ch <- err
-	return err
+// isContextError reports whether err is (or wraps) a context cancellation or
+// deadline error — the class of failures that belong to a specific caller's
+// context rather than to the object being pulled.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func (m *Manager) pull(ctx context.Context, id types.ObjectID) error {
 	m.pulls.Add(1)
+	// caller distinguishes the caller's own cancellation or deadline (a
+	// property of that caller, reported as a context error so dedup waiters
+	// can retry) from our PullTimeout firing (a property of the object:
+	// reported as ErrObjectNotFound so lineage can decide to reconstruct).
+	caller := ctx
 	if m.cfg.PullTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.PullTimeout)
@@ -170,6 +251,13 @@ func (m *Manager) pull(ctx context.Context, id types.ObjectID) error {
 		// Object not created yet: wait for a table update or timeout.
 		select {
 		case <-ctx.Done():
+			if cause := caller.Err(); cause != nil {
+				// The caller's own context ended (cancelled or past its
+				// deadline) — not a property of the object. Report the
+				// context error so dedup waiters with live contexts retry
+				// instead of inheriting this caller's failure.
+				return fmt.Errorf("objectmanager: pull %s: %w", id, cause)
+			}
 			return fmt.Errorf("objectmanager: pull %s: %w", id, types.ErrObjectNotFound)
 		case <-notify:
 		case <-time.After(10 * time.Millisecond):
@@ -178,23 +266,48 @@ func (m *Manager) pull(ctx context.Context, id types.ObjectID) error {
 	}
 }
 
-// fetchFrom copies the object from one of the entry's locations.
+// fetchFrom copies the object from the entry's locations: a single blocking
+// whole-object transfer for small objects (or in blocking mode), the chunked
+// pipeline for everything else.
 func (m *Manager) fetchFrom(ctx context.Context, id types.ObjectID, entry *gcs.ObjectEntry) error {
 	// Already local (e.g. we produced it between checks).
 	if m.local.Contains(id) {
 		return nil
 	}
-	locations := entry.Locations
-	// Pick a random source to spread load across replicas of hot objects.
-	offset := rand.Intn(len(locations))
-	var lastErr error
-	for i := 0; i < len(locations); i++ {
-		src := locations[(offset+i)%len(locations)]
+	sources := m.liveSources(entry)
+	if len(sources) == 0 {
+		return fmt.Errorf("objectmanager: no usable replica for %s: %w", id, types.ErrObjectLost)
+	}
+	if !m.cfg.BlockingTransfers && entry.Size > m.cfg.ChunkBytes {
+		return m.fetchChunked(ctx, id, entry, sources)
+	}
+	return m.fetchWhole(ctx, id, entry, sources)
+}
+
+// liveSources filters the entry's locations down to resolvable peers,
+// shuffled so load spreads across replicas of hot objects.
+func (m *Manager) liveSources(entry *gcs.ObjectEntry) []types.NodeID {
+	sources := make([]types.NodeID, 0, len(entry.Locations))
+	for _, src := range entry.Locations {
 		if src == m.nodeID {
 			// The table says we have it but the store does not (evicted
 			// concurrently); skip ourselves.
 			continue
 		}
+		if _, ok := m.peers.ResolveStore(src); ok {
+			sources = append(sources, src)
+		}
+	}
+	rand.Shuffle(len(sources), func(i, j int) { sources[i], sources[j] = sources[j], sources[i] })
+	return sources
+}
+
+// fetchWhole moves the object as one blocking transfer striped over
+// TransferStreams streams — the small-object fast path and the ablation
+// baseline for large ones.
+func (m *Manager) fetchWhole(ctx context.Context, id types.ObjectID, entry *gcs.ObjectEntry, sources []types.NodeID) error {
+	var lastErr error
+	for _, src := range sources {
 		store, ok := m.peers.ResolveStore(src)
 		if !ok {
 			lastErr = fmt.Errorf("objectmanager: source node %s unavailable: %w", src, types.ErrNodeDead)
@@ -217,10 +330,121 @@ func (m *Manager) fetchFrom(ctx context.Context, id types.ObjectID, entry *gcs.O
 		}
 		m.bytesPulled.Add(obj.Size())
 		m.transferNanos.Add(time.Since(start).Nanoseconds())
-		return m.gcs.AddObjectLocation(ctx, id, m.nodeID, obj.Size(), entry.Creator)
+		return m.registerLocation(ctx, id, obj.Size(), entry.Creator)
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("objectmanager: no usable replica for %s: %w", id, types.ErrObjectLost)
+	}
+	return lastErr
+}
+
+// fetchChunked assembles the object from ChunkBytes chunks fetched by up to
+// TransferStreams concurrent workers. Consecutive chunks are grouped into
+// windows of PipelineDepth so each message latency is paid once per window,
+// and windows are striped across every live replica. A window whose source
+// dies mid-transfer fails over to the remaining replicas; only when a window
+// is unavailable everywhere does the whole fetch fail (the caller re-reads
+// the object table and retries).
+func (m *Manager) fetchChunked(ctx context.Context, id types.ObjectID, entry *gcs.ObjectEntry, sources []types.NodeID) error {
+	// The directory entry carries the authoritative size; a replica confirms
+	// it (and the error flag) before the buffer is reserved.
+	var size int64
+	var isError bool
+	found := false
+	for _, src := range sources {
+		if store, ok := m.peers.ResolveStore(src); ok {
+			if obj, ok := store.Get(id); ok {
+				size, isError = obj.Size(), obj.IsError
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("objectmanager: no usable replica for %s: %w", id, types.ErrObjectLost)
+	}
+
+	pending, ok, err := m.local.BeginPut(id, size, isError)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// Resident already (another path re-put it); nothing to transfer.
+		return nil
+	}
+	defer pending.Abort() // no-op after Commit
+
+	// Shrink the chunk when the object has fewer full chunks than streams,
+	// so every stream still carries a share (a 2 MB object over 8 streams
+	// moves as 8 × 256 KB, not 2 × 1 MB over a quarter of the streams) —
+	// matching the full striping the blocking path gets from Transfer.
+	chunkBytes := m.cfg.ChunkBytes
+	if perStream := (size + int64(m.cfg.TransferStreams) - 1) / int64(m.cfg.TransferStreams); chunkBytes > perStream {
+		chunkBytes = perStream
+	}
+	chunks := int((size + chunkBytes - 1) / chunkBytes)
+	// Likewise shrink the window when the object is small relative to the
+	// stream count: keeping every stream busy beats deep windows (a
+	// full-depth window on an object with few chunks would idle streams).
+	depth := m.cfg.PipelineDepth
+	if perStream := (chunks + m.cfg.TransferStreams - 1) / m.cfg.TransferStreams; depth > perStream {
+		depth = perStream
+	}
+	windowBytes := chunkBytes * int64(depth)
+	windows := int((size + windowBytes - 1) / windowBytes)
+	workers := m.cfg.TransferStreams
+	if workers > windows {
+		workers = windows
+	}
+
+	start := time.Now()
+	err = parallel.ForEach(ctx, workers, windows, func(fetchCtx context.Context, i int) error {
+		return m.fetchWindow(fetchCtx, id, pending.Data(), windowBytes, i, sources)
+	})
+	if err != nil {
+		return err
+	}
+	pending.Commit()
+	m.bytesPulled.Add(size)
+	m.chunkedPulls.Add(1)
+	m.chunksPulled.Add(int64(chunks))
+	m.transferNanos.Add(time.Since(start).Nanoseconds())
+	return m.registerLocation(ctx, id, size, entry.Creator)
+}
+
+// fetchWindow copies one window of chunks into buf, trying each replica in
+// turn (starting at a per-window offset so concurrent windows stripe across
+// replicas) and re-resolving the source on every attempt so a replica that
+// died mid-transfer is skipped.
+func (m *Manager) fetchWindow(ctx context.Context, id types.ObjectID, buf []byte, windowBytes int64, window int, sources []types.NodeID) error {
+	lo := int64(window) * windowBytes
+	hi := lo + windowBytes
+	if hi > int64(len(buf)) {
+		hi = int64(len(buf))
+	}
+	var lastErr error
+	for attempt := 0; attempt < len(sources); attempt++ {
+		src := sources[(window+attempt)%len(sources)]
+		store, ok := m.peers.ResolveStore(src)
+		if !ok {
+			lastErr = fmt.Errorf("objectmanager: source node %s unavailable: %w", src, types.ErrNodeDead)
+			continue
+		}
+		obj, ok := store.Get(id)
+		if !ok || obj.Size() != int64(len(buf)) {
+			lastErr = fmt.Errorf("objectmanager: %s missing on %s", id, src)
+			continue
+		}
+		if m.network != nil {
+			if err := m.network.TransferChunk(ctx, hi-lo); err != nil {
+				return err
+			}
+		}
+		copy(buf[lo:hi], obj.Data[lo:hi])
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("objectmanager: window %d of %s unavailable: %w", window, id, types.ErrObjectLost)
 	}
 	return lastErr
 }
@@ -230,6 +454,10 @@ type Stats struct {
 	Pulls         int64
 	BytesPulled   int64
 	TransferNanos int64
+	// ChunkedPulls counts pulls that went through the chunked pipeline.
+	ChunkedPulls int64
+	// ChunksPulled counts individual chunks fetched by the pipeline.
+	ChunksPulled int64
 }
 
 // Stats returns a snapshot of transfer counters.
@@ -238,5 +466,7 @@ func (m *Manager) Stats() Stats {
 		Pulls:         m.pulls.Load(),
 		BytesPulled:   m.bytesPulled.Load(),
 		TransferNanos: m.transferNanos.Load(),
+		ChunkedPulls:  m.chunkedPulls.Load(),
+		ChunksPulled:  m.chunksPulled.Load(),
 	}
 }

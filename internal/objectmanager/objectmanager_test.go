@@ -252,3 +252,331 @@ func TestErrorObjectPropagatesFlag(t *testing.T) {
 		t.Fatal("error flag lost during transfer")
 	}
 }
+
+// chunkedConfig is a pipelined configuration with small chunks so modest test
+// payloads exercise many windows.
+func chunkedConfig() Config {
+	return Config{TransferStreams: 4, ChunkBytes: 64 << 10, PipelineDepth: 2}
+}
+
+func TestChunkedPullAssemblesCorrectly(t *testing.T) {
+	env := newTestEnv(t, 2, chunkedConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	// Deliberately not a multiple of the chunk size: the last chunk is short.
+	payload := make([]byte, 1<<20+3)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if err := env.mgrs[0].Put(ctx, id, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.mgrs[1].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := env.mgrs[1].Local().Get(id)
+	if !ok || !bytes.Equal(obj.Data, payload) {
+		t.Fatal("chunked pull missing or corrupt")
+	}
+	st := env.mgrs[1].Stats()
+	wantChunks := int64((len(payload) + (64 << 10) - 1) / (64 << 10))
+	if st.ChunkedPulls != 1 || st.ChunksPulled != wantChunks {
+		t.Fatalf("chunk accounting wrong: %+v (want %d chunks)", st, wantChunks)
+	}
+	if st.BytesPulled != int64(len(payload)) {
+		t.Fatalf("bytes pulled %d, want %d", st.BytesPulled, len(payload))
+	}
+	// The new location is registered so a third node could pull from us.
+	entry, _, _ := env.gcs.GetObject(ctx, id)
+	if !entry.HasLocation(env.nodes[1]) {
+		t.Fatal("chunked pull did not register the new location")
+	}
+}
+
+func TestChunkedPullErrorFlagPreserved(t *testing.T) {
+	env := newTestEnv(t, 2, chunkedConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	if err := env.mgrs[0].Put(ctx, id, make([]byte, 512<<10), true, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.mgrs[1].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if obj, _ := env.mgrs[1].Local().Get(id); !obj.IsError {
+		t.Fatal("error flag lost across chunked transfer")
+	}
+}
+
+func TestConcurrentChunkedPullsDeduplicated(t *testing.T) {
+	env := newTestEnv(t, 2, chunkedConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	payload := bytes.Repeat([]byte{9}, 768<<10)
+	if err := env.mgrs[0].Put(ctx, id, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := env.mgrs[1].Pull(ctx, id); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if pulled := env.mgrs[1].Stats().BytesPulled; pulled != int64(len(payload)) {
+		t.Fatalf("expected exactly one chunked transfer (%d bytes), got %d", len(payload), pulled)
+	}
+}
+
+// killAfterResolver kills a node after its store has been resolved a fixed
+// number of times, simulating a source dying mid-transfer.
+type killAfterResolver struct {
+	inner    *fakeCluster
+	victim   types.NodeID
+	mu       sync.Mutex
+	resolves int
+	after    int
+}
+
+func (k *killAfterResolver) ResolveStore(node types.NodeID) (*objectstore.Store, bool) {
+	if node == k.victim {
+		k.mu.Lock()
+		k.resolves++
+		if k.resolves > k.after {
+			k.mu.Unlock()
+			return nil, false
+		}
+		k.mu.Unlock()
+	}
+	return k.inner.ResolveStore(node)
+}
+
+func TestChunkedPullFailsOverWhenSourceDiesMidTransfer(t *testing.T) {
+	env := newTestEnv(t, 2, chunkedConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	// Two replicas: nodes 0 and 1.
+	if err := env.mgrs[0].Put(ctx, id, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.mgrs[1].Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	// A third node whose resolver lets node 0 serve only the first couple of
+	// window resolutions, then reports it dead: remaining windows must fail
+	// over to node 1 without restarting the object.
+	puller := types.NewNodeID()
+	store := objectstore.New(objectstore.Config{CapacityBytes: 1 << 26})
+	resolver := &killAfterResolver{inner: env.cluster, victim: env.nodes[0], after: 2}
+	mgr := New(chunkedConfig(), puller, store, env.gcs, netsim.New(netsim.InstantConfig()), resolver)
+	if err := mgr.Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := store.Get(id)
+	if !ok || !bytes.Equal(obj.Data, payload) {
+		t.Fatal("failover pull missing or corrupt")
+	}
+}
+
+func TestChunkedPullFailsWhenAllReplicasDie(t *testing.T) {
+	env := newTestEnv(t, 2, chunkedConfig())
+	ctx := context.Background()
+	id := types.NewObjectID()
+	if err := env.mgrs[0].Put(ctx, id, make([]byte, 512<<10), false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	puller := types.NewNodeID()
+	store := objectstore.New(objectstore.Config{CapacityBytes: 1 << 26})
+	resolver := &killAfterResolver{inner: env.cluster, victim: env.nodes[0], after: 1}
+	mgr := New(Config{TransferStreams: 2, ChunkBytes: 64 << 10, PipelineDepth: 1, PullTimeout: 100 * time.Millisecond},
+		puller, store, env.gcs, netsim.New(netsim.InstantConfig()), resolver)
+	err := mgr.Pull(ctx, id)
+	if err == nil {
+		t.Fatal("pull must fail when the only replica dies mid-transfer")
+	}
+	if store.Contains(id) {
+		t.Fatal("failed pull must not leave a partial object visible")
+	}
+	if store.Used() != 0 {
+		t.Fatalf("failed pull leaked reservation: used=%d", store.Used())
+	}
+}
+
+func TestWaiterRetriesAfterOriginatorCancelled(t *testing.T) {
+	env := newTestEnv(t, 2, DefaultConfig())
+	id := types.NewObjectID()
+
+	// Originator starts pulling an object that does not exist yet, under a
+	// cancellable context.
+	origCtx, cancelOrig := context.WithCancel(context.Background())
+	origErr := make(chan error, 1)
+	go func() { origErr <- env.mgrs[1].Pull(origCtx, id) }()
+
+	// Waiter joins the same in-flight pull with a live context.
+	time.Sleep(20 * time.Millisecond)
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- env.mgrs[1].Pull(context.Background(), id) }()
+	time.Sleep(20 * time.Millisecond)
+
+	// The originator's caller gives up: its pull fails with context.Canceled.
+	cancelOrig()
+	select {
+	case err := <-origErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("originator should fail with its own cancellation, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("originator did not observe cancellation")
+	}
+
+	// The object is created; the waiter must have restarted the pull under
+	// its own context rather than inheriting context.Canceled.
+	if err := env.mgrs[0].Put(context.Background(), id, []byte("late arrival"), false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("waiter with a live context must retry and succeed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never completed")
+	}
+	if !env.mgrs[1].Local().Contains(id) {
+		t.Fatal("object not local after retried pull")
+	}
+}
+
+func TestCancelledWaiterStillFails(t *testing.T) {
+	env := newTestEnv(t, 2, DefaultConfig())
+	id := types.NewObjectID()
+	origCtx, cancelOrig := context.WithCancel(context.Background())
+	origErr := make(chan error, 1)
+	go func() { origErr <- env.mgrs[1].Pull(origCtx, id) }()
+	time.Sleep(20 * time.Millisecond)
+
+	// A waiter whose own context is also cancelled must not retry forever.
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- env.mgrs[1].Pull(waiterCtx, id) }()
+	time.Sleep(20 * time.Millisecond)
+	cancelWaiter()
+	cancelOrig()
+	for _, ch := range []chan error{origErr, waiterErr} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("expected context.Canceled, got %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("pull did not observe cancellation")
+		}
+	}
+}
+
+// TestEvictThenRepullLocationConsistency reproduces the evict/re-put race:
+// the eviction's asynchronous GCS location removal must not land after the
+// same object has been re-admitted and re-registered, or the directory goes
+// blind to a resident replica.
+func TestEvictThenRepullLocationConsistency(t *testing.T) {
+	ctx := context.Background()
+	gstore := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	cluster := newFakeCluster()
+	nodeID := types.NewNodeID()
+	objA := types.NewObjectID()
+	objB := types.NewObjectID()
+
+	callbackStarted := make(chan types.ObjectID, 8)
+	store := objectstore.New(objectstore.Config{
+		CapacityBytes: 1000,
+		OnEvict: func(obj types.ObjectID, size int64) {
+			select {
+			case callbackStarted <- obj:
+			default:
+			}
+			if obj == objA {
+				// A slow directory update for the object under test: a wide
+				// window for the re-put to race into.
+				time.Sleep(30 * time.Millisecond)
+			}
+			_ = gstore.RemoveObjectLocation(context.Background(), obj, nodeID)
+		},
+	})
+	cluster.add(nodeID, store)
+	mgr := New(DefaultConfig(), nodeID, store, gstore, netsim.New(netsim.InstantConfig()), cluster)
+	payload := make([]byte, 600)
+	if err := mgr.Put(ctx, objA, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	// Putting B evicts A; run it on another goroutine so A's slow eviction
+	// callback is in flight while we re-admit A.
+	putBDone := make(chan error, 1)
+	go func() { putBDone <- mgr.Put(ctx, objB, payload, false, types.NilTaskID) }()
+	if got := <-callbackStarted; got != objA {
+		t.Fatalf("expected eviction of %s, got %s", objA, got)
+	}
+	// Re-admit A while its eviction notification is still pending. The
+	// location registration must order after the pending removal.
+	if err := mgr.Put(ctx, objA, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-putBDone; err != nil {
+		t.Fatal(err)
+	}
+	if !store.Contains(objA) {
+		t.Fatal("re-admitted object not resident")
+	}
+	entry, ok, err := gstore.GetObject(ctx, objA)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !entry.HasLocation(nodeID) {
+		t.Fatalf("directory lost track of resident replica: locations=%v", entry.Locations)
+	}
+}
+
+func TestWaiterRetriesAfterOriginatorDeadline(t *testing.T) {
+	env := newTestEnv(t, 2, DefaultConfig())
+	id := types.NewObjectID()
+
+	// Originator pulls a not-yet-created object under a short deadline.
+	origCtx, cancelOrig := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancelOrig()
+	origErr := make(chan error, 1)
+	go func() { origErr <- env.mgrs[1].Pull(origCtx, id) }()
+	time.Sleep(15 * time.Millisecond)
+
+	// Waiter joins with a live context before the originator's deadline.
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- env.mgrs[1].Pull(context.Background(), id) }()
+
+	select {
+	case err := <-origErr:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("originator should report its own deadline, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("originator did not observe its deadline")
+	}
+	// The object arrives late: the waiter must have restarted the pull
+	// rather than inheriting the originator's deadline failure.
+	if err := env.mgrs[0].Put(context.Background(), id, []byte("late"), false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-waiterErr:
+		if err != nil {
+			t.Fatalf("waiter with a live context must retry and succeed, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never completed")
+	}
+}

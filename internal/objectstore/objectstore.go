@@ -5,9 +5,17 @@
 // they are replicated by the object manager before a task runs.
 //
 // The store enforces a capacity with LRU eviction, supports pinning (inputs
-// of running tasks must not be evicted underneath them), and lets callers
-// block until an object becomes local — the primitive behind ray.get's
-// "register a callback with the object table" flow in Figure 7b.
+// of running tasks must not be evicted underneath them — the worker pool
+// pins via GetPin for the duration of execution), and lets callers block
+// until an object becomes local — the primitive behind ray.get's "register a
+// callback with the object table" flow in Figure 7b.
+//
+// For chunked transfers, BeginPut reserves a store-owned destination buffer
+// that transfer workers fill concurrently; the reservation counts against
+// capacity, is implicitly pinned until committed or aborted, and becomes
+// visible atomically at Commit. Eviction callbacks run synchronously after
+// the triggering Put returns the lock, and WaitEvictions orders a re-put's
+// external location registration after the eviction's de-registration.
 package objectstore
 
 import (
@@ -37,6 +45,12 @@ func (o *Object) Size() int64 { return int64(len(o.Data)) }
 
 // EvictionCallback is invoked (outside the store lock) whenever an object is
 // evicted, so the owner can remove the location from the GCS object table.
+// Callbacks run synchronously on the goroutine whose Put (or BeginPut)
+// triggered the eviction, after the store lock is released, and the store
+// tracks them until they return: WaitEvictions lets a caller that re-admits
+// a previously evicted object order its location registration strictly after
+// the eviction's location removal. The callback must not call back into the
+// store.
 type EvictionCallback func(id types.ObjectID, size int64)
 
 // Config controls store behaviour.
@@ -67,6 +81,11 @@ type Store struct {
 	lru     *list.List // front = most recently used
 	used    int64
 	waiters map[types.ObjectID][]chan struct{}
+	// evictNotify tracks in-flight eviction callbacks per object so that a
+	// re-put of the same object can wait for the eviction's GCS location
+	// removal to land before registering the fresh location (the evict/re-put
+	// ordering guarantee behind WaitEvictions).
+	evictNotify map[types.ObjectID][]chan struct{}
 
 	// stats
 	puts      atomic.Int64
@@ -93,10 +112,11 @@ func New(cfg Config) *Store {
 		cfg.CopyThreshold = 512 * 1024
 	}
 	return &Store{
-		cfg:     cfg,
-		objects: make(map[types.ObjectID]*entry),
-		lru:     list.New(),
-		waiters: make(map[types.ObjectID][]chan struct{}),
+		cfg:         cfg,
+		objects:     make(map[types.ObjectID]*entry),
+		lru:         list.New(),
+		waiters:     make(map[types.ObjectID][]chan struct{}),
+		evictNotify: make(map[types.ObjectID][]chan struct{}),
 	}
 }
 
@@ -120,8 +140,12 @@ func (s *Store) Put(id types.ObjectID, data []byte, isError bool) error {
 		s.mu.Unlock()
 		return nil
 	}
-	if err := s.evictForLocked(size); err != nil {
+	evicted, err := s.evictForLocked(size)
+	if err != nil {
 		s.mu.Unlock()
+		// Evictions that happened before the failure are real: their
+		// callbacks must still run (and their pending markers retire).
+		s.notifyEvicted(evicted)
 		return err
 	}
 	obj := &Object{ID: id, Data: buf, IsError: isError}
@@ -136,7 +160,91 @@ func (s *Store) Put(id types.ObjectID, data []byte, isError bool) error {
 	for _, ch := range waiters {
 		close(ch)
 	}
+	s.notifyEvicted(evicted)
 	return nil
+}
+
+// PendingPut is a store-owned destination buffer reserved by BeginPut for an
+// object being assembled chunk by chunk. The reservation counts against the
+// store's capacity and is implicitly pinned — it is invisible to Get/Contains
+// and untouchable by eviction — until Commit publishes it or Abort releases
+// it.
+type PendingPut struct {
+	store   *Store
+	id      types.ObjectID
+	buf     []byte
+	isError bool
+	settled bool
+}
+
+// Data returns the destination buffer. Chunk workers may fill disjoint ranges
+// concurrently; no range may be written after Commit.
+func (p *PendingPut) Data() []byte { return p.buf }
+
+// BeginPut reserves capacity for an object of the given size and returns a
+// pending buffer for chunked assembly, evicting unpinned objects as needed.
+// If the object is already resident the reservation is refused with ok=false
+// (the existing copy is identical — objects are immutable).
+func (s *Store) BeginPut(id types.ObjectID, size int64, isError bool) (*PendingPut, bool, error) {
+	if size > s.cfg.CapacityBytes {
+		return nil, false, fmt.Errorf("objectstore: object %s (%d bytes) exceeds capacity %d: %w",
+			id, size, s.cfg.CapacityBytes, types.ErrStoreFull)
+	}
+	s.mu.Lock()
+	if _, ok := s.objects[id]; ok {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	evicted, err := s.evictForLocked(size)
+	if err != nil {
+		s.mu.Unlock()
+		s.notifyEvicted(evicted)
+		return nil, false, err
+	}
+	s.used += size
+	s.mu.Unlock()
+	s.notifyEvicted(evicted)
+	return &PendingPut{store: s, id: id, buf: make([]byte, size), isError: isError}, true, nil
+}
+
+// Commit publishes the assembled object, waking waiters. If the object was
+// re-put through another path while the assembly was in flight, the
+// reservation is simply released (the copies are identical).
+func (p *PendingPut) Commit() {
+	s := p.store
+	s.mu.Lock()
+	if p.settled {
+		s.mu.Unlock()
+		return
+	}
+	p.settled = true
+	s.puts.Add(1)
+	if _, ok := s.objects[p.id]; ok {
+		s.used -= int64(len(p.buf))
+		s.mu.Unlock()
+		return
+	}
+	e := &entry{obj: &Object{ID: p.id, Data: p.buf, IsError: p.isError}}
+	e.element = s.lru.PushFront(p.id)
+	s.objects[p.id] = e
+	waiters := s.waiters[p.id]
+	delete(s.waiters, p.id)
+	s.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// Abort releases the reservation without publishing (e.g. the transfer
+// failed). Safe to call after Commit; the first settlement wins.
+func (p *PendingPut) Abort() {
+	s := p.store
+	s.mu.Lock()
+	if !p.settled {
+		p.settled = true
+		s.used -= int64(len(p.buf))
+	}
+	s.mu.Unlock()
 }
 
 // copyPayload copies data using the configured number of copy threads.
@@ -164,31 +272,87 @@ func (s *Store) copyPayload(data []byte) []byte {
 	return buf
 }
 
+// evictedObject records one eviction for post-lock notification.
+type evictedObject struct {
+	id   types.ObjectID
+	size int64
+	done chan struct{}
+}
+
 // evictForLocked evicts least-recently-used unpinned objects until size bytes
-// fit. Caller holds s.mu.
-func (s *Store) evictForLocked(size int64) error {
+// fit. Caller holds s.mu and must pass the returned evictions to
+// notifyEvicted after releasing the lock: each eviction is registered in
+// evictNotify before the object leaves the map, so any later re-put of the
+// same object observes the pending notification and can wait for it.
+func (s *Store) evictForLocked(size int64) ([]evictedObject, error) {
+	var evicted []evictedObject
 	for s.used+size > s.cfg.CapacityBytes {
-		evicted := false
+		progressed := false
 		for el := s.lru.Back(); el != nil; el = el.Prev() {
 			id := el.Value.(types.ObjectID)
 			e := s.objects[id]
 			if e.pins > 0 {
 				continue
 			}
+			ev := evictedObject{id: id, size: e.obj.Size()}
+			if s.cfg.OnEvict != nil {
+				ev.done = make(chan struct{})
+				s.evictNotify[id] = append(s.evictNotify[id], ev.done)
+			}
 			s.removeLocked(id, e)
 			s.evictions.Add(1)
-			if s.cfg.OnEvict != nil {
-				// Call outside the lock would be nicer, but eviction is rare
-				// and the callback only enqueues GCS updates; keep it simple
-				// and document that OnEvict must not call back into the store.
-				go s.cfg.OnEvict(id, e.obj.Size())
-			}
-			evicted = true
+			evicted = append(evicted, ev)
+			progressed = true
 			break
 		}
-		if !evicted {
-			return fmt.Errorf("objectstore: need %d bytes but all %d resident bytes are pinned: %w",
+		if !progressed {
+			return evicted, fmt.Errorf("objectstore: need %d bytes but all %d resident bytes are pinned: %w",
 				size, s.used, types.ErrStoreFull)
+		}
+	}
+	return evicted, nil
+}
+
+// notifyEvicted runs the eviction callback for each evicted object and then
+// retires its pending-notification marker, waking WaitEvictions callers.
+// Must be called without holding s.mu.
+func (s *Store) notifyEvicted(evicted []evictedObject) {
+	for _, ev := range evicted {
+		if ev.done == nil {
+			continue
+		}
+		s.cfg.OnEvict(ev.id, ev.size)
+		s.mu.Lock()
+		pending := s.evictNotify[ev.id]
+		for i, ch := range pending {
+			if ch == ev.done {
+				pending = append(pending[:i], pending[i+1:]...)
+				break
+			}
+		}
+		if len(pending) == 0 {
+			delete(s.evictNotify, ev.id)
+		} else {
+			s.evictNotify[ev.id] = pending
+		}
+		s.mu.Unlock()
+		close(ev.done)
+	}
+}
+
+// WaitEvictions blocks until every eviction notification for id that was
+// in flight when the call was made has completed (or ctx is done). Callers
+// that re-admit an object and then register its location externally use it
+// to guarantee the registration orders after the eviction's de-registration.
+func (s *Store) WaitEvictions(ctx context.Context, id types.ObjectID) error {
+	s.mu.Lock()
+	pending := append([]chan struct{}(nil), s.evictNotify[id]...)
+	s.mu.Unlock()
+	for _, ch := range pending {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
 	return nil
@@ -246,6 +410,23 @@ func (s *Store) Pin(id types.ObjectID) bool {
 	}
 	e.pins++
 	return true
+}
+
+// GetPin atomically fetches the object and pins it, bumping LRU recency.
+// The worker pool uses it to hold a running task's inputs resident for the
+// duration of execution; the caller must Unpin when done.
+func (s *Store) GetPin(id types.ObjectID) (*Object, bool) {
+	s.gets.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, false
+	}
+	s.hits.Add(1)
+	e.pins++
+	s.lru.MoveToFront(e.element)
+	return e.obj, true
 }
 
 // Unpin releases a previous Pin.

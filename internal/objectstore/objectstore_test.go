@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -340,5 +341,227 @@ func TestAccountingInvariantProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBeginPutCommit(t *testing.T) {
+	s := New(Config{CapacityBytes: 1000})
+	id := types.NewObjectID()
+	p, ok, err := s.BeginPut(id, 600, false)
+	if err != nil || !ok {
+		t.Fatalf("BeginPut: ok=%v err=%v", ok, err)
+	}
+	// The reservation counts against capacity but is invisible.
+	if s.Used() != 600 || s.Contains(id) || s.Len() != 0 {
+		t.Fatalf("pending reservation wrong: used=%d contains=%v", s.Used(), s.Contains(id))
+	}
+	// Concurrent-style chunk fills on disjoint ranges.
+	buf := p.Data()
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	p.Commit()
+	obj, found := s.Get(id)
+	if !found || len(obj.Data) != 600 || obj.Data[599] != byte(599*7%256) {
+		t.Fatal("committed object missing or corrupt")
+	}
+	if s.Used() != 600 || s.Len() != 1 {
+		t.Fatalf("post-commit accounting wrong: used=%d len=%d", s.Used(), s.Len())
+	}
+	// A waiter blocked on the object is woken by Commit.
+	id2 := types.NewObjectID()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := s.Wait(context.Background(), id2); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	p2, ok, err := s.BeginPut(id2, 100, false)
+	if err != nil || !ok {
+		t.Fatal("second BeginPut failed")
+	}
+	p2.Commit()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Commit did not wake waiter")
+	}
+}
+
+func TestBeginPutAbortReleasesReservation(t *testing.T) {
+	s := New(Config{CapacityBytes: 1000})
+	id := types.NewObjectID()
+	p, ok, err := s.BeginPut(id, 900, true)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	p.Abort()
+	if s.Used() != 0 || s.Contains(id) {
+		t.Fatalf("abort leaked reservation: used=%d", s.Used())
+	}
+	// Abort after Commit is a no-op.
+	p2, _, _ := s.BeginPut(id, 100, false)
+	p2.Commit()
+	p2.Abort()
+	if s.Used() != 100 || !s.Contains(id) {
+		t.Fatalf("abort after commit corrupted state: used=%d", s.Used())
+	}
+	// Commit after Abort must not resurrect the buffer.
+	p3, _, _ := s.BeginPut(types.NewObjectID(), 100, false)
+	p3.Abort()
+	p3.Commit()
+	if s.Used() != 100 || s.Len() != 1 {
+		t.Fatalf("commit after abort corrupted state: used=%d len=%d", s.Used(), s.Len())
+	}
+}
+
+func TestBeginPutPendingIsUnevictable(t *testing.T) {
+	s := New(Config{CapacityBytes: 1000})
+	p, ok, err := s.BeginPut(types.NewObjectID(), 800, false)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// The pending reservation cannot be evicted to make room.
+	if err := s.Put(types.NewObjectID(), make([]byte, 300), false); !errors.Is(err, types.ErrStoreFull) {
+		t.Fatalf("expected ErrStoreFull while assembly pins the store, got %v", err)
+	}
+	p.Commit()
+	// Once committed the object is a normal eviction candidate.
+	if err := s.Put(types.NewObjectID(), make([]byte, 300), false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeginPutAlreadyResident(t *testing.T) {
+	s := New(Config{CapacityBytes: 1000})
+	id := types.NewObjectID()
+	if err := s.Put(id, []byte("resident"), false); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := s.BeginPut(id, 8, false)
+	if err != nil || ok || p != nil {
+		t.Fatalf("BeginPut of resident object must refuse: ok=%v err=%v", ok, err)
+	}
+	// Oversized reservations fail up front.
+	if _, _, err := s.BeginPut(types.NewObjectID(), 2000, false); !errors.Is(err, types.ErrStoreFull) {
+		t.Fatalf("expected ErrStoreFull, got %v", err)
+	}
+}
+
+func TestBeginPutCommitRaceWithPut(t *testing.T) {
+	s := New(Config{CapacityBytes: 1000})
+	id := types.NewObjectID()
+	p, ok, err := s.BeginPut(id, 100, false)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	// The object arrives through the normal path while assembly is in flight.
+	if err := s.Put(id, make([]byte, 100), false); err != nil {
+		t.Fatal(err)
+	}
+	p.Commit() // must release the reservation, not double-account
+	if s.Used() != 100 || s.Len() != 1 {
+		t.Fatalf("double-accounted: used=%d len=%d", s.Used(), s.Len())
+	}
+}
+
+func TestEvictionNotificationSynchronousAndOrdered(t *testing.T) {
+	var notified atomic.Int32
+	s := New(Config{
+		CapacityBytes: 100,
+		OnEvict: func(types.ObjectID, int64) {
+			time.Sleep(10 * time.Millisecond)
+			notified.Add(1)
+		},
+	})
+	victim := types.NewObjectID()
+	if err := s.Put(victim, make([]byte, 80), false); err != nil {
+		t.Fatal(err)
+	}
+	// The Put that evicts must not return before the eviction callback has
+	// completed — notifications are ordered with respect to the caller.
+	if err := s.Put(types.NewObjectID(), make([]byte, 80), false); err != nil {
+		t.Fatal(err)
+	}
+	if notified.Load() != 1 {
+		t.Fatal("eviction callback did not complete before Put returned")
+	}
+}
+
+func TestWaitEvictionsBlocksUntilCallbackDone(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Config{
+		CapacityBytes: 100,
+		OnEvict: func(types.ObjectID, int64) {
+			close(started)
+			<-release
+		},
+	})
+	victim := types.NewObjectID()
+	if err := s.Put(victim, make([]byte, 80), false); err != nil {
+		t.Fatal(err)
+	}
+	evictErr := make(chan error, 1)
+	go func() {
+		evictErr <- s.Put(types.NewObjectID(), make([]byte, 80), false)
+	}()
+	<-started
+	// The callback is in flight: WaitEvictions for the victim must block.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if err := s.WaitEvictions(ctx, victim); err == nil {
+		t.Fatal("WaitEvictions returned while the eviction callback was still running")
+	}
+	cancel()
+	// An unrelated object has nothing pending.
+	if err := s.WaitEvictions(context.Background(), types.NewObjectID()); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-evictErr; err != nil {
+		t.Fatal(err)
+	}
+	// Once the callback finishes, WaitEvictions returns immediately.
+	if err := s.WaitEvictions(context.Background(), victim); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedPutStillNotifiesPartialEvictions(t *testing.T) {
+	var notified atomic.Int32
+	s := New(Config{
+		CapacityBytes: 100,
+		OnEvict:       func(types.ObjectID, int64) { notified.Add(1) },
+	})
+	pinnedObj := types.NewObjectID()
+	if err := s.Put(pinnedObj, make([]byte, 50), false); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Pin(pinnedObj) {
+		t.Fatal("pin failed")
+	}
+	victim := types.NewObjectID()
+	if err := s.Put(victim, make([]byte, 30), false); err != nil {
+		t.Fatal(err)
+	}
+	// Needs 80 free: evicts the 30-byte victim, then fails on the pin.
+	if err := s.Put(types.NewObjectID(), make([]byte, 80), false); !errors.Is(err, types.ErrStoreFull) {
+		t.Fatalf("expected ErrStoreFull, got %v", err)
+	}
+	if s.Contains(victim) {
+		t.Fatal("victim should have been evicted before the failure")
+	}
+	// The partial eviction's callback must still have run (synchronously,
+	// before the failing Put returned), and its pending marker retired so
+	// WaitEvictions cannot hang.
+	if notified.Load() != 1 {
+		t.Fatalf("eviction callback ran %d times, want 1", notified.Load())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.WaitEvictions(ctx, victim); err != nil {
+		t.Fatalf("WaitEvictions hung after failed Put: %v", err)
 	}
 }

@@ -1,0 +1,60 @@
+// Package parallel provides the bounded fan-out loop shared by the data
+// plane (chunked transfer windows) and the local scheduler (dependency
+// pulls): N work items drained by a fixed pool of workers, first error wins
+// and cancels the rest.
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on up to workers concurrent
+// goroutines. The context passed to fn is derived from ctx and is cancelled
+// as soon as any call fails; remaining queued items are skipped. ForEach
+// returns after every in-flight call has finished: the first error observed,
+// or ctx's error if the caller's context ended with no fn failure.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	loopCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	errCh := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || loopCtx.Err() != nil {
+					return
+				}
+				if err := fn(loopCtx, i); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 100
+	var visits [n]atomic.Int32
+	err := ForEach(context.Background(), 7, n, func(_ context.Context, i int) error {
+		visits[i].Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if got := visits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	var running, maxConc atomic.Int32
+	err := ForEach(context.Background(), 3, 24, func(_ context.Context, i int) error {
+		cur := running.Add(1)
+		for {
+			max := maxConc.Load()
+			if cur <= max || maxConc.CompareAndSwap(max, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		running.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxConc.Load(); got > 3 {
+		t.Fatalf("concurrency bound exceeded: %d", got)
+	}
+}
+
+func TestForEachFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	err := ForEach(context.Background(), 1, 50, func(ctx context.Context, i int) error {
+		calls.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("expected boom, got %v", err)
+	}
+	// Single worker, failure at index 2: indices 3+ must be skipped.
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("expected 3 calls before cancellation, got %d", got)
+	}
+}
+
+func TestForEachHonoursCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	err := ForEach(ctx, 4, 10, func(fctx context.Context, i int) error {
+		calls.Add(1)
+		return fctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if ForEach(ctx, 4, 0, nil) != context.Canceled {
+		t.Fatal("empty loop must still report the caller's context error")
+	}
+	if err := ForEach(context.Background(), 0, 0, nil); err != nil {
+		t.Fatal("empty loop with live context must succeed")
+	}
+}

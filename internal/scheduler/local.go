@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ray/internal/parallel"
 	"ray/internal/resources"
 	"ray/internal/task"
 	"ray/internal/types"
@@ -68,6 +69,13 @@ type LocalConfig struct {
 	// per accepted task. The scheduler-ablation benchmarks use it as the
 	// baseline.
 	DirectDispatch bool
+	// PullFanOut bounds how many of a task's dependencies are pulled
+	// concurrently before it runs, so a two-input task overlaps both
+	// transfers instead of paying them back to back. Zero means 4.
+	PullFanOut int
+	// SerialPulls restores the one-dependency-at-a-time pull loop (the
+	// blocking-transfer ablation baseline).
+	SerialPulls bool
 }
 
 // Local is one node's local scheduler. Tasks submitted on the node come here
@@ -127,6 +135,9 @@ func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forwa
 	}
 	if cfg.WorkerSlots <= 0 {
 		cfg.WorkerSlots = defaultWorkerSlots(cfg.Pool)
+	}
+	if cfg.PullFanOut <= 0 {
+		cfg.PullFanOut = 4
 	}
 	l := &Local{
 		cfg:       cfg,
@@ -304,13 +315,13 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 	}()
 
 	// 1. Make every dependency local (task dispatch, decoupled from
-	//    scheduling: the object manager consults the GCS directly).
-	for _, dep := range spec.Dependencies() {
-		if err := l.puller.Pull(ctx, dep); err != nil {
-			l.failed.Add(1)
-			_ = l.runner.Fail(ctx, spec, err)
-			return
-		}
+	//    scheduling: the object manager consults the GCS directly). Multiple
+	//    dependencies are pulled concurrently (bounded by PullFanOut) so
+	//    their transfers overlap.
+	if err := l.pullDependencies(ctx, spec.Dependencies()); err != nil {
+		l.failed.Add(1)
+		_ = l.runner.Fail(ctx, spec, err)
+		return
 	}
 
 	// 2. Acquire resources. Actor method calls run under the resources the
@@ -397,6 +408,36 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 		return
 	}
 	l.completed.Add(1)
+}
+
+// pullDependencies makes every listed object local. With more than one
+// dependency (and unless SerialPulls restores the baseline), pulls run on up
+// to PullFanOut concurrent workers; the first failure cancels the rest and is
+// reported. Duplicate IDs are deduplicated by the object manager's inflight
+// table, so fanning out never double-transfers.
+func (l *Local) pullDependencies(ctx context.Context, deps []types.ObjectID) error {
+	if len(deps) == 0 {
+		return nil
+	}
+	if len(deps) == 1 || l.cfg.SerialPulls {
+		for _, dep := range deps {
+			if err := l.puller.Pull(ctx, dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	err := parallel.ForEach(ctx, l.cfg.PullFanOut, len(deps), func(pullCtx context.Context, i int) error {
+		return l.puller.Pull(pullCtx, deps[i])
+	})
+	if err != nil {
+		// Prefer the caller's own cancellation over a derived one.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return err
+	}
+	return nil
 }
 
 // acquireWithDeadline tries to acquire the spec's resources, giving up after

@@ -663,3 +663,115 @@ func TestDirectDispatchKnob(t *testing.T) {
 	}
 	waitFor(t, func() bool { return l.Stats().Completed == 4 }, "tasks complete")
 }
+
+// trackingPuller records the maximum number of concurrently in-flight pulls.
+type trackingPuller struct {
+	running atomic.Int32
+	maxConc atomic.Int32
+	pulled  atomic.Int64
+}
+
+func (p *trackingPuller) Pull(ctx context.Context, id types.ObjectID) error {
+	cur := p.running.Add(1)
+	for {
+		max := p.maxConc.Load()
+		if cur <= max || p.maxConc.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	p.running.Add(-1)
+	p.pulled.Add(1)
+	return nil
+}
+
+func TestMultiDependencyPullsOverlap(t *testing.T) {
+	runner := &fakeRunner{}
+	puller := &trackingPuller{}
+	l := newLocal(LocalConfig{}, runner, puller, &fakeForwarder{})
+	spec := simpleSpec(1)
+	spec.Args = []task.Arg{
+		task.RefArg(types.NewObjectID()),
+		task.RefArg(types.NewObjectID()),
+		task.RefArg(types.NewObjectID()),
+	}
+	if err := l.Submit(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return l.Stats().Completed == 1 }, "task completion")
+	if puller.pulled.Load() != 3 {
+		t.Fatalf("expected 3 pulls, got %d", puller.pulled.Load())
+	}
+	if puller.maxConc.Load() < 2 {
+		t.Fatalf("dependency pulls never overlapped (max concurrency %d)", puller.maxConc.Load())
+	}
+}
+
+func TestSerialPullsRestoresBaseline(t *testing.T) {
+	runner := &fakeRunner{}
+	puller := &trackingPuller{}
+	l := newLocal(LocalConfig{SerialPulls: true}, runner, puller, &fakeForwarder{})
+	spec := simpleSpec(1)
+	spec.Args = []task.Arg{task.RefArg(types.NewObjectID()), task.RefArg(types.NewObjectID())}
+	if err := l.Submit(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return l.Stats().Completed == 1 }, "task completion")
+	if puller.maxConc.Load() != 1 {
+		t.Fatalf("serial mode overlapped pulls (max concurrency %d)", puller.maxConc.Load())
+	}
+}
+
+func TestPullFanOutBounded(t *testing.T) {
+	runner := &fakeRunner{}
+	puller := &trackingPuller{}
+	l := newLocal(LocalConfig{PullFanOut: 2}, runner, puller, &fakeForwarder{})
+	spec := simpleSpec(1)
+	args := make([]task.Arg, 8)
+	for i := range args {
+		args[i] = task.RefArg(types.NewObjectID())
+	}
+	spec.Args = args
+	if err := l.Submit(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return l.Stats().Completed == 1 }, "task completion")
+	if puller.pulled.Load() != 8 {
+		t.Fatalf("expected 8 pulls, got %d", puller.pulled.Load())
+	}
+	if got := puller.maxConc.Load(); got > 2 {
+		t.Fatalf("fan-out bound exceeded: max concurrency %d", got)
+	}
+}
+
+// failingPuller fails one specific object's pull.
+type failingPuller struct {
+	bad types.ObjectID
+}
+
+func (p *failingPuller) Pull(ctx context.Context, id types.ObjectID) error {
+	if id == p.bad {
+		return types.ErrObjectLost
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(5 * time.Millisecond):
+	}
+	return nil
+}
+
+func TestConcurrentPullFailureFailsTask(t *testing.T) {
+	runner := &fakeRunner{}
+	bad := types.NewObjectID()
+	l := newLocal(LocalConfig{}, runner, &failingPuller{bad: bad}, &fakeForwarder{})
+	spec := simpleSpec(1)
+	spec.Args = []task.Arg{task.RefArg(types.NewObjectID()), task.RefArg(bad), task.RefArg(types.NewObjectID())}
+	if err := l.Submit(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return l.Stats().Failed == 1 }, "task failure")
+	if runner.count() != 0 {
+		t.Fatal("task with unavailable input must not run")
+	}
+}

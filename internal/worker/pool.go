@@ -81,11 +81,15 @@ func (p *Pool) getRuntime() Runtime {
 // Run executes one task (stateless function, actor creation, or actor
 // method). Dependencies are expected to be local (the local scheduler pulled
 // them); outputs are stored in the local object store and registered with the
-// GCS. Application-level errors become error objects rather than Run errors.
+// GCS. Resolved inputs stay pinned in the store for the duration of the
+// execution — the object store's promise that a running task's inputs cannot
+// be evicted underneath it. Application-level errors become error objects
+// rather than Run errors.
 func (p *Pool) Run(ctx context.Context, spec *task.Spec) error {
 	tctx := NewTaskContext(ctx, spec.ID, spec.Driver, p.cfg.NodeID, p.getRuntime(), p.ids)
 
-	args, argErr, err := p.resolveArgs(ctx, spec)
+	args, pinned, argErr, err := p.resolveArgs(ctx, spec)
+	defer p.unpinAll(pinned)
 	if err != nil {
 		return err
 	}
@@ -128,37 +132,51 @@ func (p *Pool) Fail(ctx context.Context, spec *task.Spec, cause error) error {
 }
 
 // resolveArgs materializes the task's arguments from inline values and the
-// local object store. If any referenced object is an error object, argErr is
-// the decoded application error.
-func (p *Pool) resolveArgs(ctx context.Context, spec *task.Spec) (args [][]byte, argErr error, err error) {
+// local object store, pinning every referenced object so eviction cannot pull
+// an input out from under the running task. The returned pinned slice must be
+// released with unpinAll once execution finishes — it is valid (and must be
+// released) on every return path, including errors. If any referenced object
+// is an error object, argErr is the decoded application error.
+func (p *Pool) resolveArgs(ctx context.Context, spec *task.Spec) (args [][]byte, pinned []types.ObjectID, argErr error, err error) {
 	args = make([][]byte, len(spec.Args))
 	for i, a := range spec.Args {
 		if a.Kind == task.ArgValue {
 			args[i] = a.Value
 			continue
 		}
-		obj, ok := p.objects.Local().Get(a.Ref)
+		obj, ok := p.objects.Local().GetPin(a.Ref)
 		if !ok {
 			// The scheduler should have pulled it; pull defensively (covers
-			// direct Run calls in tests and eviction races).
-			if perr := p.objects.Pull(ctx, a.Ref); perr != nil {
-				return nil, nil, fmt.Errorf("worker: input %s unavailable: %w", a.Ref, perr)
+			// direct Run calls in tests and eviction races) and retry the
+			// pin — the object may be evicted again between pull and pin.
+			for attempt := 0; !ok && attempt < 3; attempt++ {
+				if perr := p.objects.Pull(ctx, a.Ref); perr != nil {
+					return nil, pinned, nil, fmt.Errorf("worker: input %s unavailable: %w", a.Ref, perr)
+				}
+				obj, ok = p.objects.Local().GetPin(a.Ref)
 			}
-			obj, ok = p.objects.Local().Get(a.Ref)
 			if !ok {
-				return nil, nil, fmt.Errorf("worker: input %s unavailable after pull: %w", a.Ref, types.ErrObjectNotFound)
+				return nil, pinned, nil, fmt.Errorf("worker: input %s unavailable after pull: %w", a.Ref, types.ErrObjectNotFound)
 			}
 		}
+		pinned = append(pinned, a.Ref)
 		if obj.IsError {
 			var msg string
 			if derr := codec.Decode(obj.Data, &msg); derr != nil {
 				msg = "upstream task failed"
 			}
-			return nil, &types.TaskError{TaskID: spec.ID, Message: msg}, nil
+			return nil, pinned, &types.TaskError{TaskID: spec.ID, Message: msg}, nil
 		}
 		args[i] = obj.Data
 	}
-	return args, nil, nil
+	return args, pinned, nil, nil
+}
+
+// unpinAll releases the pins resolveArgs took on a task's inputs.
+func (p *Pool) unpinAll(pinned []types.ObjectID) {
+	for _, id := range pinned {
+		p.objects.Local().Unpin(id)
+	}
 }
 
 // storeOutputs writes the task's outputs (or its error) to the object store

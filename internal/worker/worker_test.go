@@ -617,3 +617,81 @@ func TestGetAllAndCallMultiReturn(t *testing.T) {
 		t.Fatal("missing output must decode as empty")
 	}
 }
+
+// TestRunningTaskInputsPinned verifies the objectstore's promise that a
+// running task's inputs cannot be evicted (or deleted) underneath it: the
+// worker pool pins resolved inputs for the duration of execution.
+func TestRunningTaskInputsPinned(t *testing.T) {
+	env := newEnv(t, 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := env.registry.Register("block", func(ctx *TaskContext, args [][]byte) ([][]byte, error) {
+		close(started)
+		<-release
+		return [][]byte{codec.MustEncode(len(args[0]))}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	input := types.NewObjectID()
+	if err := env.pool.objects.Put(context.Background(), input, []byte("task input"), false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	spec := &task.Spec{
+		ID:         types.NewTaskID(),
+		Driver:     types.NewDriverID(),
+		Function:   "block",
+		NumReturns: 1,
+		Args:       []task.Arg{task.RefArg(input)},
+	}
+	if err := env.gcs.AddTask(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- env.pool.Run(context.Background(), spec) }()
+	<-started
+
+	store := env.pool.objects.Local()
+	// While the task runs, its input is pinned: undeletable and unevictable.
+	if store.Delete(input) {
+		t.Fatal("running task's input was deleted")
+	}
+	if dropped := store.DropAll(); len(dropped) != 0 {
+		t.Fatalf("running task's input was droppable: %v", dropped)
+	}
+	close(release)
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	// After execution the pin is released.
+	if !store.Delete(input) {
+		t.Fatal("input still pinned after task finished")
+	}
+}
+
+// TestErrorInputUnpinnedAfterPropagation ensures the early-return path for
+// error-object inputs also releases its pins.
+func TestErrorInputUnpinnedAfterPropagation(t *testing.T) {
+	env := newEnv(t, 0)
+	registerTestFunctions(t, env)
+	errInput := types.NewObjectID()
+	if err := env.pool.objects.Put(context.Background(), errInput, codec.MustEncode("boom"), true, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+	spec := &task.Spec{
+		ID:         types.NewTaskID(),
+		Driver:     types.NewDriverID(),
+		Function:   "double",
+		NumReturns: 1,
+		Args:       []task.Arg{task.RefArg(errInput)},
+	}
+	if err := env.gcs.AddTask(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.pool.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if !env.pool.objects.Local().Delete(errInput) {
+		t.Fatal("error input still pinned after propagation")
+	}
+}
