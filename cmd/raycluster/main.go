@@ -7,7 +7,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -53,8 +52,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	Counter, err := ray.RegisterActor0(rt, "Counter", "stateful counter",
-		func(tc *ray.Context) (ray.ActorInstance, error) { return &counter{}, nil })
+	Counter, err := ray.RegisterActorClass0(rt, "Counter", "stateful counter",
+		func(tc *ray.Context) (*counter, error) { return &counter{}, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	incM, err := ray.ActorMethod0(Counter, "inc",
+		func(tc *ray.Context, c *counter) (int, error) {
+			c.value++
+			return c.value, nil
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	inc := ray.Method0[int](actor, "inc")
+	inc := incM.Bind(actor)
 
 	fmt.Printf("running %d tasks across %d nodes, killing %d node(s) mid-run...\n", *tasks, *nodes, *kill)
 	killed := 0
@@ -126,17 +133,9 @@ func main() {
 	}
 }
 
+// counter is a checkpointable counter; its single method lives on the class's
+// registration-time method table.
 type counter struct{ value int }
-
-func (c *counter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "inc":
-		c.value++
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	default:
-		return nil, errors.New("unknown method")
-	}
-}
 
 func (c *counter) Checkpoint() ([]byte, error) { return codec.Encode(c.value) }
 func (c *counter) Restore(data []byte) error   { return codec.Decode(data, &c.value) }

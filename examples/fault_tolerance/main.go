@@ -7,7 +7,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"log"
 
@@ -16,17 +15,9 @@ import (
 )
 
 // tally is a checkpointable actor that counts how many values it has seen.
+// Its methods live on the class's registration-time method table; the type
+// itself only implements the checkpoint hooks.
 type tally struct{ seen int }
-
-func (t *tally) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "observe":
-		t.seen++
-		return [][]byte{codec.MustEncode(t.seen)}, nil
-	default:
-		return nil, errors.New("unknown method")
-	}
-}
 
 func (t *tally) Checkpoint() ([]byte, error) { return codec.Encode(t.seen) }
 func (t *tally) Restore(data []byte) error   { return codec.Decode(data, &t.seen) }
@@ -50,8 +41,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	Tally, err := ray.RegisterActor0(rt, "Tally", "counts observations",
-		func(tc *ray.Context) (ray.ActorInstance, error) { return &tally{}, nil })
+	Tally, err := ray.RegisterActorClass0(rt, "Tally", "counts observations",
+		func(tc *ray.Context) (*tally, error) { return &tally{}, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	observeM, err := ray.ActorMethod1(Tally, "observe",
+		func(tc *ray.Context, t *tally, _ int) (int, error) {
+			t.seen++
+			return t.seen, nil
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	observe := ray.Method1[int, int](actor, "observe")
+	observe := observeM.Bind(actor)
 
 	// Build a chain of 30 increment tasks and feed every intermediate value
 	// to the tally actor. Kill a node a third of the way through and another

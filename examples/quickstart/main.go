@@ -10,41 +10,25 @@
 //
 // Every handle is typed: square only accepts a float64 (passing a string is
 // a compile error), its future is an ObjectRef[float64], and ray.Get returns
-// a float64 — no casts, no out-pointers, no stringly-typed function names at
-// the call sites.
+// a float64 — no casts, no out-pointers, no stringly-typed names at the call
+// sites. Actor methods are declared once at registration, which installs the
+// dispatch entry on the class's method table AND mints the typed caller
+// handle — user types implement no Call switch, and a misspelled or mistyped
+// method cannot compile.
 package main
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"log"
 	"time"
 
-	"ray/internal/codec"
 	"ray/ray"
 )
 
-// counter is a tiny stateful actor. Methods are dispatched by name inside
-// Call; the typed method handles below pin the argument and result types on
-// the caller's side.
+// counter is a tiny stateful actor: plain private state, no dispatch code.
+// The methods declared on its class at registration are the only way in.
 type counter struct{ value int }
-
-func (c *counter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "add":
-		var delta int
-		if err := codec.Decode(args[0], &delta); err != nil {
-			return nil, err
-		}
-		c.value += delta
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	case "value":
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	default:
-		return nil, errors.New("unknown method " + method)
-	}
-}
 
 func main() {
 	ctx := context.Background()
@@ -75,9 +59,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The Counter actor class, with a no-argument constructor.
-	Counter, err := ray.RegisterActor0(rt, "Counter", "a stateful counter",
-		func(tc *ray.Context) (ray.ActorInstance, error) { return &counter{}, nil })
+	// divmod produces two results; each gets its own typed future.
+	divmod, err := ray.Register2R2(rt, "divmod", "integer quotient and remainder",
+		func(tc *ray.Context, a, b int) (int, int, error) { return a / b, a % b, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The Counter actor class: constructor plus per-method declarations. Each
+	// declaration returns the typed caller-side handle and installs the
+	// callee-side dispatch entry in the class's method table.
+	Counter, err := ray.RegisterActorClass0(rt, "Counter", "a stateful counter",
+		func(tc *ray.Context) (*counter, error) { return &counter{}, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	addM, err := ray.ActorMethod1(Counter, "add",
+		func(tc *ray.Context, c *counter, delta int) (int, error) {
+			c.value += delta
+			return c.value, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	valueM, err := ray.ActorMethod0(Counter, "value",
+		func(tc *ray.Context, c *counter) (int, error) { return c.value, nil })
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,6 +113,15 @@ func main() {
 	chained, _ := ray.Get(driver, fut2)
 	fmt.Printf("square(square(7)) = %v\n", chained)
 
+	// --- Typed multi-return: each output is an independent future ----------
+	quotRef, remRef, err := divmod.Remote(driver, 17, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quot, _ := ray.Get(driver, quotRef)
+	rem, _ := ray.Get(driver, remRef)
+	fmt.Printf("divmod(17, 5) = (%d, %d)\n", quot, rem)
+
 	// --- ray.wait: react to whichever result is ready first -----------------
 	fast, _ := square.Remote(driver, 3.0)
 	slow, _ := slowSquare.Remote(driver, 4.0)
@@ -118,14 +132,15 @@ func main() {
 	fmt.Printf("ray.wait: %d ready, %d still running\n", len(ready), len(notReady))
 
 	// --- Actors: stateful computation ---------------------------------------
-	// Counter.New is the Class.remote() of Table 1; the typed method handles
-	// pin add to int -> int and value to () -> int.
+	// Counter.New is the Class.remote() of Table 1; binding the declared
+	// methods to the instance gives handles that pin add to int -> int and
+	// value to () -> int.
 	handle, err := Counter.New(driver)
 	if err != nil {
 		log.Fatal(err)
 	}
-	add := ray.Method1[int, int](handle, "add")
-	value := ray.Method0[int](handle, "value")
+	add := addM.Bind(handle)
+	value := valueM.Bind(handle)
 	for i := 1; i <= 5; i++ {
 		if _, err := add.Remote(driver, i); err != nil {
 			log.Fatal(err)

@@ -132,8 +132,10 @@ type benchFuncs struct {
 	// returns its step count.
 	simRollout ray.Func3[string, int64, int, int]
 	// counter is the checkpointable counter actor class of the
-	// fault-tolerance experiments.
-	counter ray.ActorClass0
+	// fault-tolerance experiments, with its registered methods.
+	counter      ray.Class0[benchCounter]
+	counterInc   ray.ClassMethod0[benchCounter, int]
+	counterValue ray.ClassMethod0[benchCounter, int]
 }
 
 // registerBenchFunctions publishes the benchmark functions and returns their
@@ -184,9 +186,28 @@ func registerBenchFunctions(rt *core.Runtime) (benchFuncs, error) {
 	if err != nil {
 		return fns, err
 	}
-	fns.counter, err = ray.RegisterActor0(rt, "bench.Counter",
+	fns.counter, err = ray.RegisterActorClass0(rt, "bench.Counter",
 		"checkpointable counter actor (fault-tolerance experiments)",
-		func(ctx *ray.Context) (ray.ActorInstance, error) { return &benchCounter{}, nil })
+		func(ctx *ray.Context) (*benchCounter, error) { return &benchCounter{}, nil })
+	if err != nil {
+		return fns, err
+	}
+	fns.counterInc, err = ray.ActorMethod0(fns.counter, "inc",
+		func(ctx *ray.Context, c *benchCounter) (int, error) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.value++
+			return c.value, nil
+		})
+	if err != nil {
+		return fns, err
+	}
+	fns.counterValue, err = ray.ActorMethod0(fns.counter, "value",
+		func(ctx *ray.Context, c *benchCounter) (int, error) {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return c.value, nil
+		})
 	return fns, err
 }
 

@@ -8,30 +8,16 @@ import (
 
 	"ray/internal/codec"
 	"ray/internal/core"
-	"ray/internal/worker"
 	"ray/ray"
 )
 
 // benchCounter is a checkpointable counter actor used by the actor
-// fault-tolerance experiment.
+// fault-tolerance experiment. Its methods live on the class's method table
+// (registerBenchFunctions); the mutex only guards against a checkpoint
+// racing a method execution.
 type benchCounter struct {
 	mu    sync.Mutex
 	value int
-}
-
-// Call implements worker.ActorInstance.
-func (c *benchCounter) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	switch method {
-	case "inc":
-		c.value++
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	case "value":
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	default:
-		return nil, fmt.Errorf("bench: unknown counter method %q", method)
-	}
 }
 
 // Checkpoint implements worker.Checkpointable.
@@ -210,7 +196,7 @@ func actorReconstructionRun(actors, methodsBefore int, checkpoint bool) ([]strin
 	}
 	ctx := context.Background()
 
-	handles := make([]*ray.Actor, actors)
+	handles := make([]*ray.ActorOf[benchCounter], actors)
 	incs := make([]ray.MethodHandle0[int], actors)
 	for i := range handles {
 		h, err := fns.counter.New(d)
@@ -218,7 +204,7 @@ func actorReconstructionRun(actors, methodsBefore int, checkpoint bool) ([]strin
 			return nil, err
 		}
 		handles[i] = h
-		incs[i] = ray.Method0[int](h, "inc")
+		incs[i] = fns.counterInc.Bind(h)
 	}
 	// Run the pre-failure methods.
 	for m := 0; m < methodsBefore; m++ {
@@ -269,6 +255,22 @@ func actorReconstructionRun(actors, methodsBefore int, checkpoint bool) ([]strin
 	// Replayed methods = methods executed after the failure beyond the one
 	// new "inc" per actor.
 	replayed := totalMethodsRun(rt) - methodsRunBefore - int64(actors)
+	// Cross-check through the read-only accessor (after the replay
+	// accounting, so these extra method calls do not skew it): every actor's
+	// state must agree with what its last inc reported.
+	for _, h := range handles {
+		ref, err := fns.counterValue.Remote(d, h)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ray.Get(d, ref)
+		if err != nil {
+			return nil, err
+		}
+		if v != methodsBefore+1 {
+			correct = false
+		}
+	}
 
 	mode := "no checkpoint"
 	if checkpoint {

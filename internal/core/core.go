@@ -15,6 +15,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -141,6 +142,9 @@ type Runtime struct {
 	cfg     Config
 	cluster *cluster.Cluster
 	drivers atomic.Int64
+	// regMu serializes read-modify-write updates of GCS function entries
+	// (RegisterActorMethod appends per-method records to its class entry).
+	regMu sync.Mutex
 }
 
 // Init builds and starts a cluster.
@@ -231,7 +235,55 @@ func (r *Runtime) RegisterN(name string, doc string, numReturns int, fn worker.F
 		&gcs.FunctionEntry{Name: name, Doc: doc, NumReturns: numReturns})
 }
 
-// RegisterActor publishes an actor class under the given name.
+// RegisterActorClass publishes an actor class under the given name with an
+// empty method table; attach methods with RegisterActorMethod. Instances of
+// the class dispatch exclusively through the table.
+func (r *Runtime) RegisterActorClass(name string, doc string, ctor worker.StateConstructor) error {
+	if err := r.cluster.Registry().RegisterActorClass(name, ctor); err != nil {
+		return err
+	}
+	return r.cluster.GCS().RegisterFunction(context.Background(),
+		&gcs.FunctionEntry{Name: name, Doc: doc, IsActorClass: true})
+}
+
+// RegisterActorMethod attaches one method to a registered actor class and
+// records its declared arity and return count in the class's GCS function
+// entry (the per-method shape the runtime learned at registration time).
+// Duplicate method names and unknown classes are errors.
+func (r *Runtime) RegisterActorMethod(class, method string, numArgs, numReturns int, impl worker.ActorMethodImpl) error {
+	if numReturns < 1 {
+		numReturns = 1
+	}
+	if err := r.cluster.Registry().RegisterActorMethod(class, method, worker.MethodSpec{
+		NumArgs:    numArgs,
+		NumReturns: numReturns,
+		Impl:       impl,
+	}); err != nil {
+		return err
+	}
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	ctx := context.Background()
+	entry, ok, err := r.cluster.GCS().GetFunction(ctx, class)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		entry = &gcs.FunctionEntry{Name: class, IsActorClass: true}
+	}
+	entry.Methods = append(entry.Methods, gcs.MethodInfo{
+		Name:       method,
+		NumArgs:    numArgs,
+		NumReturns: numReturns,
+	})
+	return r.cluster.GCS().RegisterFunction(ctx, entry)
+}
+
+// RegisterActor publishes an actor class whose instances dispatch through
+// their own ActorInstance.Call.
+//
+// Deprecated: use RegisterActorClass + RegisterActorMethod so the runtime
+// owns method dispatch; this path remains for one release.
 func (r *Runtime) RegisterActor(name string, doc string, ctor worker.ActorConstructor) error {
 	if err := r.cluster.Registry().RegisterActor(name, ctor); err != nil {
 		return err

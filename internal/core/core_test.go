@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -12,7 +11,6 @@ import (
 	"ray/internal/codec"
 	"ray/internal/node"
 	"ray/internal/types"
-	"ray/internal/worker"
 )
 
 // newRuntime builds a small cluster with a set of remote functions that the
@@ -86,7 +84,7 @@ func registerTestWorkload(t *testing.T, rt *Runtime) {
 		}
 		return [][]byte{codec.MustEncode(n + rest)}, nil
 	}))
-	must(rt.RegisterActor("Accumulator", "running sum with checkpoint support", func(ctx *TaskContext, args [][]byte) (worker.ActorInstance, error) {
+	must(rt.RegisterActorClass("Accumulator", "running sum with checkpoint support", func(ctx *TaskContext, args [][]byte) (any, error) {
 		acc := &accumulator{}
 		if len(args) > 0 {
 			if err := codec.Decode(args[0], &acc.total); err != nil {
@@ -95,34 +93,43 @@ func registerTestWorkload(t *testing.T, rt *Runtime) {
 		}
 		return acc, nil
 	}))
+	must(rt.RegisterActorMethod("Accumulator", "add", 1, 1,
+		func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			acc := state.(*accumulator)
+			var x float64
+			if err := codec.Decode(args[0], &x); err != nil {
+				return nil, err
+			}
+			acc.mu.Lock()
+			defer acc.mu.Unlock()
+			acc.calls++
+			acc.total += x
+			return [][]byte{codec.MustEncode(acc.total)}, nil
+		}))
+	must(rt.RegisterActorMethod("Accumulator", "total", 0, 1,
+		func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			acc := state.(*accumulator)
+			acc.mu.Lock()
+			defer acc.mu.Unlock()
+			acc.calls++
+			return [][]byte{codec.MustEncode(acc.total)}, nil
+		}))
+	must(rt.RegisterActorMethod("Accumulator", "calls", 0, 1,
+		func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			acc := state.(*accumulator)
+			acc.mu.Lock()
+			defer acc.mu.Unlock()
+			acc.calls++
+			return [][]byte{codec.MustEncode(acc.calls)}, nil
+		}))
 }
 
-// accumulator is a checkpointable actor used by the tests.
+// accumulator is a checkpointable actor used by the tests; its methods live
+// on the class's method table (registerTestWorkload).
 type accumulator struct {
 	mu    sync.Mutex
 	total float64
 	calls int
-}
-
-func (a *accumulator) Call(ctx *TaskContext, method string, args [][]byte) ([][]byte, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.calls++
-	switch method {
-	case "add":
-		var x float64
-		if err := codec.Decode(args[0], &x); err != nil {
-			return nil, err
-		}
-		a.total += x
-		return [][]byte{codec.MustEncode(a.total)}, nil
-	case "total":
-		return [][]byte{codec.MustEncode(a.total)}, nil
-	case "calls":
-		return [][]byte{codec.MustEncode(a.calls)}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
-	}
 }
 
 func (a *accumulator) Checkpoint() ([]byte, error) {

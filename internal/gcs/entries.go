@@ -239,6 +239,21 @@ type FunctionEntry struct {
 	IsActorClass bool
 	// NumReturns is the default number of return objects.
 	NumReturns int
+	// Methods is the actor class's registered method table: one record per
+	// declared method, carrying the per-method arity the runtime learned at
+	// registration time (instead of guessing per call). Empty for stateless
+	// functions and legacy Call-dispatch classes.
+	Methods []MethodInfo
+}
+
+// MethodInfo records one actor method's declared shape in the function table.
+type MethodInfo struct {
+	// Name is the method name within its class.
+	Name string
+	// NumArgs is the declared argument count.
+	NumArgs int
+	// NumReturns is the declared return-object count.
+	NumReturns int
 }
 
 func (e *FunctionEntry) marshal() []byte {
@@ -251,6 +266,12 @@ func (e *FunctionEntry) marshal() []byte {
 		buf.WriteByte(0)
 	}
 	writeU32(&buf, uint32(e.NumReturns))
+	writeU32(&buf, uint32(len(e.Methods)))
+	for _, m := range e.Methods {
+		writeString(&buf, m.Name)
+		writeU32(&buf, uint32(m.NumArgs))
+		writeU32(&buf, uint32(m.NumReturns))
+	}
 	return buf.Bytes()
 }
 
@@ -261,6 +282,16 @@ func unmarshalFunctionEntry(data []byte) (*FunctionEntry, error) {
 	e.Doc = r.str()
 	e.IsActorClass = r.byte() == 1
 	e.NumReturns = int(r.u32())
+	if n := int(r.u32()); n > 0 && r.err == nil {
+		e.Methods = make([]MethodInfo, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			e.Methods = append(e.Methods, MethodInfo{
+				Name:       r.str(),
+				NumArgs:    int(r.u32()),
+				NumReturns: int(r.u32()),
+			})
+		}
+	}
 	if r.err != nil {
 		return nil, r.err
 	}

@@ -207,6 +207,24 @@ func TestFunctionTable(t *testing.T) {
 	if _, ok, _ := s.GetFunction(ctx, "missing"); ok {
 		t.Fatal("missing function reported present")
 	}
+	// Actor method tables round-trip: per-method arity and return counts are
+	// part of the class entry.
+	if err := s.RegisterFunction(ctx, &FunctionEntry{
+		Name: "Counter", IsActorClass: true,
+		Methods: []MethodInfo{
+			{Name: "add", NumArgs: 1, NumReturns: 1},
+			{Name: "split", NumArgs: 2, NumReturns: 2},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counter, ok, err := s.GetFunction(ctx, "Counter")
+	if err != nil || !ok || len(counter.Methods) != 2 {
+		t.Fatalf("method table lost: %+v (ok=%v err=%v)", counter, ok, err)
+	}
+	if m := counter.Methods[1]; m.Name != "split" || m.NumArgs != 2 || m.NumReturns != 2 {
+		t.Fatalf("method info wrong: %+v", m)
+	}
 }
 
 func TestNodeTableAndHeartbeats(t *testing.T) {

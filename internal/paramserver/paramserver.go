@@ -7,23 +7,116 @@ package paramserver
 
 import (
 	"fmt"
+	"sync"
 
-	"ray/internal/codec"
 	"ray/internal/core"
 	"ray/internal/worker"
+	"ray/ray"
 )
 
 // shardActorName is the registered actor class for parameter-server shards.
 const shardActorName = "paramserver.Shard"
 
-// Register publishes the shard actor class with the runtime. Call once before
-// creating servers.
+// The shard class handle and its declared methods. Each declaration installs
+// the callee-side dispatch entry on the class's method table and mints the
+// typed caller handle the Server methods use — the shard type itself carries
+// no dispatch code. Register runs the declarations against every runtime it
+// is given; the minted handle values are identical each time (they carry only
+// class and method names), so the package globals are assigned exactly once,
+// making concurrent Register calls for separate runtimes race-free.
+var (
+	handlesOnce    sync.Once
+	shardClass     ray.Class2[shard, []float64, float64]
+	pushMethod     ray.ClassMethod1[shard, []float64, bool]
+	sumMethod      ray.ClassMethod0[shard, []float64]
+	applyMethod    ray.ClassMethod0[shard, []float64]
+	weightsMethod  ray.ClassMethod0[shard, []float64]
+	setWeightsMeth ray.ClassMethod1[shard, []float64, bool]
+)
+
+// Register publishes the shard actor class and its method table with the
+// runtime. Call once per runtime before creating servers.
 func Register(rt *core.Runtime) error {
-	return rt.RegisterActor(shardActorName, "parameter server shard", newShard)
+	class, err := ray.RegisterActorClass2(rt, shardActorName, "parameter server shard",
+		func(ctx *ray.Context, weights []float64, lr float64) (*shard, error) {
+			return &shard{
+				weights: append([]float64(nil), weights...),
+				gradSum: make([]float64, len(weights)),
+				lr:      lr,
+			}, nil
+		})
+	if err != nil {
+		return err
+	}
+	// push(gradChunk): accumulate one replica's gradient.
+	push, err := ray.ActorMethod1(class, "push",
+		func(ctx *ray.Context, s *shard, grad []float64) (bool, error) {
+			if len(grad) != len(s.gradSum) {
+				return false, fmt.Errorf("paramserver: gradient length %d != shard size %d", len(grad), len(s.gradSum))
+			}
+			for i, g := range grad {
+				s.gradSum[i] += g
+			}
+			s.pushes++
+			return true, nil
+		})
+	if err != nil {
+		return err
+	}
+	// sum(): return the accumulated gradient without applying it.
+	sum, err := ray.ActorMethod0(class, "sum",
+		func(ctx *ray.Context, s *shard) ([]float64, error) {
+			return append([]float64(nil), s.gradSum...), nil
+		})
+	if err != nil {
+		return err
+	}
+	// apply(): average the accumulated gradients, take one SGD step, reset
+	// the accumulator, and return the new weights.
+	apply, err := ray.ActorMethod0(class, "apply",
+		func(ctx *ray.Context, s *shard) ([]float64, error) {
+			if s.pushes > 0 {
+				scale := 1 / float64(s.pushes)
+				for i := range s.weights {
+					s.weights[i] -= s.lr * s.gradSum[i] * scale
+					s.gradSum[i] = 0
+				}
+				s.pushes = 0
+			}
+			return append([]float64(nil), s.weights...), nil
+		})
+	if err != nil {
+		return err
+	}
+	weights, err := ray.ActorMethod0(class, "weights",
+		func(ctx *ray.Context, s *shard) ([]float64, error) {
+			return append([]float64(nil), s.weights...), nil
+		})
+	if err != nil {
+		return err
+	}
+	setWeights, err := ray.ActorMethod1(class, "set_weights",
+		func(ctx *ray.Context, s *shard, w []float64) (bool, error) {
+			if len(w) != len(s.weights) {
+				return false, fmt.Errorf("paramserver: weight length %d != shard size %d", len(w), len(s.weights))
+			}
+			copy(s.weights, w)
+			return true, nil
+		})
+	if err != nil {
+		return err
+	}
+	handlesOnce.Do(func() {
+		shardClass, pushMethod, sumMethod = class, push, sum
+		applyMethod, weightsMethod, setWeightsMeth = apply, weights, setWeights
+	})
+	return nil
 }
 
 // shard holds one partition of the model parameters plus the gradient
-// accumulator for the current synchronous iteration.
+// accumulator for the current synchronous iteration. Methods are declared on
+// the class's method table in Register; the type only implements the
+// checkpoint hooks.
 type shard struct {
 	weights []float64
 	gradSum []float64
@@ -31,80 +124,15 @@ type shard struct {
 	lr      float64
 }
 
-func newShard(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-	var weights []float64
-	if err := codec.Decode(args[0], &weights); err != nil {
-		return nil, err
-	}
-	var lr float64
-	if err := codec.Decode(args[1], &lr); err != nil {
-		return nil, err
-	}
-	return &shard{
-		weights: append([]float64(nil), weights...),
-		gradSum: make([]float64, len(weights)),
-		lr:      lr,
-	}, nil
-}
-
-// Call implements worker.ActorInstance.
-func (s *shard) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "push":
-		// push(gradChunk): accumulate one replica's gradient.
-		var grad []float64
-		if err := codec.Decode(args[0], &grad); err != nil {
-			return nil, err
-		}
-		if len(grad) != len(s.gradSum) {
-			return nil, fmt.Errorf("paramserver: gradient length %d != shard size %d", len(grad), len(s.gradSum))
-		}
-		for i, g := range grad {
-			s.gradSum[i] += g
-		}
-		s.pushes++
-		return [][]byte{codec.MustEncode(true)}, nil
-	case "sum":
-		// sum(): return the accumulated gradient without applying it.
-		return [][]byte{codec.MustEncode(s.gradSum)}, nil
-	case "apply":
-		// apply(): average the accumulated gradients, take one SGD step,
-		// reset the accumulator, and return the new weights.
-		if s.pushes > 0 {
-			scale := 1 / float64(s.pushes)
-			for i := range s.weights {
-				s.weights[i] -= s.lr * s.gradSum[i] * scale
-				s.gradSum[i] = 0
-			}
-			s.pushes = 0
-		}
-		return [][]byte{codec.MustEncode(s.weights)}, nil
-	case "weights":
-		return [][]byte{codec.MustEncode(s.weights)}, nil
-	case "set_weights":
-		var w []float64
-		if err := codec.Decode(args[0], &w); err != nil {
-			return nil, err
-		}
-		if len(w) != len(s.weights) {
-			return nil, fmt.Errorf("paramserver: weight length %d != shard size %d", len(w), len(s.weights))
-		}
-		copy(s.weights, w)
-		return [][]byte{codec.MustEncode(true)}, nil
-	default:
-		return nil, fmt.Errorf("paramserver: unknown method %q", method)
-	}
-}
-
 // Checkpoint implements worker.Checkpointable so parameter servers can be
 // reconstructed cheaply after a failure.
 func (s *shard) Checkpoint() ([]byte, error) {
-	return codec.Encode(s.weights)
+	return core.EncodeValue(s.weights)
 }
 
 // Restore implements worker.Checkpointable.
 func (s *shard) Restore(data []byte) error {
-	return codec.Decode(data, &s.weights)
+	return core.DecodeValue(data, &s.weights)
 }
 
 // Config describes a sharded parameter server.
@@ -123,13 +151,14 @@ type Config struct {
 
 // Server is a sharded parameter server.
 type Server struct {
-	shards  []*worker.ActorHandle
+	shards  []*ray.ActorOf[shard]
 	bounds  []int // bounds[i] is the start offset of shard i; len = Shards+1
 	numDims int
 }
 
 // New creates a parameter server holding the given initial parameter vector,
-// split as evenly as possible across cfg.Shards shard actors.
+// split as evenly as possible across cfg.Shards shard actors. Register must
+// have run on the runtime first.
 func New(ctx *worker.TaskContext, cfg Config, initial []float64) (*Server, error) {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
@@ -149,18 +178,14 @@ func New(ctx *worker.TaskContext, cfg Config, initial []float64) (*Server, error
 			hi = len(initial)
 		}
 		s.bounds = append(s.bounds, lo)
-		opts := core.CallOptions{}
-		reqs := map[string]float64{}
+		var opts []ray.Option
 		if cfg.GPUsPerShard > 0 {
-			reqs["GPU"] = cfg.GPUsPerShard
+			opts = append(opts, ray.WithGPUs(cfg.GPUsPerShard))
 		}
 		if cfg.PinToNodes {
-			reqs[core.NodeLabel(i+cfg.NodeOffset)] = 1
+			opts = append(opts, ray.OnNode(i+cfg.NodeOffset))
 		}
-		if len(reqs) > 0 {
-			opts.Resources = core.Resources(reqs)
-		}
-		h, err := ctx.CreateActor(shardActorName, opts, initial[lo:hi], cfg.LearningRate)
+		h, err := shardClass.New(ctx, initial[lo:hi], cfg.LearningRate, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -199,40 +224,30 @@ func (s *Server) PushGradient(ctx *worker.TaskContext, grad []float64) ([]core.O
 	}
 	acks := make([]core.ObjectRef, len(s.shards))
 	for i, chunk := range chunks {
-		ack, err := ctx.CallActor1(s.shards[i], "push", core.CallOptions{}, chunk)
+		ack, err := pushMethod.Remote(ctx, s.shards[i], chunk)
 		if err != nil {
 			return nil, err
 		}
-		acks[i] = ack
+		acks[i] = ack.Ref()
 	}
 	return acks, nil
+}
+
+// SumGradients returns the concatenated accumulated gradients without
+// applying them.
+func (s *Server) SumGradients(ctx *worker.TaskContext) ([]float64, error) {
+	return s.gather(ctx, sumMethod)
 }
 
 // ApplyAndFetch applies the accumulated (averaged) gradients on every shard
 // and returns the concatenated updated weights.
 func (s *Server) ApplyAndFetch(ctx *worker.TaskContext) ([]float64, error) {
-	refs := make([]core.ObjectRef, len(s.shards))
-	for i, h := range s.shards {
-		ref, err := ctx.CallActor1(h, "apply", core.CallOptions{})
-		if err != nil {
-			return nil, err
-		}
-		refs[i] = ref
-	}
-	return s.concat(ctx, refs)
+	return s.gather(ctx, applyMethod)
 }
 
 // Weights returns the concatenated current weights without applying updates.
 func (s *Server) Weights(ctx *worker.TaskContext) ([]float64, error) {
-	refs := make([]core.ObjectRef, len(s.shards))
-	for i, h := range s.shards {
-		ref, err := ctx.CallActor1(h, "weights", core.CallOptions{})
-		if err != nil {
-			return nil, err
-		}
-		refs[i] = ref
-	}
-	return s.concat(ctx, refs)
+	return s.gather(ctx, weightsMethod)
 }
 
 // SetWeights overwrites the weights on every shard from a full-length vector.
@@ -242,23 +257,32 @@ func (s *Server) SetWeights(ctx *worker.TaskContext, weights []float64) error {
 		return err
 	}
 	for i, chunk := range chunks {
-		ack, err := ctx.CallActor1(s.shards[i], "set_weights", core.CallOptions{}, chunk)
+		ack, err := setWeightsMeth.Remote(ctx, s.shards[i], chunk)
 		if err != nil {
 			return err
 		}
-		var ok bool
-		if err := ctx.Get(ack, &ok); err != nil {
+		if _, err := ray.Get(ctx, ack); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *Server) concat(ctx *worker.TaskContext, refs []core.ObjectRef) ([]float64, error) {
+// gather invokes a no-argument vector method on every shard concurrently and
+// concatenates the per-shard chunks in shard order.
+func (s *Server) gather(ctx *worker.TaskContext, m ray.ClassMethod0[shard, []float64]) ([]float64, error) {
+	refs := make([]ray.ObjectRef[[]float64], len(s.shards))
+	for i, h := range s.shards {
+		ref, err := m.Remote(ctx, h)
+		if err != nil {
+			return nil, err
+		}
+		refs[i] = ref
+	}
 	out := make([]float64, 0, s.numDims)
 	for _, ref := range refs {
-		var chunk []float64
-		if err := ctx.Get(ref, &chunk); err != nil {
+		chunk, err := ray.Get(ctx, ref)
+		if err != nil {
 			return nil, err
 		}
 		out = append(out, chunk...)

@@ -59,6 +59,20 @@ func TestShardedPushApplyFetch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// SumGradients reads the accumulator without applying it: 1 + 3 = 4 per
+	// dimension across both pushes.
+	sums, err := ps.SumGradients(d.TaskContext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 7 {
+		t.Fatalf("gradient sum length = %d, want 7", len(sums))
+	}
+	for i, s := range sums {
+		if s != 4 {
+			t.Fatalf("gradient sum %d = %v, want 4", i, s)
+		}
+	}
 	updated, err := ps.ApplyAndFetch(d.TaskContext)
 	if err != nil {
 		t.Fatal(err)

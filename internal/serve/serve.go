@@ -19,7 +19,6 @@ import (
 	"sync"
 	"time"
 
-	"ray/internal/codec"
 	"ray/internal/core"
 	"ray/internal/rl"
 	"ray/internal/worker"
@@ -29,22 +28,54 @@ import (
 // policyServerName is the registered actor class for policy servers.
 const policyServerName = "serve.PolicyServer"
 
-// policyServerClass is the immutable typed handle of the policy-server actor
-// class. Handles carry only the class name, so one static handle addresses
-// the class on whichever runtime Register published it to.
-var policyServerClass = ray.NamedActorClass1[ModelConfig](policyServerName)
+// The policy-server class handle and its declared methods. Declaring each
+// method once installs the callee-side dispatch entry in the class's method
+// table and mints the caller-side handle whose types NewRayServer binds
+// below — there is no Call switch anywhere. Register runs the declarations
+// against every runtime it is given; the minted handle values are identical
+// each time (class and method names only), so the package globals are
+// assigned exactly once, making concurrent Register calls race-free.
+var (
+	handlesOnce       sync.Once
+	policyServerClass ray.Class1[policyServer, ModelConfig]
+	predictMethod     ray.ClassMethod1[policyServer, [][]float64, [][]float64]
+	servedMethod      ray.ClassMethod0[policyServer, int]
+)
 
-// Register publishes the policy-server actor class with the runtime.
+// Register publishes the policy-server actor class and its method table with
+// the runtime. Call once per runtime before NewRayServer.
 func Register(rt *core.Runtime) error {
-	_, err := ray.RegisterActor1(rt, policyServerName, "embedded policy serving actor",
-		func(ctx *ray.Context, cfg ModelConfig) (ray.ActorInstance, error) {
+	class, err := ray.RegisterActorClass1(rt, policyServerName, "embedded policy serving actor",
+		func(ctx *ray.Context, cfg ModelConfig) (*policyServer, error) {
 			return &policyServer{
 				policy:  rl.NewMLPPolicy(cfg.ObsSize, cfg.ActionSize, cfg.Hidden, cfg.Seed),
 				obsSize: cfg.ObsSize,
 				delay:   cfg.EvalDelay,
 			}, nil
 		})
-	return err
+	if err != nil {
+		return err
+	}
+	predict, err := ray.ActorMethod1(class, "predict",
+		func(ctx *ray.Context, p *policyServer, batch [][]float64) ([][]float64, error) {
+			return p.evaluate(batch), nil
+		})
+	if err != nil {
+		return err
+	}
+	served, err := ray.ActorMethod0(class, "served",
+		func(ctx *ray.Context, p *policyServer) (int, error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return p.served, nil
+		})
+	if err != nil {
+		return err
+	}
+	handlesOnce.Do(func() {
+		policyServerClass, predictMethod, servedMethod = class, predict, served
+	})
+	return nil
 }
 
 // ModelConfig describes the served policy.
@@ -82,25 +113,6 @@ func (p *policyServer) fit(obs []float64) []float64 {
 	return out
 }
 
-// Call implements worker.ActorInstance.
-func (p *policyServer) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "predict":
-		var batch [][]float64
-		if err := codec.Decode(args[0], &batch); err != nil {
-			return nil, err
-		}
-		actions := p.evaluate(batch)
-		return [][]byte{codec.MustEncode(actions)}, nil
-	case "served":
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		return [][]byte{codec.MustEncode(p.served)}, nil
-	default:
-		return nil, fmt.Errorf("serve: unknown method %q", method)
-	}
-}
-
 func (p *policyServer) evaluate(batch [][]float64) [][]float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -117,12 +129,13 @@ func (p *policyServer) evaluate(batch [][]float64) [][]float64 {
 
 // RayServer serves a policy from an actor reachable through the object store.
 type RayServer struct {
-	actor   *ray.Actor
+	actor   *ray.ActorOf[policyServer]
 	predict ray.MethodHandle1[[][]float64, [][]float64]
 	served  ray.MethodHandle0[int]
 }
 
-// NewRayServer creates the serving actor.
+// NewRayServer creates the serving actor (Register must have run on the
+// actor's runtime first).
 func NewRayServer(ctx *worker.TaskContext, cfg ModelConfig) (*RayServer, error) {
 	actor, err := policyServerClass.New(ctx, cfg)
 	if err != nil {
@@ -130,8 +143,8 @@ func NewRayServer(ctx *worker.TaskContext, cfg ModelConfig) (*RayServer, error) 
 	}
 	return &RayServer{
 		actor:   actor,
-		predict: ray.Method1[[][]float64, [][]float64](actor, "predict"),
-		served:  ray.Method0[int](actor, "served"),
+		predict: predictMethod.Bind(actor),
+		served:  servedMethod.Bind(actor),
 	}, nil
 }
 

@@ -32,6 +32,14 @@ var (
 	// ErrFunctionNotFound indicates a remote function name is not registered.
 	ErrFunctionNotFound = errors.New("ray: remote function not registered")
 
+	// ErrMethodNotFound indicates an actor method name is not in its class's
+	// registered method table.
+	ErrMethodNotFound = errors.New("ray: actor method not registered")
+
+	// ErrDuplicateMethod indicates an actor method name was declared twice for
+	// the same class.
+	ErrDuplicateMethod = errors.New("ray: actor method already registered")
+
 	// ErrTimeout indicates an operation exceeded its deadline.
 	ErrTimeout = errors.New("ray: timeout")
 

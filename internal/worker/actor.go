@@ -15,7 +15,12 @@ type actorProcess struct {
 	id       types.ActorID
 	class    string
 	creation types.TaskID
-	instance ActorInstance
+	// instance is the actor's private state, as returned by the class's
+	// constructor. Method-table classes dispatch against it through the
+	// registry; legacy classes assert it to ActorInstance and Call it.
+	instance any
+	// registry resolves the class's method table at dispatch time.
+	registry *Registry
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -31,12 +36,13 @@ type actorProcess struct {
 	dead bool
 }
 
-func newActorProcess(id types.ActorID, class string, creation types.TaskID, instance ActorInstance) *actorProcess {
+func newActorProcess(id types.ActorID, class string, creation types.TaskID, instance any, registry *Registry) *actorProcess {
 	p := &actorProcess{
 		id:       id,
 		class:    class,
 		creation: creation,
 		instance: instance,
+		registry: registry,
 		executed: make(map[types.TaskID]bool),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -70,7 +76,15 @@ func (p *actorProcess) run(ctx *TaskContext, spec *task.Spec, args [][]byte) ([]
 		return nil, fmt.Errorf("worker: actor %s: %w", p.id, types.ErrActorDead)
 	}
 	// Execute while holding the lock: actor methods are serial by definition.
-	outs, err := p.instance.Call(ctx, spec.Function, args)
+	// Dispatch resolves through the class's registered method table (or the
+	// legacy ActorInstance.Call for classes without one); a resolution error
+	// (unknown method) is an application error — it becomes an error object,
+	// not a crashed task.
+	var outs [][]byte
+	call, err := p.registry.Dispatch(p.class, spec.Function, p.instance)
+	if err == nil {
+		outs, err = call(ctx, args)
+	}
 	p.executed[spec.ID] = true
 	p.executedCount++
 	p.cond.Broadcast()

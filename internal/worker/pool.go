@@ -227,7 +227,7 @@ func (p *Pool) createActor(ctx context.Context, tctx *TaskContext, spec *task.Sp
 	if err != nil {
 		return err
 	}
-	proc := newActorProcess(spec.ActorID, spec.Function, spec.ID, instance)
+	proc := newActorProcess(spec.ActorID, spec.Function, spec.ID, instance, p.registry)
 	p.actorsMu.Lock()
 	p.actors[spec.ActorID] = proc
 	p.actorsMu.Unlock()

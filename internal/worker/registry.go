@@ -22,7 +22,13 @@ import (
 // semantics for application failures).
 type Function func(ctx *TaskContext, args [][]byte) ([][]byte, error)
 
-// ActorInstance is a live actor: private state plus methods invoked serially.
+// ActorInstance is the legacy actor shape: private state plus a single Call
+// entry point that dispatches on the method name itself.
+//
+// Deprecated: new actor classes should be registered with RegisterActorClass
+// and a per-method table (RegisterActorMethod) so the runtime — not each user
+// type — owns dispatch. Classes registered through the legacy RegisterActor
+// path still dispatch through Call; this escape hatch remains for one release.
 type ActorInstance interface {
 	// Call invokes the named method with serialized arguments and returns
 	// serialized outputs.
@@ -39,9 +45,44 @@ type Checkpointable interface {
 	Restore(data []byte) error
 }
 
-// ActorConstructor builds a fresh actor instance (the body of the actor
-// creation task).
+// StateConstructor builds a fresh actor state (the body of the actor creation
+// task). The returned value is the instance the class's method table
+// dispatches against; if it also implements Checkpointable it participates in
+// checkpointing.
+type StateConstructor func(ctx *TaskContext, args [][]byte) (any, error)
+
+// ActorConstructor is the legacy constructor shape, returning an
+// ActorInstance whose Call does its own method dispatch.
+//
+// Deprecated: use StateConstructor with RegisterActorClass.
 type ActorConstructor func(ctx *TaskContext, args [][]byte) (ActorInstance, error)
+
+// ActorMethodImpl is one entry of a class's method table: it receives the
+// actor's state (as returned by the class's StateConstructor) plus the
+// serialized arguments, and returns the serialized outputs. The typed ray
+// package generates these wrappers at registration time.
+type ActorMethodImpl func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error)
+
+// MethodSpec describes one registered actor method: its implementation plus
+// the declared argument and return arity, which registration threads into the
+// GCS function table.
+type MethodSpec struct {
+	// NumArgs is the declared argument count.
+	NumArgs int
+	// NumReturns is the declared return-object count (minimum 1).
+	NumReturns int
+	// Impl executes the method against the actor's state.
+	Impl ActorMethodImpl
+}
+
+// actorClass is a registered actor class: its constructor plus its method
+// table. A nil methods map marks a legacy class whose instances dispatch
+// through ActorInstance.Call; table-registered classes dispatch exclusively
+// through the map — an unknown method is an error, never a fallthrough.
+type actorClass struct {
+	ctor    StateConstructor
+	methods map[string]MethodSpec
+}
 
 // Registry maps names to remote functions and actor classes. A single
 // registry is shared by every node in an in-process cluster, mirroring the
@@ -50,14 +91,14 @@ type ActorConstructor func(ctx *TaskContext, args [][]byte) (ActorInstance, erro
 type Registry struct {
 	mu        sync.RWMutex
 	functions map[string]Function
-	actors    map[string]ActorConstructor
+	actors    map[string]*actorClass
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
 		functions: make(map[string]Function),
-		actors:    make(map[string]ActorConstructor),
+		actors:    make(map[string]*actorClass),
 	}
 }
 
@@ -74,14 +115,64 @@ func (r *Registry) Register(name string, fn Function) error {
 	return nil
 }
 
-// RegisterActor adds an actor class under name.
+// RegisterActorClass adds an actor class under name with an (initially empty)
+// method table. Methods are attached with RegisterActorMethod; instances of
+// the class dispatch exclusively through the table. Re-registering a name
+// replaces the previous definition, table included (useful in tests).
+func (r *Registry) RegisterActorClass(name string, ctor StateConstructor) error {
+	if name == "" || ctor == nil {
+		return fmt.Errorf("worker: invalid actor class registration %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.actors[name] = &actorClass{ctor: ctor, methods: make(map[string]MethodSpec)}
+	return nil
+}
+
+// RegisterActorMethod attaches one method to a class's table. The class must
+// have been registered with RegisterActorClass (legacy classes own their
+// dispatch and cannot mix in table entries), and each method name may be
+// declared only once per class registration.
+func (r *Registry) RegisterActorMethod(class, method string, spec MethodSpec) error {
+	if method == "" || spec.Impl == nil {
+		return fmt.Errorf("worker: invalid method registration %s.%q", class, method)
+	}
+	if spec.NumReturns < 1 {
+		spec.NumReturns = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.actors[class]
+	if !ok {
+		return fmt.Errorf("worker: method %s.%s: class: %w", class, method, types.ErrFunctionNotFound)
+	}
+	if c.methods == nil {
+		return fmt.Errorf("worker: method %s.%s: class uses legacy Call dispatch, re-register it with RegisterActorClass", class, method)
+	}
+	if _, dup := c.methods[method]; dup {
+		return fmt.Errorf("worker: method %s.%s: %w", class, method, types.ErrDuplicateMethod)
+	}
+	c.methods[method] = spec
+	return nil
+}
+
+// RegisterActor adds an actor class under name whose instances dispatch
+// through ActorInstance.Call.
+//
+// Deprecated: use RegisterActorClass + RegisterActorMethod so the runtime
+// owns method dispatch; this path remains for one release.
 func (r *Registry) RegisterActor(name string, ctor ActorConstructor) error {
 	if name == "" || ctor == nil {
 		return fmt.Errorf("worker: invalid actor registration %q", name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.actors[name] = ctor
+	r.actors[name] = &actorClass{
+		ctor: func(ctx *TaskContext, args [][]byte) (any, error) {
+			return ctor(ctx, args)
+		},
+		// methods stays nil: the legacy marker that dispatch goes through Call.
+	}
 	return nil
 }
 
@@ -96,15 +187,57 @@ func (r *Registry) Function(name string) (Function, error) {
 	return fn, nil
 }
 
-// ActorClass looks up an actor constructor.
-func (r *Registry) ActorClass(name string) (ActorConstructor, error) {
+// ActorClass looks up an actor class constructor.
+func (r *Registry) ActorClass(name string) (StateConstructor, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	ctor, ok := r.actors[name]
+	c, ok := r.actors[name]
 	if !ok {
 		return nil, fmt.Errorf("worker: actor class %q: %w", name, types.ErrFunctionNotFound)
 	}
-	return ctor, nil
+	return c.ctor, nil
+}
+
+// MethodSpecFor returns the registered spec of one method (for tests and the
+// debugging tools). ok is false for unknown classes, legacy classes, and
+// unregistered methods.
+func (r *Registry) MethodSpecFor(class, method string) (MethodSpec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.actors[class]
+	if !ok || c.methods == nil {
+		return MethodSpec{}, false
+	}
+	spec, ok := c.methods[method]
+	return spec, ok
+}
+
+// Dispatch resolves the callee for one method invocation on an instance of
+// the class. Table-registered classes resolve exclusively through their
+// method table: an unknown method is an ErrMethodNotFound, which the worker
+// pool stores as an error object for the caller to observe at Get. Legacy
+// classes fall back to the instance's own ActorInstance.Call.
+func (r *Registry) Dispatch(class, method string, instance any) (func(ctx *TaskContext, args [][]byte) ([][]byte, error), error) {
+	r.mu.RLock()
+	c, ok := r.actors[class]
+	if ok && c.methods != nil {
+		spec, found := c.methods[method]
+		r.mu.RUnlock()
+		if !found {
+			return nil, fmt.Errorf("worker: %s.%s: %w", class, method, types.ErrMethodNotFound)
+		}
+		return func(ctx *TaskContext, args [][]byte) ([][]byte, error) {
+			return spec.Impl(ctx, instance, args)
+		}, nil
+	}
+	r.mu.RUnlock()
+	if legacy, isLegacy := instance.(ActorInstance); isLegacy {
+		return func(ctx *TaskContext, args [][]byte) ([][]byte, error) {
+			return legacy.Call(ctx, method, args)
+		}, nil
+	}
+	return nil, fmt.Errorf("worker: %s.%s: class has no method table and instance %T implements no Call: %w",
+		class, method, instance, types.ErrMethodNotFound)
 }
 
 // Names returns all registered function and actor class names, sorted (for
@@ -117,6 +250,23 @@ func (r *Registry) Names() []string {
 		out = append(out, n)
 	}
 	for n := range r.actors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MethodNames returns the sorted method-table names of a class (empty for
+// legacy classes, which own their dispatch).
+func (r *Registry) MethodNames(class string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.actors[class]
+	if !ok || c.methods == nil {
+		return nil
+	}
+	out := make([]string, 0, len(c.methods))
+	for n := range c.methods {
 		out = append(out, n)
 	}
 	sort.Strings(out)

@@ -102,30 +102,12 @@ func (e *testEnv) ctx() *TaskContext {
 	return NewTaskContext(context.Background(), types.NewTaskID(), types.NewDriverID(), e.node, e.rt, e.ids)
 }
 
-// Counter is a tiny checkpointable actor used across the tests.
+// Counter is a tiny checkpointable actor used across the tests. Its methods
+// are registered on the class's method table (registerTestFunctions); the
+// type itself only implements the checkpoint hooks.
 type Counter struct {
 	mu    sync.Mutex
 	value int
-}
-
-func (c *Counter) Call(ctx *TaskContext, method string, args [][]byte) ([][]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	switch method {
-	case "add":
-		var delta int
-		if err := codec.Decode(args[0], &delta); err != nil {
-			return nil, err
-		}
-		c.value += delta
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	case "value":
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	case "fail":
-		return nil, errors.New("method exploded")
-	default:
-		return nil, errors.New("unknown method " + method)
-	}
 }
 
 func (c *Counter) Checkpoint() ([]byte, error) {
@@ -138,6 +120,14 @@ func (c *Counter) Restore(data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return codec.Decode(data, &c.value)
+}
+
+// legacyEcho is an ActorInstance exercising the deprecated Call-dispatch
+// fallback for classes registered without a method table.
+type legacyEcho struct{ prefix string }
+
+func (l *legacyEcho) Call(ctx *TaskContext, method string, args [][]byte) ([][]byte, error) {
+	return [][]byte{codec.MustEncode(l.prefix + method)}, nil
 }
 
 func registerTestFunctions(t *testing.T, env *testEnv) {
@@ -170,7 +160,7 @@ func registerTestFunctions(t *testing.T, env *testEnv) {
 		}
 		return [][]byte{codec.MustEncode(intermediate * 2)}, nil
 	}))
-	must(env.registry.RegisterActor("Counter", func(ctx *TaskContext, args [][]byte) (ActorInstance, error) {
+	must(env.registry.RegisterActorClass("Counter", func(ctx *TaskContext, args [][]byte) (any, error) {
 		c := &Counter{}
 		if len(args) > 0 {
 			if err := codec.Decode(args[0], &c.value); err != nil {
@@ -178,6 +168,35 @@ func registerTestFunctions(t *testing.T, env *testEnv) {
 			}
 		}
 		return c, nil
+	}))
+	must(env.registry.RegisterActorMethod("Counter", "add", MethodSpec{
+		NumArgs: 1, NumReturns: 1,
+		Impl: func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			c := state.(*Counter)
+			var delta int
+			if err := codec.Decode(args[0], &delta); err != nil {
+				return nil, err
+			}
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.value += delta
+			return [][]byte{codec.MustEncode(c.value)}, nil
+		},
+	}))
+	must(env.registry.RegisterActorMethod("Counter", "value", MethodSpec{
+		NumReturns: 1,
+		Impl: func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			c := state.(*Counter)
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return [][]byte{codec.MustEncode(c.value)}, nil
+		},
+	}))
+	must(env.registry.RegisterActorMethod("Counter", "fail", MethodSpec{
+		NumReturns: 1,
+		Impl: func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			return nil, errors.New("method exploded")
+		},
 	}))
 }
 
@@ -188,6 +207,9 @@ func TestRegistryBasics(t *testing.T) {
 	}
 	if err := r.RegisterActor("", nil); err == nil {
 		t.Fatal("empty actor registration must fail")
+	}
+	if err := r.RegisterActorClass("", nil); err == nil {
+		t.Fatal("empty actor class registration must fail")
 	}
 	if _, err := r.Function("missing"); !errors.Is(err, types.ErrFunctionNotFound) {
 		t.Fatal("missing function must report ErrFunctionNotFound")
@@ -204,6 +226,100 @@ func TestRegistryBasics(t *testing.T) {
 	names := r.Names()
 	if len(names) != 2 || names[0] != "A" || names[1] != "f" {
 		t.Fatalf("names wrong: %v", names)
+	}
+}
+
+func TestRegistryMethodTable(t *testing.T) {
+	r := NewRegistry()
+	impl := func(*TaskContext, any, [][]byte) ([][]byte, error) { return nil, nil }
+	// Methods cannot attach to unknown classes.
+	if err := r.RegisterActorMethod("Ghost", "m", MethodSpec{NumReturns: 1, Impl: impl}); !errors.Is(err, types.ErrFunctionNotFound) {
+		t.Fatalf("method on unknown class: %v, want ErrFunctionNotFound", err)
+	}
+	if err := r.RegisterActorClass("C", func(*TaskContext, [][]byte) (any, error) { return &Counter{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterActorMethod("C", "", MethodSpec{Impl: impl}); err == nil {
+		t.Fatal("empty method name must fail")
+	}
+	if err := r.RegisterActorMethod("C", "m", MethodSpec{Impl: nil}); err == nil {
+		t.Fatal("nil method impl must fail")
+	}
+	if err := r.RegisterActorMethod("C", "m", MethodSpec{NumArgs: 2, NumReturns: 1, Impl: impl}); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate declaration is rejected.
+	if err := r.RegisterActorMethod("C", "m", MethodSpec{NumReturns: 1, Impl: impl}); !errors.Is(err, types.ErrDuplicateMethod) {
+		t.Fatalf("duplicate method: %v, want ErrDuplicateMethod", err)
+	}
+	if spec, ok := r.MethodSpecFor("C", "m"); !ok || spec.NumArgs != 2 || spec.NumReturns != 1 {
+		t.Fatalf("MethodSpecFor wrong: %+v %v", spec, ok)
+	}
+	if _, ok := r.MethodSpecFor("C", "other"); ok {
+		t.Fatal("MethodSpecFor must miss unknown methods")
+	}
+	if got := r.MethodNames("C"); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("MethodNames wrong: %v", got)
+	}
+	// Legacy classes cannot mix in table entries: they own their dispatch.
+	if err := r.RegisterActor("L", func(*TaskContext, [][]byte) (ActorInstance, error) { return &legacyEcho{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterActorMethod("L", "m", MethodSpec{NumReturns: 1, Impl: impl}); err == nil {
+		t.Fatal("method on a legacy class must fail")
+	}
+	if r.MethodNames("L") != nil {
+		t.Fatal("legacy classes have no method-table names")
+	}
+}
+
+func TestRegistryDispatch(t *testing.T) {
+	r := NewRegistry()
+	if err := r.RegisterActorClass("C", func(*TaskContext, [][]byte) (any, error) { return &Counter{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := r.RegisterActorMethod("C", "m", MethodSpec{NumReturns: 1,
+		Impl: func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			called = true
+			if _, ok := state.(*Counter); !ok {
+				t.Errorf("dispatch passed %T, want *Counter", state)
+			}
+			return [][]byte{codec.MustEncode(true)}, nil
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	call, err := r.Dispatch("C", "m", &Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call(nil, nil); err != nil || !called {
+		t.Fatalf("table dispatch failed: %v (called=%v)", err, called)
+	}
+	// Unknown method on a table class is ErrMethodNotFound — instances never
+	// see the name, even when they happen to implement ActorInstance.
+	if _, err := r.Dispatch("C", "ghost", &legacyEcho{}); !errors.Is(err, types.ErrMethodNotFound) {
+		t.Fatalf("unknown table method: %v, want ErrMethodNotFound", err)
+	}
+	// Legacy classes fall back to the instance's own Call.
+	if err := r.RegisterActor("L", func(*TaskContext, [][]byte) (ActorInstance, error) { return &legacyEcho{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	call, err = r.Dispatch("L", "anything", &legacyEcho{prefix: "got:"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := call(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var echoed string
+	if err := codec.Decode(outs[0], &echoed); err != nil || echoed != "got:anything" {
+		t.Fatalf("legacy dispatch wrong: %q %v", echoed, err)
+	}
+	// A legacy instance that implements no Call is undispatchable.
+	if _, err := r.Dispatch("L", "m", 42); !errors.Is(err, types.ErrMethodNotFound) {
+		t.Fatalf("callless instance: %v, want ErrMethodNotFound", err)
 	}
 }
 
@@ -408,6 +524,16 @@ func TestActorLifecycle(t *testing.T) {
 	}
 	if ids := env.pool.ActorIDs(); len(ids) != 1 || ids[0] != h.ID {
 		t.Fatal("ActorIDs wrong")
+	}
+	// An unknown method on a table-registered class resolves to an error
+	// object (the caller sees it at Get), never a crashed task and never a
+	// fallthrough into user dispatch code.
+	unknown, err := ctx.CallActor1(h, "nope", CallOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Get(unknown, &value); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("unknown method error wrong: %v", err)
 	}
 	// Stop the actor; further methods fail as infrastructure errors.
 	if !env.pool.StopActor(h.ID) {

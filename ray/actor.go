@@ -1,158 +1,315 @@
 package ray
 
 import (
+	"fmt"
+
 	"ray/internal/worker"
 )
 
-// ActorInstance is a live actor: private state plus methods invoked
-// serially. Actor types also implementing worker.Checkpointable get
-// user-defined checkpoints that bound reconstruction replay.
-type ActorInstance = worker.ActorInstance
-
-// ActorClass0 is a typed handle to a registered actor class whose
-// constructor takes no arguments. New instantiates actors — the
-// Class.remote() of Table 1.
-type ActorClass0 struct{ name string }
-
-// ActorClass1 is a typed handle to a registered actor class whose
-// constructor takes an A.
-type ActorClass1[A any] struct{ name string }
-
-// Name returns the registered class name.
-func (c ActorClass0) Name() string { return c.name }
-
-// Name returns the registered class name.
-func (c ActorClass1[A]) Name() string { return c.name }
-
-// RegisterActor0 registers an actor class with a no-argument constructor and
-// returns its typed handle.
-func RegisterActor0(rt *Runtime, name, doc string, ctor func(ctx *Context) (ActorInstance, error)) (ActorClass0, error) {
-	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-		return ctor(ctx)
-	})
-	return ActorClass0{name: name}, err
+// ActorClass is the registration-time identity of a typed actor class whose
+// instances hold a *S: the class name plus the runtime whose method table the
+// class feeds. It is embedded in the arity-specific handles returned by
+// RegisterActorClass0/1/2; method declarations (ActorMethod0/1/2) accept any
+// of them through the Class interface.
+//
+// Declaring a method does two things at once: it installs the callee-side
+// dispatch entry in the worker registry's method table (recording the
+// method's argument and return arity in the GCS function table), and it mints
+// the caller-side handle whose Remote pins the argument and result types at
+// compile time. User types no longer implement Call — the method table is the
+// only dispatch path, so a misspelled method is impossible to invoke and an
+// unknown name arriving over the wire becomes an error object, not a switch
+// fallthrough.
+type ActorClass[S any] struct {
+	rt   *Runtime
+	name string
 }
 
-// RegisterActor1 registers an actor class whose constructor takes an A and
-// returns its typed handle.
-func RegisterActor1[A any](rt *Runtime, name, doc string, ctor func(ctx *Context, a A) (ActorInstance, error)) (ActorClass1[A], error) {
-	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+// actorClass anchors the Class interface; every typed class handle embeds
+// *ActorClass[S] and so satisfies Class[S] automatically.
+func (c *ActorClass[S]) actorClass() *ActorClass[S] { return c }
+
+// Name returns the registered class name.
+func (c *ActorClass[S]) Name() string { return c.name }
+
+// Class is satisfied by every typed class handle with state S (Class0[S],
+// Class1[S, A], Class2[S, A, B]); the ActorMethod declarations accept any of
+// them.
+type Class[S any] interface {
+	actorClass() *ActorClass[S]
+}
+
+// Class0 is a typed handle to a registered actor class whose constructor
+// takes no arguments. New instantiates actors — the Class.remote() of
+// Table 1.
+type Class0[S any] struct{ *ActorClass[S] }
+
+// Class1 is a typed handle to a registered actor class whose constructor
+// takes an A.
+type Class1[S, A any] struct{ *ActorClass[S] }
+
+// Class2 is a typed handle to a registered actor class whose constructor
+// takes an A and a B.
+type Class2[S, A, B any] struct{ *ActorClass[S] }
+
+// RegisterActorClass0 registers an actor class with a no-argument constructor
+// and an empty method table, returning the typed class handle methods are
+// declared on.
+func RegisterActorClass0[S any](rt *Runtime, name, doc string, ctor func(ctx *Context) (*S, error)) (Class0[S], error) {
+	err := rt.RegisterActorClass(name, doc, func(ctx *worker.TaskContext, args [][]byte) (any, error) {
+		return ctor(ctx)
+	})
+	return Class0[S]{&ActorClass[S]{rt: rt, name: name}}, err
+}
+
+// RegisterActorClass1 registers an actor class whose constructor takes an A.
+func RegisterActorClass1[S, A any](rt *Runtime, name, doc string, ctor func(ctx *Context, a A) (*S, error)) (Class1[S, A], error) {
+	err := rt.RegisterActorClass(name, doc, func(ctx *worker.TaskContext, args [][]byte) (any, error) {
 		a, err := decode1[A](args, 0)
 		if err != nil {
 			return nil, err
 		}
 		return ctor(ctx, a)
 	})
-	return ActorClass1[A]{name: name}, err
+	return Class1[S, A]{&ActorClass[S]{rt: rt, name: name}}, err
 }
 
-// NamedActorClass0 mints a typed handle for an actor class registered (or to
-// be registered) under a compile-time constant name. Prefer the handle
-// RegisterActor0 returns; this exists so a package can bind an immutable
-// package-level handle to a class it registers per runtime. New fails with
-// a function-not-found error if the class was never registered.
-func NamedActorClass0(name string) ActorClass0 { return ActorClass0{name: name} }
+// RegisterActorClass2 registers an actor class whose constructor takes an A
+// and a B.
+func RegisterActorClass2[S, A, B any](rt *Runtime, name, doc string, ctor func(ctx *Context, a A, b B) (*S, error)) (Class2[S, A, B], error) {
+	err := rt.RegisterActorClass(name, doc, func(ctx *worker.TaskContext, args [][]byte) (any, error) {
+		a, err := decode1[A](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decode1[B](args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return ctor(ctx, a, b)
+	})
+	return Class2[S, A, B]{&ActorClass[S]{rt: rt, name: name}}, err
+}
 
-// NamedActorClass1 is NamedActorClass0 for classes whose constructor takes
-// an A.
-func NamedActorClass1[A any](name string) ActorClass1[A] { return ActorClass1[A]{name: name} }
+// checkRegistered rejects the zero-value class handle with a clean error
+// (e.g. a package-level handle used before its package's Register ran)
+// instead of a nil dereference.
+func (c *ActorClass[S]) checkRegistered() error {
+	if c == nil {
+		var s *S
+		return fmt.Errorf("ray: actor class handle for state %T used before registration", s)
+	}
+	return nil
+}
 
 // New instantiates a remote actor of the class. The creation is itself a
 // task — it may be scheduled on any node satisfying the resource options —
-// and returns immediately with a handle.
-func (c ActorClass0) New(caller Caller, opts ...Option) (*Actor, error) {
+// and returns immediately with a typed handle.
+func (c Class0[S]) New(caller Caller, opts ...Option) (*ActorOf[S], error) {
+	if err := c.ActorClass.checkRegistered(); err != nil {
+		return nil, err
+	}
 	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts))
 	if err != nil {
 		return nil, err
 	}
-	return &Actor{h: h}, nil
+	return &ActorOf[S]{Actor{h: h}}, nil
 }
 
 // New instantiates a remote actor of the class with a constructor argument.
-func (c ActorClass1[A]) New(caller Caller, a A, opts ...Option) (*Actor, error) {
+func (c Class1[S, A]) New(caller Caller, a A, opts ...Option) (*ActorOf[S], error) {
+	if err := c.ActorClass.checkRegistered(); err != nil {
+		return nil, err
+	}
 	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts), a)
 	if err != nil {
 		return nil, err
 	}
-	return &Actor{h: h}, nil
+	return &ActorOf[S]{Actor{h: h}}, nil
 }
 
-// Actor is a handle to a remote actor. Method calls through the handle
-// return futures exactly like task invocations; consecutive calls are
-// chained with stateful edges so the actor's lineage can be replayed after a
-// failure.
-type Actor struct {
-	h *worker.ActorHandle
+// New instantiates a remote actor of the class with two constructor
+// arguments.
+func (c Class2[S, A, B]) New(caller Caller, a A, b B, opts ...Option) (*ActorOf[S], error) {
+	if err := c.ActorClass.checkRegistered(); err != nil {
+		return nil, err
+	}
+	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts), a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &ActorOf[S]{Actor{h: h}}, nil
 }
 
-// Handle exposes the underlying worker-layer handle for interop with
-// internal plumbing (and for passing the actor to another task as an
-// argument).
-func (a *Actor) Handle() *worker.ActorHandle { return a.h }
+// ActorOf is a typed handle to a remote actor with state S. It embeds the
+// untyped Actor, so the escape hatches (Method, Handle) remain reachable, but
+// class method handles only bind to actors of their own class — calling a
+// Counter method on a Logger actor is a compile error.
+type ActorOf[S any] struct{ Actor }
 
-// WrapActor adopts a worker-layer actor handle (e.g. one received as a task
-// argument via worker.DecodeActorHandle) into the typed API.
-func WrapActor(h *worker.ActorHandle) *Actor { return &Actor{h: h} }
+// WrapActorOf adopts a worker-layer actor handle (e.g. one received as a task
+// argument via worker.DecodeActorHandle) into the typed API. The caller
+// asserts the state type, exactly as with RefAs.
+func WrapActorOf[S any](h *worker.ActorHandle) *ActorOf[S] { return &ActorOf[S]{Actor{h: h}} }
 
-// Method returns the untyped variadic handle for the named method — the
-// escape hatch mirroring FuncN. Prefer the typed Method0/Method1/Method2
-// constructors, which pin argument and result types at compile time.
-func (a *Actor) Method(name string) ActorMethod {
-	return ActorMethod{actor: a, name: name}
+// --- Method declarations ------------------------------------------------------
+
+// methodDecl installs one callee-side dispatch entry on the class's method
+// table, returning any registration error (unknown class, duplicate method).
+func methodDecl[S any](c Class[S], name string, numArgs int, impl worker.ActorMethodImpl) (string, error) {
+	cc := c.actorClass()
+	if cc == nil || cc.rt == nil {
+		return "", fmt.Errorf("ray: method %q declared on an unregistered class handle", name)
+	}
+	return cc.name, cc.rt.RegisterActorMethod(cc.name, name, numArgs, 1, impl)
 }
 
-// ActorMethod is an untyped method handle: counter.Method("add").Remote(...).
-type ActorMethod struct {
-	actor *Actor
-	name  string
-	opts  []Option
+// stateOf asserts the instance the constructor produced back to *S. It can
+// only fail if a class name was registered twice with different state types.
+func stateOf[S any](class, method string, state any) (*S, error) {
+	s, ok := state.(*S)
+	if !ok {
+		return nil, fmt.Errorf("ray: %s.%s: instance is %T, not %T", class, method, state, s)
+	}
+	return s, nil
 }
 
-// With returns a copy of the handle with the options pre-bound.
-func (m ActorMethod) With(opts ...Option) ActorMethod {
-	bound := make([]Option, 0, len(m.opts)+len(opts))
-	bound = append(bound, m.opts...)
-	bound = append(bound, opts...)
-	return ActorMethod{actor: m.actor, name: m.name, opts: bound}
+// ActorMethod0 declares a no-argument method S -> R on the class: the typed
+// implementation becomes the class's dispatch entry and the returned
+// ClassMethod0 is the caller-side handle. Each method name may be declared
+// once per class registration.
+func ActorMethod0[S, R any](c Class[S], name string, impl func(ctx *Context, s *S) (R, error)) (ClassMethod0[S, R], error) {
+	class, err := methodDecl[S](c, name, 0, func(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+		s, err := stateOf[S](c.actorClass().name, name, state)
+		if err != nil {
+			return nil, err
+		}
+		return encode1(impl(ctx, s))
+	})
+	return ClassMethod0[S, R]{class: class, name: name}, err
 }
 
-// Remote invokes the method and returns one raw reference per declared
-// return — the actor.method.remote(args) of Table 1, untyped.
-func (m ActorMethod) Remote(c Caller, args ...any) ([]RawRef, error) {
-	return c.CallContext().CallActor(m.actor.h, m.name, buildOpts(m.opts), args...)
+// ActorMethod1 declares a one-argument method (S, A) -> R on the class.
+func ActorMethod1[S, A, R any](c Class[S], name string, impl func(ctx *Context, s *S, a A) (R, error)) (ClassMethod1[S, A, R], error) {
+	class, err := methodDecl[S](c, name, 1, func(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+		s, err := stateOf[S](c.actorClass().name, name, state)
+		if err != nil {
+			return nil, err
+		}
+		a, err := decode1[A](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return encode1(impl(ctx, s, a))
+	})
+	return ClassMethod1[S, A, R]{class: class, name: name}, err
 }
 
-// MethodHandle0 is a typed handle to a no-argument actor method returning R.
+// ActorMethod2 declares a two-argument method (S, A, B) -> R on the class.
+func ActorMethod2[S, A, B, R any](c Class[S], name string, impl func(ctx *Context, s *S, a A, b B) (R, error)) (ClassMethod2[S, A, B, R], error) {
+	class, err := methodDecl[S](c, name, 2, func(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+		s, err := stateOf[S](c.actorClass().name, name, state)
+		if err != nil {
+			return nil, err
+		}
+		a, err := decode1[A](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decode1[B](args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return encode1(impl(ctx, s, a, b))
+	})
+	return ClassMethod2[S, A, B, R]{class: class, name: name}, err
+}
+
+// ClassMethod0 is the caller-side handle of a declared no-argument method:
+// holding one proves the method exists on the class with exactly this
+// signature. Remote invokes it on a specific actor of the class; Bind
+// pre-binds the actor for call sites that invoke it repeatedly.
+type ClassMethod0[S, R any] struct{ class, name string }
+
+// ClassMethod1 is the caller-side handle of a declared method (A) -> R.
+type ClassMethod1[S, A, R any] struct{ class, name string }
+
+// ClassMethod2 is the caller-side handle of a declared method (A, B) -> R.
+type ClassMethod2[S, A, B, R any] struct{ class, name string }
+
+// Name returns the declared method name.
+func (m ClassMethod0[S, R]) Name() string       { return m.name }
+func (m ClassMethod1[S, A, R]) Name() string    { return m.name }
+func (m ClassMethod2[S, A, B, R]) Name() string { return m.name }
+
+// Class returns the owning class name (for logs and debugging).
+func (m ClassMethod0[S, R]) Class() string       { return m.class }
+func (m ClassMethod1[S, A, R]) Class() string    { return m.class }
+func (m ClassMethod2[S, A, B, R]) Class() string { return m.class }
+
+// Remote invokes the method on the actor; the future of its result returns
+// immediately — the actor.method.remote(args) of Table 1, typed end to end.
+func (m ClassMethod0[S, R]) Remote(c Caller, a *ActorOf[S], opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, &a.Actor, m.name, opts)
+}
+
+// Bind pre-binds the actor, returning the bound method handle.
+func (m ClassMethod0[S, R]) Bind(a *ActorOf[S]) MethodHandle0[R] {
+	return MethodHandle0[R]{actor: &a.Actor, name: m.name}
+}
+
+// Remote invokes the method on the actor with a concrete argument.
+func (m ClassMethod1[S, A, R]) Remote(c Caller, a *ActorOf[S], arg A, opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, &a.Actor, m.name, opts, arg)
+}
+
+// RemoteRef invokes the method with a future argument; the dependency flows
+// through the task graph.
+func (m ClassMethod1[S, A, R]) RemoteRef(c Caller, a *ActorOf[S], arg ObjectRef[A], opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, &a.Actor, m.name, opts, arg)
+}
+
+// Bind pre-binds the actor, returning the bound method handle.
+func (m ClassMethod1[S, A, R]) Bind(a *ActorOf[S]) MethodHandle1[A, R] {
+	return MethodHandle1[A, R]{actor: &a.Actor, name: m.name}
+}
+
+// Remote invokes the method on the actor with concrete arguments.
+func (m ClassMethod2[S, A, B, R]) Remote(c Caller, a *ActorOf[S], arg1 A, arg2 B, opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, &a.Actor, m.name, opts, arg1, arg2)
+}
+
+// RemoteRef invokes the method with future arguments (use ValueRef to mix in
+// constants).
+func (m ClassMethod2[S, A, B, R]) RemoteRef(c Caller, a *ActorOf[S], arg1 ObjectRef[A], arg2 ObjectRef[B], opts ...Option) (ObjectRef[R], error) {
+	return callActor[R](c, &a.Actor, m.name, opts, arg1, arg2)
+}
+
+// Bind pre-binds the actor, returning the bound method handle.
+func (m ClassMethod2[S, A, B, R]) Bind(a *ActorOf[S]) MethodHandle2[A, B, R] {
+	return MethodHandle2[A, B, R]{actor: &a.Actor, name: m.name}
+}
+
+// --- Bound method handles -----------------------------------------------------
+
+// MethodHandle0 is a typed no-argument method handle bound to one actor.
+// Handles are minted by ClassMethod.Bind, so holding one proves both that the
+// method exists and that the actor is of its class.
 type MethodHandle0[R any] struct {
 	actor *Actor
 	name  string
 }
 
-// MethodHandle1 is a typed handle to an actor method A -> R.
+// MethodHandle1 is a bound typed method handle A -> R.
 type MethodHandle1[A, R any] struct {
 	actor *Actor
 	name  string
 }
 
-// MethodHandle2 is a typed handle to an actor method (A, B) -> R.
+// MethodHandle2 is a bound typed method handle (A, B) -> R.
 type MethodHandle2[A, B, R any] struct {
 	actor *Actor
 	name  string
-}
-
-// Method0 binds a typed no-argument method handle to an actor instance.
-func Method0[R any](a *Actor, name string) MethodHandle0[R] {
-	return MethodHandle0[R]{actor: a, name: name}
-}
-
-// Method1 binds a typed one-argument method handle to an actor instance.
-func Method1[A, R any](a *Actor, name string) MethodHandle1[A, R] {
-	return MethodHandle1[A, R]{actor: a, name: name}
-}
-
-// Method2 binds a typed two-argument method handle to an actor instance.
-func Method2[A, B, R any](a *Actor, name string) MethodHandle2[A, B, R] {
-	return MethodHandle2[A, B, R]{actor: a, name: name}
 }
 
 // Remote invokes the method; the future of its result returns immediately.
@@ -182,11 +339,155 @@ func (m MethodHandle2[A, B, R]) RemoteRef(c Caller, a ObjectRef[A], b ObjectRef[
 	return callActor[R](c, m.actor, m.name, opts, a, b)
 }
 
-// callActor is the shared typed actor-method submission path.
+// callActor is the shared typed actor-method submission path. Typed handles
+// expose exactly one return object, so a NumReturns(n>1) option is a caller
+// bug — it would silently alias the typed ref to output 0 of an n-output
+// task — and is rejected at call time.
 func callActor[R any](c Caller, a *Actor, method string, opts []Option, args ...any) (ObjectRef[R], error) {
-	id, err := c.CallContext().CallActor1(a.h, method, buildOpts(opts), args...)
+	o := buildOpts(opts)
+	if o.NumReturns > 1 {
+		return ObjectRef[R]{}, fmt.Errorf(
+			"ray: %s: NumReturns(%d) on a single-return typed method handle; use the untyped Actor.Method escape hatch for multi-return methods", method, o.NumReturns)
+	}
+	id, err := c.CallContext().CallActor1(a.h, method, o, args...)
 	if err != nil {
 		return ObjectRef[R]{}, err
 	}
 	return ObjectRef[R]{ID: id}, nil
+}
+
+// --- Deprecated legacy surface ------------------------------------------------
+
+// ActorInstance is the legacy actor shape: private state plus a Call that
+// dispatches on the method name itself.
+//
+// Deprecated: register classes with RegisterActorClass0/1/2 and declare
+// methods with ActorMethod0/1/2; the method table is then the only dispatch
+// path. This alias remains for one release.
+type ActorInstance = worker.ActorInstance
+
+// ActorClass0 is the legacy untyped handle to an actor class with a
+// no-argument constructor.
+//
+// Deprecated: use RegisterActorClass0, whose handle carries the state type.
+type ActorClass0 struct{ name string }
+
+// ActorClass1 is the legacy handle to an actor class whose constructor takes
+// an A.
+//
+// Deprecated: use RegisterActorClass1.
+type ActorClass1[A any] struct{ name string }
+
+// Name returns the registered class name.
+func (c ActorClass0) Name() string { return c.name }
+
+// Name returns the registered class name.
+func (c ActorClass1[A]) Name() string { return c.name }
+
+// RegisterActor0 registers a legacy actor class: the constructor returns an
+// ActorInstance that dispatches methods in its own Call.
+//
+// Deprecated: use RegisterActorClass0 + ActorMethod declarations.
+func RegisterActor0(rt *Runtime, name, doc string, ctor func(ctx *Context) (ActorInstance, error)) (ActorClass0, error) {
+	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+		return ctor(ctx)
+	})
+	return ActorClass0{name: name}, err
+}
+
+// RegisterActor1 registers a legacy actor class whose constructor takes an A.
+//
+// Deprecated: use RegisterActorClass1 + ActorMethod declarations.
+func RegisterActor1[A any](rt *Runtime, name, doc string, ctor func(ctx *Context, a A) (ActorInstance, error)) (ActorClass1[A], error) {
+	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+		a, err := decode1[A](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		return ctor(ctx, a)
+	})
+	return ActorClass1[A]{name: name}, err
+}
+
+// NamedActorClass0 mints a legacy handle for a class registered under a
+// compile-time constant name.
+//
+// Deprecated: hold the handle RegisterActorClass0 returns instead.
+func NamedActorClass0(name string) ActorClass0 { return ActorClass0{name: name} }
+
+// NamedActorClass1 is NamedActorClass0 for classes whose constructor takes
+// an A.
+//
+// Deprecated: hold the handle RegisterActorClass1 returns instead.
+func NamedActorClass1[A any](name string) ActorClass1[A] { return ActorClass1[A]{name: name} }
+
+// New instantiates a remote actor of the legacy class.
+func (c ActorClass0) New(caller Caller, opts ...Option) (*Actor, error) {
+	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	return &Actor{h: h}, nil
+}
+
+// New instantiates a remote actor of the legacy class with a constructor
+// argument.
+func (c ActorClass1[A]) New(caller Caller, a A, opts ...Option) (*Actor, error) {
+	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts), a)
+	if err != nil {
+		return nil, err
+	}
+	return &Actor{h: h}, nil
+}
+
+// Actor is an untyped handle to a remote actor. Method calls through the
+// handle return futures exactly like task invocations; consecutive calls are
+// chained with stateful edges so the actor's lineage can be replayed after a
+// failure. The typed ActorOf[S] embeds it.
+type Actor struct {
+	h *worker.ActorHandle
+}
+
+// Handle exposes the underlying worker-layer handle for interop with
+// internal plumbing (and for passing the actor to another task as an
+// argument).
+func (a *Actor) Handle() *worker.ActorHandle { return a.h }
+
+// WrapActor adopts a worker-layer actor handle (e.g. one received as a task
+// argument via worker.DecodeActorHandle) into the untyped API; WrapActorOf is
+// its typed counterpart.
+func WrapActor(h *worker.ActorHandle) *Actor { return &Actor{h: h} }
+
+// Method returns the untyped variadic handle for the named method — the
+// escape hatch mirroring FuncN, and the only typed-API path to multi-return
+// methods.
+//
+// Deprecated: prefer the ClassMethod handles minted by ActorMethod0/1/2,
+// which pin the method name and types at compile time. This escape hatch
+// remains for one release.
+func (a *Actor) Method(name string) ActorMethod {
+	return ActorMethod{actor: a, name: name}
+}
+
+// ActorMethod is an untyped method handle: counter.Method("add").Remote(...).
+//
+// Deprecated: see Actor.Method.
+type ActorMethod struct {
+	actor *Actor
+	name  string
+	opts  []Option
+}
+
+// With returns a copy of the handle with the options pre-bound.
+func (m ActorMethod) With(opts ...Option) ActorMethod {
+	bound := make([]Option, 0, len(m.opts)+len(opts))
+	bound = append(bound, m.opts...)
+	bound = append(bound, opts...)
+	return ActorMethod{actor: m.actor, name: m.name, opts: bound}
+}
+
+// Remote invokes the method and returns one raw reference per declared
+// return — the actor.method.remote(args) of Table 1, untyped.
+func (m ActorMethod) Remote(c Caller, args ...any) ([]RawRef, error) {
+	return c.CallContext().CallActor(m.actor.h, m.name, buildOpts(m.opts), args...)
 }

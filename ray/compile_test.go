@@ -25,7 +25,7 @@ func buildTestdata(t *testing.T, pkg string) (string, error) {
 // TestWrongTypedArgumentFailsToCompile is the compile-time regression test
 // for the typed API: a program passing a string to a Func1[float64, float64]
 // handle (and assigning its ObjectRef[float64] to an ObjectRef[string]) must
-// be rejected by the compiler, while the identical well-typed program builds.
+// be rejected by the compiler, while the well-typed control program builds.
 func TestWrongTypedArgumentFailsToCompile(t *testing.T) {
 	if out, err := buildTestdata(t, "goodcall"); err != nil {
 		t.Fatalf("well-typed control program failed to build: %v\n%s", err, out)
@@ -35,6 +35,26 @@ func TestWrongTypedArgumentFailsToCompile(t *testing.T) {
 		t.Fatal("badcall compiled; the typed handles no longer reject mistyped arguments")
 	}
 	for _, want := range []string{"cannot use", "badcall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compiler output missing %q — failed for the wrong reason?\n%s", want, out)
+		}
+	}
+}
+
+// TestWrongTypedActorMethodFailsToCompile covers the instance side of the
+// method-table redesign: passing the wrong argument type to a declared actor
+// method, retyping its future, and invoking a method of one class on an actor
+// of another class must all be compile errors (the goodcall control exercises
+// the same API well-typed and builds).
+func TestWrongTypedActorMethodFailsToCompile(t *testing.T) {
+	if out, err := buildTestdata(t, "goodcall"); err != nil {
+		t.Fatalf("well-typed control program failed to build: %v\n%s", err, out)
+	}
+	out, err := buildTestdata(t, "badactor")
+	if err == nil {
+		t.Fatal("badactor compiled; the typed method handles no longer reject misuse")
+	}
+	for _, want := range []string{"cannot use", "badactor"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("compiler output missing %q — failed for the wrong reason?\n%s", want, out)
 		}

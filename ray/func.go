@@ -70,13 +70,84 @@ func (f Func3[A, B, C, R]) RemoteRef(c Caller, a ObjectRef[A], b ObjectRef[B], c
 	return submit[R](c, f.name, opts, a, b, cc)
 }
 
-// submit is the shared typed submission path.
+// submit is the shared typed submission path. Single-return typed handles
+// expose exactly one return object, so a NumReturns(n>1) option is a caller
+// bug — it would silently alias the typed ref to output 0 of an n-output
+// task — and is rejected at call time. Use a FuncNR2-style pair handle or the
+// FuncN escape hatch for multi-return functions.
 func submit[R any](c Caller, name string, opts []Option, args ...any) (ObjectRef[R], error) {
-	id, err := c.CallContext().Call1(name, buildOpts(opts), args...)
+	o := buildOpts(opts)
+	if o.NumReturns > 1 {
+		return ObjectRef[R]{}, fmt.Errorf(
+			"ray: %s: NumReturns(%d) on a single-return typed handle; use a pair handle (Register0R2/1R2/2R2) or FuncN", name, o.NumReturns)
+	}
+	id, err := c.CallContext().Call1(name, o, args...)
 	if err != nil {
 		return ObjectRef[R]{}, err
 	}
 	return ObjectRef[R]{ID: id}, nil
+}
+
+// submit2 is the typed submission path for two-return handles: the task is
+// always declared with two return objects, and a conflicting NumReturns
+// option is rejected rather than silently reshaping the output list.
+func submit2[R1, R2 any](c Caller, name string, opts []Option, args ...any) (ObjectRef[R1], ObjectRef[R2], error) {
+	o := buildOpts(opts)
+	if o.NumReturns != 0 && o.NumReturns != 2 {
+		return ObjectRef[R1]{}, ObjectRef[R2]{}, fmt.Errorf(
+			"ray: %s: NumReturns(%d) on a two-return typed handle", name, o.NumReturns)
+	}
+	o.NumReturns = 2
+	ids, err := c.CallContext().Call(name, o, args...)
+	if err != nil {
+		return ObjectRef[R1]{}, ObjectRef[R2]{}, err
+	}
+	return ObjectRef[R1]{ID: ids[0]}, ObjectRef[R2]{ID: ids[1]}, nil
+}
+
+// Func0R2 is a typed handle to a registered remote function producing a pair
+// (R1, R2) — each result is its own object, so consumers can Get (or chain
+// on) either half independently.
+type Func0R2[R1, R2 any] struct{ name string }
+
+// Func1R2 is a typed handle to a registered remote function A -> (R1, R2).
+type Func1R2[A, R1, R2 any] struct{ name string }
+
+// Func2R2 is a typed handle to a registered remote function
+// (A, B) -> (R1, R2).
+type Func2R2[A, B, R1, R2 any] struct{ name string }
+
+// Name returns the registered function name (for logs and debugging).
+func (f Func0R2[R1, R2]) Name() string       { return f.name }
+func (f Func1R2[A, R1, R2]) Name() string    { return f.name }
+func (f Func2R2[A, B, R1, R2]) Name() string { return f.name }
+
+// Remote submits the task; the typed futures of both outputs return
+// immediately.
+func (f Func0R2[R1, R2]) Remote(c Caller, opts ...Option) (ObjectRef[R1], ObjectRef[R2], error) {
+	return submit2[R1, R2](c, f.name, opts)
+}
+
+// Remote submits the task with a concrete argument.
+func (f Func1R2[A, R1, R2]) Remote(c Caller, a A, opts ...Option) (ObjectRef[R1], ObjectRef[R2], error) {
+	return submit2[R1, R2](c, f.name, opts, a)
+}
+
+// RemoteRef submits the task with a future argument; the dependency flows
+// through the task graph.
+func (f Func1R2[A, R1, R2]) RemoteRef(c Caller, a ObjectRef[A], opts ...Option) (ObjectRef[R1], ObjectRef[R2], error) {
+	return submit2[R1, R2](c, f.name, opts, a)
+}
+
+// Remote submits the task with concrete arguments.
+func (f Func2R2[A, B, R1, R2]) Remote(c Caller, a A, b B, opts ...Option) (ObjectRef[R1], ObjectRef[R2], error) {
+	return submit2[R1, R2](c, f.name, opts, a, b)
+}
+
+// RemoteRef submits the task with future arguments (use ValueRef to mix in
+// constants).
+func (f Func2R2[A, B, R1, R2]) RemoteRef(c Caller, a ObjectRef[A], b ObjectRef[B], opts ...Option) (ObjectRef[R1], ObjectRef[R2], error) {
+	return submit2[R1, R2](c, f.name, opts, a, b)
 }
 
 // FuncN is the variadic escape hatch: an untyped handle for functions whose
@@ -127,6 +198,22 @@ func encode1(v any, err error) ([][]byte, error) {
 		return nil, err
 	}
 	return [][]byte{data}, nil
+}
+
+// encode2 wraps a typed pair result as the task's two-object output list.
+func encode2(v1, v2 any, err error) ([][]byte, error) {
+	if err != nil {
+		return nil, err
+	}
+	d1, err := codec.Encode(v1)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := codec.Encode(v2)
+	if err != nil {
+		return nil, err
+	}
+	return [][]byte{d1, d2}, nil
 }
 
 // Register0 registers a no-argument remote function under name and returns
@@ -192,6 +279,48 @@ func Register3[A, B, C, R any](rt *Runtime, name, doc string, impl func(ctx *Con
 		return encode1(r, err)
 	})
 	return Func3[A, B, C, R]{name: name}, err
+}
+
+// Register0R2 registers a no-argument remote function producing a pair
+// (R1, R2) under name. Registration records the two-object arity in the GCS
+// function table, and the handle's Remote yields one typed future per output
+// — no drop to FuncN/RawRef for the common two-return shape.
+func Register0R2[R1, R2 any](rt *Runtime, name, doc string, impl func(ctx *Context) (R1, R2, error)) (Func0R2[R1, R2], error) {
+	err := rt.RegisterN(name, doc, 2, func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+		r1, r2, err := impl(ctx)
+		return encode2(r1, r2, err)
+	})
+	return Func0R2[R1, R2]{name: name}, err
+}
+
+// Register1R2 registers a remote function A -> (R1, R2) under name.
+func Register1R2[A, R1, R2 any](rt *Runtime, name, doc string, impl func(ctx *Context, a A) (R1, R2, error)) (Func1R2[A, R1, R2], error) {
+	err := rt.RegisterN(name, doc, 2, func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+		a, err := decode1[A](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		r1, r2, err := impl(ctx, a)
+		return encode2(r1, r2, err)
+	})
+	return Func1R2[A, R1, R2]{name: name}, err
+}
+
+// Register2R2 registers a remote function (A, B) -> (R1, R2) under name.
+func Register2R2[A, B, R1, R2 any](rt *Runtime, name, doc string, impl func(ctx *Context, a A, b B) (R1, R2, error)) (Func2R2[A, B, R1, R2], error) {
+	err := rt.RegisterN(name, doc, 2, func(ctx *worker.TaskContext, args [][]byte) ([][]byte, error) {
+		a, err := decode1[A](args, 0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decode1[B](args, 1)
+		if err != nil {
+			return nil, err
+		}
+		r1, r2, err := impl(ctx, a, b)
+		return encode2(r1, r2, err)
+	})
+	return Func2R2[A, B, R1, R2]{name: name}, err
 }
 
 // RegisterFuncN registers a raw remote function — serialized arguments in,

@@ -43,8 +43,10 @@ func OnNode(i int) Option {
 }
 
 // NumReturns declares how many objects the call produces (default 1). Only
-// the variadic FuncN handle exposes every return; typed handles yield the
-// first.
+// the variadic FuncN and Actor.Method escape hatches expose arbitrary return
+// counts; single-return typed handles reject n > 1 at call time (use a
+// Register0R2/1R2/2R2 pair handle for the two-return shape), and two-return
+// handles reject anything but 2.
 func NumReturns(n int) Option {
 	return func(o *worker.CallOptions) { o.NumReturns = n }
 }

@@ -19,6 +19,11 @@
 // Func1[A, R] whose Remote only accepts an A and only yields an
 // ObjectRef[R] — so a misspelled function name, a mistyped argument, or a
 // misread result type is a compile error instead of a runtime failure.
+// Actor classes work the same way end to end: RegisterActorClass0/1/2
+// registers the constructor, and each ActorMethod0/1/2 declaration installs
+// the callee-side dispatch entry in the class's method table while minting
+// the typed caller handle, so user types implement no dispatch switch and
+// the method table is the only path a method invocation can take.
 // Typed futures are themselves task arguments: passing an ObjectRef[T] to
 // another Remote call keeps the data dependency inside the task graph, so
 // chains like square.RemoteRef(driver, square.Remote(driver, 7)) never block

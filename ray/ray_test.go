@@ -2,10 +2,12 @@ package ray_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
 	"ray/internal/codec"
+	"ray/internal/gcs"
 	"ray/internal/types"
 	"ray/ray"
 )
@@ -88,29 +90,52 @@ func TestValueRefMixesConstantsIntoRefCalls(t *testing.T) {
 	}
 }
 
-// TestActorRoundTrip covers typed actor classes and method handles: a
-// constructor argument, a typed mutating method, and a typed accessor.
-func TestActorRoundTrip(t *testing.T) {
-	rt, d := newTestRuntime(t)
-	Counter, err := ray.RegisterActor1(rt, "Counter", "counter with start value",
-		func(ctx *ray.Context, start int) (ray.ActorInstance, error) {
+// registerCounterClass registers the test counter class through the
+// method-table API and returns the class plus its method handles.
+func registerCounterClass(t *testing.T, rt *ray.Runtime) (ray.Class1[testCounter, int], ray.ClassMethod1[testCounter, int, int], ray.ClassMethod0[testCounter, int]) {
+	t.Helper()
+	Counter, err := ray.RegisterActorClass1(rt, "Counter", "counter with start value",
+		func(ctx *ray.Context, start int) (*testCounter, error) {
 			return &testCounter{value: start}, nil
 		})
 	if err != nil {
 		t.Fatal(err)
 	}
+	add, err := ray.ActorMethod1(Counter, "add",
+		func(ctx *ray.Context, c *testCounter, delta int) (int, error) {
+			c.value += delta
+			return c.value, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	value, err := ray.ActorMethod0(Counter, "value",
+		func(ctx *ray.Context, c *testCounter) (int, error) { return c.value, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Counter, add, value
+}
+
+// TestActorRoundTrip covers typed actor classes and method handles: a
+// constructor argument, a typed mutating method declared on the class's
+// method table, and a typed accessor, plus the untyped escape hatch reaching
+// the same table.
+func TestActorRoundTrip(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	Counter, addM, valueM := registerCounterClass(t, rt)
 	counter, err := Counter.New(d, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	add := ray.Method1[int, int](counter, "add")
-	value := ray.Method0[int](counter, "value")
+	add := addM.Bind(counter)
 	for i := 1; i <= 5; i++ {
 		if _, err := add.Remote(d, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	ref, err := value.Remote(d)
+	// ClassMethod handles also invoke directly, given the actor.
+	ref, err := valueM.Remote(d, counter)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +146,7 @@ func TestActorRoundTrip(t *testing.T) {
 	if got != 115 {
 		t.Fatalf("counter = %d, want 115", got)
 	}
-	// The untyped escape hatch reaches the same actor.
+	// The untyped escape hatch dispatches through the same method table.
 	refs, err := counter.Method("add").Remote(d, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -132,6 +157,81 @@ func TestActorRoundTrip(t *testing.T) {
 	}
 	if after != 120 {
 		t.Fatalf("untyped add = %d, want 120", after)
+	}
+	// An unknown method on a table-registered class is an error object the
+	// caller observes at Get — never a switch fallthrough into user code.
+	badRefs, err := counter.Method("nope").Remote(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ignored int
+	if err := ray.GetInto(d, badRefs[0], &ignored); err == nil {
+		t.Fatal("unknown method must surface as an error at Get")
+	}
+}
+
+// TestLegacyCallDispatchStillWorks covers the deprecated escape hatch: a
+// class registered through RegisterActor1 dispatches through its own
+// ActorInstance.Call for one more release.
+func TestLegacyCallDispatchStillWorks(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	Legacy, err := ray.RegisterActor1(rt, "LegacyCounter", "legacy Call-dispatch counter",
+		func(ctx *ray.Context, start int) (ray.ActorInstance, error) {
+			return &legacyCounter{value: start}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actor, err := Legacy.New(d, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := actor.Method("add").Remote(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := ray.GetInto(d, refs[0], &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("legacy add = %d, want 10", got)
+	}
+}
+
+// TestDuplicateMethodRegistrationFails: each method name may be declared only
+// once per class registration.
+func TestDuplicateMethodRegistrationFails(t *testing.T) {
+	rt, _ := newTestRuntime(t)
+	Counter, _, _ := registerCounterClass(t, rt)
+	_, err := ray.ActorMethod0(Counter, "value",
+		func(ctx *ray.Context, c *testCounter) (int, error) { return 0, nil })
+	if !errors.Is(err, types.ErrDuplicateMethod) {
+		t.Fatalf("duplicate method declaration: got %v, want ErrDuplicateMethod", err)
+	}
+}
+
+// TestMethodTableRecordedInGCS: declaring methods threads their per-method
+// arity and return counts into the class's GCS function entry.
+func TestMethodTableRecordedInGCS(t *testing.T) {
+	rt, _ := newTestRuntime(t)
+	registerCounterClass(t, rt)
+	entry, ok, err := rt.Cluster().GCS().GetFunction(context.Background(), "Counter")
+	if err != nil || !ok {
+		t.Fatalf("GetFunction(Counter): ok=%v err=%v", ok, err)
+	}
+	if !entry.IsActorClass {
+		t.Fatal("Counter entry not marked as actor class")
+	}
+	byName := make(map[string]gcs.MethodInfo, len(entry.Methods))
+	for _, m := range entry.Methods {
+		byName[m.Name] = m
+	}
+	if m, ok := byName["add"]; !ok || m.NumArgs != 1 || m.NumReturns != 1 {
+		t.Fatalf("add method info wrong: %+v (present=%v)", m, ok)
+	}
+	if m, ok := byName["value"]; !ok || m.NumArgs != 0 || m.NumReturns != 1 {
+		t.Fatalf("value method info wrong: %+v (present=%v)", m, ok)
 	}
 }
 
@@ -358,10 +458,22 @@ func TestRefAsRetypesRawRefs(t *testing.T) {
 	}
 }
 
-// testCounter is a minimal stateful actor for the round-trip test.
+// testCounter is a minimal stateful actor for the round-trip tests: plain
+// state, no dispatch code — its methods are declared on the class's method
+// table at registration.
 type testCounter struct{ value int }
 
-func (c *testCounter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
+// checkpointCounter is testCounter plus the Checkpointable hooks, for the
+// reconstruction-replay test.
+type checkpointCounter struct{ value int }
+
+func (c *checkpointCounter) Checkpoint() ([]byte, error) { return codec.Encode(c.value) }
+func (c *checkpointCounter) Restore(data []byte) error   { return codec.Decode(data, &c.value) }
+
+// legacyCounter exercises the deprecated ActorInstance.Call path.
+type legacyCounter struct{ value int }
+
+func (c *legacyCounter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
 	switch method {
 	case "add":
 		var delta int
@@ -374,4 +486,182 @@ func (c *testCounter) Call(ctx *ray.Context, method string, args [][]byte) ([][]
 		return [][]byte{codec.MustEncode(c.value)}, nil
 	}
 	return nil, types.ErrFunctionNotFound
+}
+
+// TestTypedMultiReturn covers the Func1R2 pair handles: both outputs come
+// back as independent typed futures, registration records arity 2 in the GCS
+// function table, and each half chains into further typed calls.
+func TestTypedMultiReturn(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	divmod, err := ray.Register1R2(rt, "divmod7", "quotient and remainder by 7",
+		func(ctx *ray.Context, a int) (int, int, error) { return a / 7, a % 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	square, err := ray.Register1(rt, "square_int", "squares an int",
+		func(ctx *ray.Context, x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotRef, remRef, err := divmod.Remote(d, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quot, err := ray.Get(d, quotRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rem, err := ray.Get(d, remRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quot != 6 || rem != 3 {
+		t.Fatalf("divmod7(45) = (%d, %d), want (6, 3)", quot, rem)
+	}
+	// Each half is a first-class future: chain one through another task.
+	sq, err := square.RemoteRef(d, remRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ray.Get(d, sq); err != nil || got != 9 {
+		t.Fatalf("square(rem) = %d, %v; want 9", got, err)
+	}
+	// Registration recorded the two-object arity.
+	entry, ok, err := rt.Cluster().GCS().GetFunction(context.Background(), "divmod7")
+	if err != nil || !ok || entry.NumReturns != 2 {
+		t.Fatalf("function table: ok=%v err=%v entry=%+v; want NumReturns=2", ok, err, entry)
+	}
+}
+
+// TestNumReturnsMisuseRejected is the regression test for the silent-arity
+// bug: applying NumReturns(n>1) through call options on a single-return typed
+// handle used to produce a typed ref to output 0 of an n-output task; it must
+// now fail at call time. Pair handles likewise reject a conflicting arity.
+func TestNumReturnsMisuseRejected(t *testing.T) {
+	rt, d := newTestRuntime(t)
+	echo, err := ray.Register1(rt, "echo_int", "echoes an int",
+		func(ctx *ray.Context, x int) (int, error) { return x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := echo.Remote(d, 1, ray.NumReturns(2)); err == nil {
+		t.Fatal("NumReturns(2) on a Func1 must be rejected at call time")
+	}
+	// NumReturns(1) stays legal.
+	if _, err := echo.Remote(d, 1, ray.NumReturns(1)); err != nil {
+		t.Fatalf("NumReturns(1) on a Func1 must stay legal: %v", err)
+	}
+	pair, err := ray.Register0R2(rt, "pair", "constant pair",
+		func(ctx *ray.Context) (int, int, error) { return 1, 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pair.Remote(d, ray.NumReturns(3)); err == nil {
+		t.Fatal("NumReturns(3) on a two-return handle must be rejected")
+	}
+	if _, _, err := pair.Remote(d, ray.NumReturns(2)); err != nil {
+		t.Fatalf("NumReturns(2) on a two-return handle must stay legal: %v", err)
+	}
+	// Typed actor method handles reject it too.
+	Counter, addM, _ := registerCounterClass(t, rt)
+	counter, err := Counter.New(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := addM.Remote(d, counter, 1, ray.NumReturns(2)); err == nil {
+		t.Fatal("NumReturns(2) on a typed method handle must be rejected at call time")
+	}
+}
+
+// TestCheckpointRestoreThroughMethodTable exercises Checkpointable actors
+// registered through the method-table API end to end: checkpoints are taken
+// on the configured interval, and after the hosting node is killed the next
+// method call transparently reconstructs the actor (restoring the checkpoint
+// and replaying only the suffix) with no state loss.
+func TestCheckpointRestoreThroughMethodTable(t *testing.T) {
+	cfg := ray.DefaultConfig()
+	cfg.Nodes = 3
+	cfg.CheckpointInterval = 5
+	rt, err := ray.Init(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	d, err := rt.NewDriver(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	Tally, err := ray.RegisterActorClass0(rt, "CkptTally", "checkpointable tally",
+		func(ctx *ray.Context) (*checkpointCounter, error) { return &checkpointCounter{}, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bump, err := ray.ActorMethod1(Tally, "bump",
+		func(ctx *ray.Context, c *checkpointCounter, by int) (int, error) {
+			c.value += by
+			return c.value, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	actor, err := Tally.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for i := 0; i < 12; i++ {
+		ref, err := bump.Remote(d, actor, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total, err = ray.Get(d, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 12 {
+		t.Fatalf("total before failure = %d, want 12", total)
+	}
+
+	// A checkpoint must exist (interval 5, 12 methods run).
+	ctx := context.Background()
+	entry, ok, err := rt.Cluster().GCS().GetActor(ctx, actor.Handle().ID)
+	if err != nil || !ok {
+		t.Fatalf("actor entry: ok=%v err=%v", ok, err)
+	}
+	if entry.CheckpointCounter == 0 || len(entry.CheckpointData) == 0 {
+		t.Fatalf("no checkpoint before failure: %+v", entry)
+	}
+	if err := rt.Cluster().KillNode(ctx, entry.Node); err != nil {
+		t.Fatal(err)
+	}
+	if d.Node.Dead() {
+		// The driver's node hosted the actor; attach a fresh driver and keep
+		// using the same handle state.
+		if d, err = rt.NewDriver(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The next call reconstructs from the checkpoint and replays the suffix:
+	// the restored state must include all 12 bumps.
+	ref, err := bump.Remote(d, actor, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ray.Get(d, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 13 {
+		t.Fatalf("total after reconstruction = %d, want 13", after)
+	}
+	if rt.Cluster().Stats().ActorsReconstructed == 0 {
+		t.Fatal("expected an actor reconstruction")
+	}
+	newEntry, _, _ := rt.Cluster().GCS().GetActor(ctx, actor.Handle().ID)
+	if newEntry == nil || newEntry.Node == entry.Node {
+		t.Fatal("actor must have moved to a different node")
+	}
 }

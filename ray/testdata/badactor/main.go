@@ -1,0 +1,69 @@
+// Command badactor must NOT compile: it misuses the typed actor-method API in
+// the two ways the method-table redesign makes impossible — passing the wrong
+// argument type to a declared method, and invoking a method of one class on
+// an actor of another. The compile_test in the ray package asserts that
+// `go build` rejects it.
+package main
+
+import (
+	"context"
+	"log"
+
+	"ray/ray"
+)
+
+// counterState and loggerState are two distinct actor classes.
+type counterState struct{ value int }
+type loggerState struct{ lines []string }
+
+func main() {
+	rt, err := ray.Init(context.Background(), ray.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Shutdown()
+	Counter, err := ray.RegisterActorClass0(rt, "Counter", "a counter",
+		func(ctx *ray.Context) (*counterState, error) { return &counterState{}, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	Logger, err := ray.RegisterActorClass0(rt, "Logger", "a logger",
+		func(ctx *ray.Context) (*loggerState, error) { return &loggerState{}, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	add, err := ray.ActorMethod1(Counter, "add",
+		func(ctx *ray.Context, c *counterState, delta int) (int, error) {
+			c.value += delta
+			return c.value, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := rt.NewDriver(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	counter, err := Counter.New(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger, err := Logger.New(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := add.Remote(d, counter, "five") // wrong argument type: compile error
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wrong ray.ObjectRef[string] = ref // wrong future type: compile error
+	_, err = add.Remote(d, logger, 5)     // method of another class: compile error
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := ray.Get(d, wrong)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Println(v)
+}

@@ -1,5 +1,6 @@
-// Command goodcall is the control for the compile-time regression test: the
-// same program as badcall with correctly typed arguments. It must compile.
+// Command goodcall is the control for the compile-time regression tests: the
+// same programs as badcall/badactor with correctly typed arguments. It must
+// compile.
 package main
 
 import (
@@ -9,6 +10,9 @@ import (
 	"ray/ray"
 )
 
+// counterState is the actor state for the typed-method control.
+type counterState struct{ value int }
+
 func main() {
 	rt, err := ray.Init(context.Background(), ray.DefaultConfig())
 	if err != nil {
@@ -17,6 +21,24 @@ func main() {
 	defer rt.Shutdown()
 	square, err := ray.Register1(rt, "square", "squares a float64",
 		func(ctx *ray.Context, x float64) (float64, error) { return x * x, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	divmod, err := ray.Register2R2(rt, "divmod", "quotient and remainder",
+		func(ctx *ray.Context, a, b int) (int, int, error) { return a / b, a % b, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	Counter, err := ray.RegisterActorClass0(rt, "Counter", "a counter",
+		func(ctx *ray.Context) (*counterState, error) { return &counterState{}, nil })
+	if err != nil {
+		log.Fatal(err)
+	}
+	add, err := ray.ActorMethod1(Counter, "add",
+		func(ctx *ray.Context, c *counterState, delta int) (int, error) {
+			c.value += delta
+			return c.value, nil
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,5 +54,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Println(v)
+	quot, rem, err := divmod.Remote(d, 17, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, _ := ray.Get(d, quot)
+	r, _ := ray.Get(d, rem)
+	actor, err := Counter.New(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sumRef, err := add.Remote(d, actor, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := ray.Get(d, sumRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Println(v, q, r, sum)
 }
