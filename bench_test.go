@@ -91,3 +91,7 @@ func BenchmarkFig14aES(b *testing.B) { runExperiment(b, bench.Fig14aES) }
 
 // BenchmarkFig14bPPO regenerates Figure 14b (PPO: Ray async vs MPI-style BSP).
 func BenchmarkFig14bPPO(b *testing.B) { runExperiment(b, bench.Fig14bPPO) }
+
+// BenchmarkMultiDriver regenerates the multi-driver contention experiment
+// (per-driver fair-share throughput + mid-run job kill).
+func BenchmarkMultiDriver(b *testing.B) { runExperiment(b, bench.MultiDriver) }

@@ -25,6 +25,8 @@ func main() {
 	blocking := flag.Bool("blocking", false, "disable pipelined chunked object transfers (blocking whole-object pulls + serial dependency fetches, the ablation baseline)")
 	chunkBytes := flag.Int64("chunk-bytes", 0, "chunk granularity of pipelined object pulls (0 = 1 MiB)")
 	pipelineDepth := flag.Int("pipeline-depth", 0, "chunks per transfer message round trip (0 = 4)")
+	fifo := flag.Bool("fifo", false, "disable per-job fair-share dispatch (shared FIFO queues, the ablation baseline)")
+	weight := flag.Int("job-weight", 1, "fair-share weight of this driver's job")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -38,6 +40,7 @@ func main() {
 	cfg.BlockingTransfers = *blocking
 	cfg.ChunkBytes = *chunkBytes
 	cfg.PipelineDepth = *pipelineDepth
+	cfg.FIFOScheduling = *fifo
 	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -66,10 +69,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	driver, err := rt.NewDriver(ctx)
+	driver, err := rt.NewDriverWithOptions(ctx, rt.Cluster().HeadNode(), ray.JobOptions{Name: "raycluster-demo", Weight: *weight})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("driver attached as job %v (weight %d)\n", driver.Job, *weight)
 	actor, err := Counter.New(driver)
 	if err != nil {
 		log.Fatal(err)
@@ -108,6 +112,15 @@ func main() {
 		}
 	}
 	fmt.Printf("tasks completed successfully: %d/%d\n", ok, *tasks)
+
+	// Detach the driver: job-exit cleanup terminates its actor and releases
+	// its objects before the cluster itself shuts down.
+	report, err := ray.Shutdown(ctx, driver)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job cleanup: %d queued tasks cancelled, %d actors stopped, %d objects released\n",
+		report.TasksCancelled, report.ActorsStopped, report.ObjectsReleased)
 
 	fmt.Println("\nper-node statistics:")
 	for i, n := range rt.Cluster().NodeList() {

@@ -538,6 +538,7 @@ func Registry() map[string]func(Scale) (*Table, error) {
 		"fig8b":               Fig8bScalability,
 		"throughput_batched":  ThroughputBatched,
 		"transfer_pipelining": TransferPipelining,
+		"multi_driver":        MultiDriver,
 		"fig9":                Fig9ObjectStore,
 		"fig10a":              Fig10aGCSFaultTolerance,
 		"fig10b":              Fig10bGCSFlush,

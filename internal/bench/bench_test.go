@@ -91,3 +91,35 @@ func TestTransferPipeliningBeatsBlocking(t *testing.T) {
 	}
 	t.Fatalf("pipelined transfers never beat the blocking baseline (last ratio %.2fx)", lastRatio)
 }
+
+// TestMultiDriverFairShare is the acceptance check for the job subsystem:
+// with 4 concurrent drivers (2 micro + paramserver + greedy flood) under
+// fair-share scheduling, the minimum per-driver micro throughput must stay
+// at or above 50% of the single-driver baseline, and the experiment itself
+// validates that killing the greedy driver mid-run cancels its tasks, stops
+// its actor, and releases its objects while the survivors keep producing
+// correct results (MultiDriver fails on any cleanup or correctness
+// violation). Retries absorb scheduler noise on loaded CI machines.
+func TestMultiDriverFairShare(t *testing.T) {
+	const attempts = 3
+	var lastRatio float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		table, err := MultiDriver(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(table.Rows) != 2 {
+			t.Fatalf("expected fair+fifo rows, got %v", table.Rows)
+		}
+		fairRatio := parseCell(t, table.Rows[0][3])
+		fifoMin := parseCell(t, table.Rows[1][2])
+		fairMin := parseCell(t, table.Rows[0][2])
+		lastRatio = fairRatio
+		if fairRatio >= 0.5 {
+			t.Logf("fair-share min/solo = %.2f (min %.0f tasks/s); fifo min %.0f tasks/s", fairRatio, fairMin, fifoMin)
+			return
+		}
+		t.Logf("attempt %d: fair-share min/solo %.2f < 0.5, retrying", attempt, fairRatio)
+	}
+	t.Fatalf("fair share never held the 50%% per-driver floor (last ratio %.2f)", lastRatio)
+}

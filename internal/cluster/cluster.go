@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ray/internal/gcs"
+	"ray/internal/job"
 	"ray/internal/netsim"
 	"ray/internal/node"
 	"ray/internal/objectstore"
@@ -52,6 +53,15 @@ type Config struct {
 	// to the GCS as one batched commit per shard per tick, so heartbeat
 	// write load does not grow with cluster size.
 	PerNodeHeartbeats bool
+	// FIFOScheduling restores the pre-fair-share dispatch order everywhere:
+	// the shared FIFO slot queue on every local scheduler and the direct
+	// (unqueued) forward path to the global schedulers. By default dispatch
+	// is weighted fair share per job: per-job queues drained deficit round
+	// robin, so one greedy driver cannot starve the others.
+	FIFOScheduling bool
+	// DispatchWorkers is the number of fair-share forward dispatch workers
+	// (0 = 16). Ignored under FIFOScheduling.
+	DispatchWorkers int
 }
 
 // NodeLabel is the custom resource name that pins work to the i-th node when
@@ -78,6 +88,10 @@ type Cluster struct {
 	network  *netsim.Network
 	registry *worker.Registry
 	globals  *scheduler.Pool
+	jobs     *job.Manager
+	// dispatch is the fair-share forward dispatcher (nil under
+	// FIFOScheduling, which restores the direct forward path).
+	dispatch *dispatcher
 
 	mu    sync.RWMutex
 	nodes map[types.NodeID]*node.Node
@@ -108,6 +122,9 @@ func New(cfg Config) *Cluster {
 	if cfg.ActorWaitTimeout <= 0 {
 		cfg.ActorWaitTimeout = 30 * time.Second
 	}
+	if cfg.DispatchWorkers < 1 {
+		cfg.DispatchWorkers = 16
+	}
 	c := &Cluster{
 		cfg:           cfg,
 		gcs:           gcs.New(cfg.GCS),
@@ -117,7 +134,13 @@ func New(cfg Config) *Cluster {
 		reconInflight: make(map[types.ActorID]chan error),
 	}
 	c.globals = scheduler.NewPool(cfg.GlobalSchedulers, cfg.Scheduling, c.gcs)
+	c.jobs = job.NewManager(c.gcs, c)
+	if !cfg.FIFOScheduling {
+		c.dispatch = newDispatcher(c, cfg.DispatchWorkers, c.jobs.Weight)
+	}
 	c.cfg.Node.CoalescedHeartbeats = !cfg.PerNodeHeartbeats
+	c.cfg.Node.FIFOScheduling = cfg.FIFOScheduling
+	c.cfg.Node.JobWeight = c.jobs.Weight
 	for i := 0; i < cfg.Nodes; i++ {
 		ncfg := c.cfg.Node
 		if cfg.LabelNodes {
@@ -186,14 +209,18 @@ func (c *Cluster) heartbeatLoop(ctx context.Context) {
 	}
 }
 
-// Shutdown stops every node gracefully, then the heartbeat aggregator, then
-// flushes and closes the GCS write path. Idempotent.
+// Shutdown stops every node gracefully, then the dispatcher, the heartbeat
+// aggregator, and finally flushes and closes the GCS write path. Idempotent.
 func (c *Cluster) Shutdown() {
 	c.shutdownOnce.Do(func() {
+		c.jobs.Close()
 		for _, n := range c.NodeList() {
 			if !n.Dead() {
 				n.Stop()
 			}
+		}
+		if c.dispatch != nil {
+			c.dispatch.stop()
 		}
 		if c.heartbeatCancel != nil {
 			c.heartbeatCancel()
@@ -214,6 +241,20 @@ func (c *Cluster) Registry() *worker.Registry { return c.registry }
 
 // GlobalSchedulers returns the global scheduler pool.
 func (c *Cluster) GlobalSchedulers() *scheduler.Pool { return c.globals }
+
+// Jobs returns the cluster's job manager: drivers register through it at
+// attach time and detach (finish/kill) through it for job-exit cleanup.
+func (c *Cluster) Jobs() *job.Manager { return c.jobs }
+
+// PendingForwardsForJob reports how many of the job's forwarded tasks await
+// fair-share dispatch (always 0 under FIFOScheduling, whose forwards never
+// queue).
+func (c *Cluster) PendingForwardsForJob(jobID types.JobID) int {
+	if c.dispatch == nil {
+		return 0
+	}
+	return c.dispatch.pendingFor(jobID)
+}
 
 // Node returns the node with the given ID (nil if unknown).
 func (c *Cluster) Node(id types.NodeID) *node.Node {
@@ -291,9 +332,21 @@ func (c *Cluster) ResolveStore(id types.NodeID) (*objectstore.Store, bool) {
 
 // ForwardTask implements bottom-up spillover: a local scheduler declined the
 // task, so a global scheduler replica picks a node and the task is delivered
-// to that node's local scheduler.
+// to that node's local scheduler. Under fair-share scheduling (the default)
+// the task first queues in the per-job dispatch queue so concurrent forwards
+// from different jobs are served deficit round robin; FIFOScheduling places
+// directly in submission order.
 func (c *Cluster) ForwardTask(ctx context.Context, spec *task.Spec) error {
 	c.forwards.Add(1)
+	if c.dispatch != nil {
+		return c.dispatch.forward(ctx, spec)
+	}
+	return c.placeTask(ctx, spec)
+}
+
+// placeTask performs one placement: global scheduler decision plus delivery,
+// retrying placement when the chosen node turns out to be dead.
+func (c *Cluster) placeTask(ctx context.Context, spec *task.Spec) error {
 	var lastErr error
 	for attempt := 0; attempt < 5; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -324,6 +377,11 @@ func (c *Cluster) ForwardTask(ctx context.Context, spec *task.Spec) error {
 // node has died.
 func (c *Cluster) RouteActorTask(ctx context.Context, spec *task.Spec) error {
 	c.actorRoutes.Add(1)
+	if terminal, err := c.jobTerminal(ctx, spec.Job); err != nil {
+		return err
+	} else if terminal {
+		return fmt.Errorf("cluster: actor %s: %w", spec.ActorID, types.ErrJobTerminated)
+	}
 	deadline := time.Now().Add(c.cfg.ActorWaitTimeout)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -415,6 +473,13 @@ func (c *Cluster) doReconstructActor(ctx context.Context, id types.ActorID) erro
 	}
 	if !ok {
 		return fmt.Errorf("cluster: reconstruct unknown actor %s: %w", id, types.ErrActorNotFound)
+	}
+	// Never resurrect an actor of a finished or killed job: its lineage is
+	// no longer replayable and its resources have been released.
+	if terminal, jerr := c.jobTerminal(ctx, entry.Job); jerr != nil {
+		return jerr
+	} else if terminal {
+		return fmt.Errorf("cluster: actor %s: %w", id, types.ErrJobTerminated)
 	}
 	// Someone may have already reconstructed it.
 	if entry.State == types.ActorAlive {
@@ -512,9 +577,110 @@ func (c *Cluster) doReconstructActor(ctx context.Context, id types.ActorID) erro
 			return err
 		}
 	}
+	// The owning job may have been killed while the replay ran (after the
+	// terminal check at the top): job cleanup's mark-dead then raced our
+	// fresh ActorAlive write. Re-check and tear the instance back down
+	// rather than leave a terminated job's actor resurrected holding
+	// resources.
+	if terminal, jerr := c.jobTerminal(ctx, entry.Job); jerr == nil && terminal {
+		if host.Workers().StopActor(id) {
+			host.LocalScheduler().NotifyActorStopped(id)
+		}
+		if dead, ok, gerr := c.gcs.GetActor(ctx, id); gerr == nil && ok {
+			dead.State = types.ActorDead
+			_ = c.gcs.PutActor(ctx, id, dead)
+		}
+		return fmt.Errorf("cluster: actor %s: %w", id, types.ErrJobTerminated)
+	}
 	c.reconstructedA.Add(1)
 	_ = c.gcs.AppendEvent(ctx, "actor_reconstructed", id.String())
 	return nil
+}
+
+// --- job.Hooks: job-exit cleanup ---------------------------------------------
+
+// jobTerminal reports whether a non-nil job has finished or been killed. The
+// live-job map answers the common case without a GCS read; the job table is
+// authoritative for everything else (jobs this manager never saw stay
+// routable: tests drive nodes without registering jobs).
+func (c *Cluster) jobTerminal(ctx context.Context, jobID types.JobID) (bool, error) {
+	if jobID.IsNil() || c.jobs.Alive(jobID) {
+		return false, nil
+	}
+	entry, ok, err := c.gcs.GetJob(ctx, jobID)
+	if err != nil {
+		return false, err
+	}
+	return ok && entry.State.Terminal(), nil
+}
+
+// CancelJobTasks implements job.Hooks: queued-but-undispatched tasks of the
+// job are dropped from the forward dispatcher and every local scheduler's
+// slot queue. Running tasks are not interrupted here — they observe the job
+// context's cancellation.
+func (c *Cluster) CancelJobTasks(jobID types.JobID) int {
+	n := 0
+	if c.dispatch != nil {
+		n += c.dispatch.purge(jobID)
+	}
+	for _, nd := range c.AliveNodes() {
+		n += nd.LocalScheduler().PurgeJob(jobID)
+	}
+	return n
+}
+
+// StopJobActors implements job.Hooks: every actor the job created — found
+// through the GCS ownership index, so pending, reconstructing, and
+// dead-node-stranded actors are covered, not just currently hosted ones —
+// is marked dead in the actor table, stopped on whichever node hosts it,
+// and its held resources released. Reconstruction double-checks the job's
+// terminal state after replay, so an in-flight reconstruction racing this
+// mark cannot leave the actor resurrected.
+func (c *Cluster) StopJobActors(ctx context.Context, jobID types.JobID) int {
+	stopped := 0
+	for _, actorID := range c.gcs.ActorsForJob(jobID) {
+		if entry, ok, err := c.gcs.GetActor(ctx, actorID); err == nil && ok && entry.State != types.ActorDead {
+			entry.State = types.ActorDead
+			_ = c.gcs.PutActor(ctx, actorID, entry)
+		}
+		for _, nd := range c.AliveNodes() {
+			if nd.Workers().StopActor(actorID) {
+				nd.LocalScheduler().NotifyActorStopped(actorID)
+				stopped++
+			}
+		}
+	}
+	c.gcs.DropJobActorIndex(jobID)
+	return stopped
+}
+
+// ReleaseJobObjects implements job.Hooks: every replica of every object the
+// job's tasks produced is dropped from the stores and its location withdrawn
+// from the object table. The GCS ownership index makes this O(the job's
+// objects), not a scan of every resident object in the cluster. Replicas
+// pinned by a still-running task are skipped (the run is ending under a
+// cancelled context; its unpin releases them to normal eviction). Other
+// jobs' objects are untouched.
+func (c *Cluster) ReleaseJobObjects(ctx context.Context, jobID types.JobID) int {
+	released := 0
+	for _, objID := range c.gcs.ObjectsForJob(jobID) {
+		entry, ok, err := c.gcs.GetObject(ctx, objID)
+		if err != nil || !ok || entry.Job != jobID {
+			continue
+		}
+		for _, nodeID := range entry.Locations {
+			nd := c.Node(nodeID)
+			if nd == nil || nd.Dead() {
+				continue
+			}
+			if nd.Store().Delete(objID) {
+				_ = c.gcs.RemoveObjectLocation(ctx, objID, nodeID)
+				released++
+			}
+		}
+	}
+	c.gcs.DropJobObjectIndex(jobID)
+	return released
 }
 
 // Stats summarizes cluster-level routing activity.

@@ -42,8 +42,26 @@ func newTestCluster(t *testing.T, cfg Config) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.Registry().RegisterActor("test.Counter", func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+	err = c.Registry().RegisterActorClass("test.Counter", func(ctx *worker.TaskContext, args [][]byte) (any, error) {
 		return &counterActor{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Registry().RegisterActorMethod("test.Counter", "add", worker.MethodSpec{
+		NumArgs: 1, NumReturns: 1,
+		Impl: func(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+			a, ok := state.(*counterActor)
+			if !ok {
+				return nil, fmt.Errorf("counter instance is %T", state)
+			}
+			var n int
+			if err := codec.Decode(args[0], &n); err != nil {
+				return nil, err
+			}
+			a.total += n
+			return [][]byte{codec.MustEncode(a.total)}, nil
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,30 +69,16 @@ func newTestCluster(t *testing.T, cfg Config) *Cluster {
 	return c
 }
 
-// counterActor is a minimal stateful actor: "add" increments and returns the
-// running total.
+// counterActor is a minimal stateful actor; its single "add" method lives on
+// the registration-time method table.
 type counterActor struct {
 	total int
-}
-
-func (a *counterActor) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "add":
-		var n int
-		if err := codec.Decode(args[0], &n); err != nil {
-			return nil, err
-		}
-		a.total += n
-		return [][]byte{codec.MustEncode(a.total)}, nil
-	default:
-		return nil, fmt.Errorf("unknown method %q", method)
-	}
 }
 
 // driverOn attaches a driver-like task context to a node, the same way
 // core.NewDriverOn does.
 func driverOn(n *node.Node) *worker.TaskContext {
-	return worker.NewTaskContext(context.Background(), n.IDs().NextTaskID(), types.NewDriverID(), n.ID(), n, n.IDs())
+	return worker.NewTaskContext(context.Background(), n.IDs().NextTaskID(), types.NilJobID, types.NewDriverID(), n.ID(), n, n.IDs())
 }
 
 func TestClusterLifecycle(t *testing.T) {

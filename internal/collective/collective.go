@@ -30,9 +30,27 @@ const (
 
 // Register publishes the collective primitives' remote functions and actor
 // classes with the runtime. It must be called once before using the package.
+// The reducer's methods live on its registration-time method table, so the
+// reducer type itself carries no dispatch code.
 func Register(rt *core.Runtime) error {
-	if err := rt.RegisterActor(reducerActorName, "ring allreduce participant", newReducer); err != nil {
+	if err := rt.RegisterActorClass(reducerActorName, "ring allreduce participant", newReducer); err != nil {
 		return err
+	}
+	for _, m := range []struct {
+		name       string
+		numArgs    int
+		numReturns int
+		impl       worker.ActorMethodImpl
+	}{
+		{"load", 1, 1, reducerMethod(reducerLoad)},
+		{"emit", 1, 1, reducerMethod(reducerEmit)},
+		{"accumulate", 2, 1, reducerMethod(reducerAccumulate)},
+		{"set", 2, 1, reducerMethod(reducerSet)},
+		{"result", 0, 1, reducerMethod(reducerResult)},
+	} {
+		if err := rt.RegisterActorMethod(reducerActorName, m.name, m.numArgs, m.numReturns, m.impl); err != nil {
+			return err
+		}
 	}
 	if err := rt.Register(sumVectorsName, "sums float64 vectors (tree reduction node)", sumVectors); err != nil {
 		return err
@@ -49,7 +67,7 @@ type reducer struct {
 	n      int
 }
 
-func newReducer(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+func newReducer(ctx *worker.TaskContext, args [][]byte) (any, error) {
 	var n int
 	if err := codec.Decode(args[0], &n); err != nil {
 		return nil, err
@@ -57,56 +75,73 @@ func newReducer(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, e
 	return &reducer{n: n, chunks: make([][]float64, n)}, nil
 }
 
-// Call implements worker.ActorInstance.
-func (r *reducer) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "load":
-		// load(vector): split the local contribution into n chunks.
-		var v []float64
-		if err := codec.Decode(args[0], &v); err != nil {
-			return nil, err
+// reducerMethod adapts a typed reducer method into a method-table entry.
+func reducerMethod(impl func(r *reducer, args [][]byte) ([][]byte, error)) worker.ActorMethodImpl {
+	return func(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+		r, ok := state.(*reducer)
+		if !ok {
+			return nil, fmt.Errorf("collective: reducer instance is %T", state)
 		}
-		r.load(v)
-		return [][]byte{codec.MustEncode(true)}, nil
-	case "emit":
-		var idx int
-		if err := codec.Decode(args[0], &idx); err != nil {
-			return nil, err
-		}
-		return [][]byte{codec.MustEncode(r.chunks[idx])}, nil
-	case "accumulate":
-		var idx int
-		if err := codec.Decode(args[0], &idx); err != nil {
-			return nil, err
-		}
-		var incoming []float64
-		if err := codec.Decode(args[1], &incoming); err != nil {
-			return nil, err
-		}
-		for i := range incoming {
-			r.chunks[idx][i] += incoming[i]
-		}
-		return [][]byte{codec.MustEncode(true)}, nil
-	case "set":
-		var idx int
-		if err := codec.Decode(args[0], &idx); err != nil {
-			return nil, err
-		}
-		var incoming []float64
-		if err := codec.Decode(args[1], &incoming); err != nil {
-			return nil, err
-		}
-		r.chunks[idx] = incoming
-		return [][]byte{codec.MustEncode(true)}, nil
-	case "result":
-		out := make([]float64, 0)
-		for _, c := range r.chunks {
-			out = append(out, c...)
-		}
-		return [][]byte{codec.MustEncode(out)}, nil
-	default:
-		return nil, fmt.Errorf("collective: unknown reducer method %q", method)
+		return impl(r, args)
 	}
+}
+
+// reducerLoad splits the local contribution into n chunks.
+func reducerLoad(r *reducer, args [][]byte) ([][]byte, error) {
+	var v []float64
+	if err := codec.Decode(args[0], &v); err != nil {
+		return nil, err
+	}
+	r.load(v)
+	return [][]byte{codec.MustEncode(true)}, nil
+}
+
+// reducerEmit returns chunk idx.
+func reducerEmit(r *reducer, args [][]byte) ([][]byte, error) {
+	var idx int
+	if err := codec.Decode(args[0], &idx); err != nil {
+		return nil, err
+	}
+	return [][]byte{codec.MustEncode(r.chunks[idx])}, nil
+}
+
+// reducerAccumulate adds an incoming chunk into chunk idx.
+func reducerAccumulate(r *reducer, args [][]byte) ([][]byte, error) {
+	var idx int
+	if err := codec.Decode(args[0], &idx); err != nil {
+		return nil, err
+	}
+	var incoming []float64
+	if err := codec.Decode(args[1], &incoming); err != nil {
+		return nil, err
+	}
+	for i := range incoming {
+		r.chunks[idx][i] += incoming[i]
+	}
+	return [][]byte{codec.MustEncode(true)}, nil
+}
+
+// reducerSet replaces chunk idx with an incoming reduced chunk.
+func reducerSet(r *reducer, args [][]byte) ([][]byte, error) {
+	var idx int
+	if err := codec.Decode(args[0], &idx); err != nil {
+		return nil, err
+	}
+	var incoming []float64
+	if err := codec.Decode(args[1], &incoming); err != nil {
+		return nil, err
+	}
+	r.chunks[idx] = incoming
+	return [][]byte{codec.MustEncode(true)}, nil
+}
+
+// reducerResult concatenates the chunks back into the full vector.
+func reducerResult(r *reducer, args [][]byte) ([][]byte, error) {
+	out := make([]float64, 0)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	return [][]byte{codec.MustEncode(out)}, nil
 }
 
 func (r *reducer) load(v []float64) {

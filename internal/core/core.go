@@ -22,6 +22,7 @@ import (
 	"ray/internal/cluster"
 	"ray/internal/codec"
 	"ray/internal/gcs"
+	"ray/internal/job"
 	"ray/internal/netsim"
 	"ray/internal/node"
 	"ray/internal/resources"
@@ -74,6 +75,11 @@ type Config struct {
 	// DirectDispatch restores goroutine-per-task dispatch in local
 	// schedulers (the pre-slot-pool baseline, kept for ablations).
 	DirectDispatch bool
+	// FIFOScheduling restores the pre-fair-share dispatch order (shared FIFO
+	// slot queues, direct forwards) — the ablation baseline in which one
+	// greedy driver's backlog starves every other driver's queued tasks. By
+	// default dispatch is weighted fair share per job.
+	FIFOScheduling bool
 	// GlobalSchedulers is the number of global scheduler replicas.
 	GlobalSchedulers int
 	// LocalityAware toggles locality-aware global placement (Figure 8a).
@@ -159,6 +165,7 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 		Nodes:             cfg.Nodes,
 		LabelNodes:        cfg.LabelNodes,
 		PerNodeHeartbeats: cfg.PerNodeHeartbeats,
+		FIFOScheduling:    cfg.FIFOScheduling,
 		Node: node.Config{
 			CPUs:                     cfg.CPUsPerNode,
 			GPUs:                     cfg.GPUsPerNode,
@@ -251,6 +258,13 @@ func (r *Runtime) RegisterActorClass(name string, doc string, ctor worker.StateC
 // entry (the per-method shape the runtime learned at registration time).
 // Duplicate method names and unknown classes are errors.
 func (r *Runtime) RegisterActorMethod(class, method string, numArgs, numReturns int, impl worker.ActorMethodImpl) error {
+	return r.registerActorMethod(class, method, numArgs, numReturns, impl)
+}
+
+// registerActorMethod is the shared implementation behind Runtime (cluster
+// namespace) and Driver (job namespace) method registration; class arrives
+// already qualified on the driver path.
+func (r *Runtime) registerActorMethod(class, method string, numArgs, numReturns int, impl worker.ActorMethodImpl) error {
 	if numReturns < 1 {
 		numReturns = 1
 	}
@@ -279,31 +293,29 @@ func (r *Runtime) RegisterActorMethod(class, method string, numArgs, numReturns 
 	return r.cluster.GCS().RegisterFunction(ctx, entry)
 }
 
-// RegisterActor publishes an actor class whose instances dispatch through
-// their own ActorInstance.Call.
-//
-// Deprecated: use RegisterActorClass + RegisterActorMethod so the runtime
-// owns method dispatch; this path remains for one release.
-func (r *Runtime) RegisterActor(name string, doc string, ctor worker.ActorConstructor) error {
-	if err := r.cluster.Registry().RegisterActor(name, ctor); err != nil {
-		return err
-	}
-	return r.cluster.GCS().RegisterFunction(context.Background(),
-		&gcs.FunctionEntry{Name: name, Doc: doc, IsActorClass: true})
-}
-
 // Driver is a user program connected to the cluster. It embeds a TaskContext
 // whose task is the driver's root task, so the full in-task API (Call, Get,
 // Wait, Put, CreateActor, CallActor) is available directly on the driver.
+//
+// Every driver is a Job: attaching registers the job in the GCS job table,
+// every task/object/actor the driver's program creates is stamped with its
+// JobID, and detaching (Finish, or ray.Shutdown) cancels the job's queued
+// and running work, terminates its actors, and releases its objects.
 type Driver struct {
 	*worker.TaskContext
 	// ID identifies the driver.
 	ID types.DriverID
+	// Job identifies the driver's job.
+	Job types.JobID
 	// Node is the node the driver is attached to.
 	Node *node.Node
 
 	runtime *Runtime
 }
+
+// JobOptions configure the job a driver attaches as (name + fair-share
+// weight).
+type JobOptions = job.Options
 
 // NewDriver attaches a driver to the cluster's head node.
 func (r *Runtime) NewDriver(ctx context.Context) (*Driver, error) {
@@ -316,18 +328,83 @@ func (r *Runtime) NewDriver(ctx context.Context) (*Driver, error) {
 
 // NewDriverOn attaches a driver to a specific node.
 func (r *Runtime) NewDriverOn(ctx context.Context, n *node.Node) (*Driver, error) {
+	return r.NewDriverWithOptions(ctx, n, JobOptions{})
+}
+
+// NewDriverWithOptions attaches a driver to a specific node as a named,
+// weighted job. The driver's context is job-scoped: finishing or killing the
+// job cancels it, aborting the driver's in-flight work.
+func (r *Runtime) NewDriverWithOptions(ctx context.Context, n *node.Node, opts JobOptions) (*Driver, error) {
 	if n == nil || n.Dead() {
 		return nil, types.ErrNodeDead
 	}
 	r.drivers.Add(1)
 	driverID := types.NewDriverID()
+	jobID, jobCtx, err := r.cluster.Jobs().Register(ctx, opts, driverID, n.ID())
+	if err != nil {
+		return nil, fmt.Errorf("core: register job: %w", err)
+	}
 	rootTask := n.IDs().NextTaskID()
-	tctx := worker.NewTaskContext(ctx, rootTask, driverID, n.ID(), n, n.IDs())
-	return &Driver{TaskContext: tctx, ID: driverID, Node: n, runtime: r}, nil
+	tctx := worker.NewTaskContext(jobCtx, rootTask, jobID, driverID, n.ID(), n, n.IDs())
+	return &Driver{TaskContext: tctx, ID: driverID, Job: jobID, Node: n, runtime: r}, nil
 }
 
 // Runtime returns the runtime the driver belongs to.
 func (d *Driver) Runtime() *Runtime { return d.runtime }
+
+// Finish detaches the driver cleanly: its job is marked finished and its
+// remaining work is cleaned up — queued tasks cancelled, actors terminated,
+// objects released. Results the program already fetched are unaffected, and
+// other drivers' work is untouched. Idempotent.
+func (d *Driver) Finish(ctx context.Context) (job.CleanupReport, error) {
+	return d.runtime.cluster.Jobs().Finish(ctx, d.Job)
+}
+
+// Kill terminates the driver's job forcibly mid-run (operator kill, or the
+// driver process died). Cleanup is identical to Finish; only the recorded
+// terminal state differs.
+func (d *Driver) Kill(ctx context.Context) (job.CleanupReport, error) {
+	return d.runtime.cluster.Jobs().Kill(ctx, d.Job)
+}
+
+// --- Driver-scoped (per-job) registration -----------------------------------
+//
+// Definitions registered through the Runtime are cluster-wide: shared
+// library code every job can call. Definitions registered through a Driver
+// live in the driver's job namespace: two drivers registering the same name
+// never collide, and a job-scoped name shadows a cluster-wide one for that
+// job's tasks only.
+
+// RegisterFunction publishes a remote function in the driver's job
+// namespace, recording the declared return arity in the GCS function table.
+func (d *Driver) RegisterFunction(name, doc string, numReturns int, fn worker.Function) error {
+	if numReturns < 1 {
+		numReturns = 1
+	}
+	qualified := worker.QualifiedName(d.Job, name)
+	if err := d.runtime.cluster.Registry().Register(qualified, fn); err != nil {
+		return err
+	}
+	return d.runtime.cluster.GCS().RegisterFunction(d.Ctx,
+		&gcs.FunctionEntry{Name: qualified, Doc: doc, NumReturns: numReturns})
+}
+
+// RegisterActorClass publishes an actor class in the driver's job namespace
+// with an empty method table; attach methods with RegisterActorMethod.
+func (d *Driver) RegisterActorClass(name, doc string, ctor worker.StateConstructor) error {
+	qualified := worker.QualifiedName(d.Job, name)
+	if err := d.runtime.cluster.Registry().RegisterActorClass(qualified, ctor); err != nil {
+		return err
+	}
+	return d.runtime.cluster.GCS().RegisterFunction(d.Ctx,
+		&gcs.FunctionEntry{Name: qualified, Doc: doc, IsActorClass: true})
+}
+
+// RegisterActorMethod attaches one method to a job-scoped actor class,
+// recording its declared shape in the class's GCS function entry.
+func (d *Driver) RegisterActorMethod(class, method string, numArgs, numReturns int, impl worker.ActorMethodImpl) error {
+	return d.runtime.registerActorMethod(worker.QualifiedName(d.Job, class), method, numArgs, numReturns, impl)
+}
 
 // Get is a generic convenience wrapper over TaskContext.Get: it fetches and
 // decodes a future into a value of type T.

@@ -43,6 +43,12 @@ type shardBatcher struct {
 	order   []string // keys awaiting their first flush since last enqueue
 	seq     uint64
 	closed  bool
+	// committedSeq is the highest sequence number S such that every write
+	// with seq <= S has been chain-committed (or superseded by a committed
+	// newer write to the same key). Commit futures resolve against it.
+	committedSeq uint64
+	// waiters are unresolved commit futures, ordered by sequence number.
+	waiters []ackWaiter
 
 	// flushMu serializes flush commits so an older snapshot can never land
 	// after a newer one for the same key.
@@ -58,6 +64,12 @@ type shardBatcher struct {
 	enqueued  atomic.Int64
 	coalesced atomic.Int64
 	flushes   atomic.Int64
+}
+
+// ackWaiter is one commit future awaiting durability of all writes up to seq.
+type ackWaiter struct {
+	seq uint64
+	f   *CommitFuture
 }
 
 // pendingWrite is one key's latest unflushed value.
@@ -182,6 +194,10 @@ func (b *shardBatcher) flush(ctx context.Context) error {
 		values[i] = pw.value
 		seqs[i] = pw.seq
 	}
+	// Every write with seq <= snapshotSeq is either in this snapshot (its
+	// key's latest value) or superseded by one that is, so a successful
+	// commit makes all of them durable for ack purposes.
+	snapshotSeq := b.seq
 	b.mu.Unlock()
 
 	err := b.chain.PutBatch(ctx, keys, values)
@@ -196,6 +212,10 @@ func (b *shardBatcher) flush(ctx context.Context) error {
 				delete(b.pending, key)
 			}
 		}
+		if snapshotSeq > b.committedSeq {
+			b.committedSeq = snapshotSeq
+		}
+		b.resolveWaitersLocked(nil)
 	} else {
 		// Keep the entries visible and re-queue them for the next flush so a
 		// transient chain failure does not silently drop control state.
@@ -218,6 +238,52 @@ func (b *shardBatcher) flush(ctx context.Context) error {
 		b.onCommit()
 	}
 	return err
+}
+
+// commitFuture returns a future that resolves once every write enqueued on
+// this shard so far is durably chain-committed — the flush-on-ack handle for
+// callers that need durability before replying. A shard with nothing pending
+// returns an already-resolved future.
+func (b *shardBatcher) commitFuture() *CommitFuture {
+	f := newCommitFuture()
+	b.mu.Lock()
+	if b.seq <= b.committedSeq {
+		b.mu.Unlock()
+		f.resolve(nil)
+		return f
+	}
+	if b.closed {
+		// The flusher is gone; close() has already drained (or is draining
+		// under this mutex's exclusion) — whatever is still pending will never
+		// commit through this batcher.
+		err := b.err()
+		b.mu.Unlock()
+		f.resolve(err)
+		return f
+	}
+	b.waiters = append(b.waiters, ackWaiter{seq: b.seq, f: f})
+	b.mu.Unlock()
+	// Make sure a flush happens promptly rather than waiting out the interval.
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+	return f
+}
+
+// resolveWaitersLocked resolves every waiter whose sequence is covered by
+// committedSeq (or all of them when err is non-nil, at close). Caller holds
+// b.mu.
+func (b *shardBatcher) resolveWaitersLocked(err error) {
+	kept := b.waiters[:0]
+	for _, w := range b.waiters {
+		if err != nil || w.seq <= b.committedSeq {
+			w.f.resolve(err)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	b.waiters = kept
 }
 
 // drain flushes until the pending buffer is empty. The initial flush call
@@ -249,8 +315,15 @@ func (b *shardBatcher) close() error {
 	b.mu.Unlock()
 	close(b.stop)
 	<-b.done
-	if err := b.drain(context.Background()); err != nil {
-		return err
+	derr := b.drain(context.Background())
+	// Whatever drain could not commit will never commit; release any commit
+	// futures still waiting so their holders observe the failure rather than
+	// hanging.
+	b.mu.Lock()
+	b.resolveWaitersLocked(derr)
+	b.mu.Unlock()
+	if derr != nil {
+		return derr
 	}
 	return b.err()
 }

@@ -20,12 +20,17 @@ type ObjectEntry struct {
 	Size int64
 	// Creator is the task that produced the object (the lineage pointer).
 	Creator types.TaskID
+	// Job is the job whose task produced the object. Job-exit cleanup uses it
+	// to release exactly the exiting job's objects; lineage uses it to refuse
+	// reconstruction once the job is terminal.
+	Job types.JobID
 }
 
 func (e *ObjectEntry) marshal() []byte {
 	var buf bytes.Buffer
 	writeU64(&buf, uint64(e.Size))
 	buf.Write(e.Creator[:])
+	buf.Write(e.Job[:])
 	writeU32(&buf, uint32(len(e.Locations)))
 	for _, n := range e.Locations {
 		buf.Write(n[:])
@@ -34,13 +39,14 @@ func (e *ObjectEntry) marshal() []byte {
 }
 
 func unmarshalObjectEntry(data []byte) (*ObjectEntry, error) {
-	if len(data) < 8+16+4 {
+	if len(data) < 8+16+16+4 {
 		return nil, fmt.Errorf("gcs: truncated object entry (%d bytes)", len(data))
 	}
 	e := &ObjectEntry{Size: int64(binary.BigEndian.Uint64(data[:8]))}
 	copy(e.Creator[:], data[8:24])
-	n := int(binary.BigEndian.Uint32(data[24:28]))
-	off := 28
+	copy(e.Job[:], data[24:40])
+	n := int(binary.BigEndian.Uint32(data[40:44]))
+	off := 44
 	if len(data) < off+16*n {
 		return nil, fmt.Errorf("gcs: truncated object entry locations")
 	}
@@ -118,6 +124,9 @@ func taskEntryTerminal(value []byte) bool {
 type ActorEntry struct {
 	// State is the actor's lifecycle state.
 	State types.ActorState
+	// Job is the job that created the actor; job-exit cleanup terminates
+	// exactly the exiting job's actors.
+	Job types.JobID
 	// Node is the node currently hosting the actor.
 	Node types.NodeID
 	// CreationTask is the task that instantiated the actor; replay starts
@@ -139,6 +148,7 @@ type ActorEntry struct {
 func (e *ActorEntry) marshal() []byte {
 	var buf bytes.Buffer
 	buf.WriteByte(byte(e.State))
+	buf.Write(e.Job[:])
 	buf.Write(e.Node[:])
 	buf.Write(e.CreationTask[:])
 	writeU64(&buf, uint64(e.ExecutedCounter))
@@ -150,12 +160,14 @@ func (e *ActorEntry) marshal() []byte {
 }
 
 func unmarshalActorEntry(data []byte) (*ActorEntry, error) {
-	const want = 1 + 16 + 16 + 8 + 16 + 4 + 8
+	const want = 1 + 16 + 16 + 16 + 8 + 16 + 4 + 8
 	if len(data) < want {
 		return nil, fmt.Errorf("gcs: truncated actor entry (%d bytes)", len(data))
 	}
 	e := &ActorEntry{State: types.ActorState(data[0])}
 	off := 1
+	copy(e.Job[:], data[off:off+16])
+	off += 16
 	copy(e.Node[:], data[off:off+16])
 	off += 16
 	copy(e.CreationTask[:], data[off:off+16])
@@ -292,6 +304,60 @@ func unmarshalFunctionEntry(data []byte) (*FunctionEntry, error) {
 			})
 		}
 	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}
+
+// JobEntry is the job table record: one registered driver and the lifecycle
+// of its whole body of work. The fair-share scheduler reads Weight; job-exit
+// cleanup and lineage scoping read State.
+type JobEntry struct {
+	// ID identifies the job.
+	ID types.JobID
+	// Name is an optional human-readable label ("training-run-17").
+	Name string
+	// State is the job's lifecycle state.
+	State types.JobState
+	// Driver is the driver program that owns the job.
+	Driver types.DriverID
+	// Node is the node the driver attached to.
+	Node types.NodeID
+	// Weight is the job's fair-share weight (minimum 1): a weight-2 job
+	// receives twice the dispatch share of a weight-1 job under contention.
+	Weight int
+	// StartUnixNano is when the job registered.
+	StartUnixNano int64
+	// FinishUnixNano is when the job reached a terminal state (0 while
+	// running).
+	FinishUnixNano int64
+}
+
+func (e *JobEntry) marshal() []byte {
+	var buf bytes.Buffer
+	buf.Write(e.ID[:])
+	buf.WriteByte(byte(e.State))
+	writeString(&buf, e.Name)
+	buf.Write(e.Driver[:])
+	buf.Write(e.Node[:])
+	writeU64(&buf, uint64(e.Weight))
+	writeU64(&buf, uint64(e.StartUnixNano))
+	writeU64(&buf, uint64(e.FinishUnixNano))
+	return buf.Bytes()
+}
+
+func unmarshalJobEntry(data []byte) (*JobEntry, error) {
+	r := &entryReader{data: data}
+	e := &JobEntry{}
+	r.id((*[16]byte)(&e.ID))
+	e.State = types.JobState(r.byte())
+	e.Name = r.str()
+	r.id((*[16]byte)(&e.Driver))
+	r.id((*[16]byte)(&e.Node))
+	e.Weight = int(r.u64())
+	e.StartUnixNano = int64(r.u64())
+	e.FinishUnixNano = int64(r.u64())
 	if r.err != nil {
 		return nil, r.err
 	}

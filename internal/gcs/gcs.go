@@ -81,6 +81,22 @@ type Store struct {
 	nodeMu  sync.RWMutex
 	nodeIDs []types.NodeID
 
+	// jobIDs indexes the job table so Jobs() costs O(jobs) point reads, and
+	// jobMu serializes job-entry read-modify-writes (state transitions racing
+	// against concurrent weight or heartbeat refreshes).
+	jobIDMu sync.RWMutex
+	jobIDs  []types.JobID
+	jobMu   sync.Mutex
+
+	// objByJob and actorsByJob index ownership so job-exit cleanup reads
+	// O(the job's objects/actors) instead of scanning the cluster. Entries
+	// are added when a table write names an owning job and dropped
+	// wholesale when the job's resources are released.
+	objIdxMu    sync.Mutex
+	objByJob    map[types.JobID]map[types.ObjectID]struct{}
+	actorIdxMu  sync.Mutex
+	actorsByJob map[types.JobID]map[types.ActorID]struct{}
+
 	// hbMu serializes membership read-modify-writes (Heartbeat,
 	// HeartbeatBatch, MarkNodeDead) so a heartbeat that read a node as alive
 	// cannot write that stale state back over a concurrent MarkNodeDead and
@@ -119,8 +135,10 @@ func New(cfg Config) *Store {
 		cfg.BatchMaxEntries = 256
 	}
 	s := &Store{
-		cfg:  cfg,
-		subs: make(map[string][]chan []byte),
+		cfg:         cfg,
+		subs:        make(map[string][]chan []byte),
+		objByJob:    make(map[types.JobID]map[types.ObjectID]struct{}),
+		actorsByJob: make(map[types.JobID]map[types.ActorID]struct{}),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		ch := chain.New(chain.Config{
@@ -138,6 +156,70 @@ func New(cfg Config) *Store {
 
 // Batching reports whether the batching write path is active.
 func (s *Store) Batching() bool { return s.batchers != nil }
+
+// CommitFuture resolves once a batched write is durably chain-committed —
+// the optional flush-on-ack handle for callers that need durability before
+// replying. On the synchronous write path every write is durable when the
+// table call returns, so futures come back already resolved.
+type CommitFuture struct {
+	ch  chan struct{}
+	err error // written before ch closes, read only after Done
+}
+
+func newCommitFuture() *CommitFuture {
+	return &CommitFuture{ch: make(chan struct{})}
+}
+
+// resolvedCommitFuture is the shared already-durable future.
+var resolvedCommitFuture = func() *CommitFuture {
+	f := newCommitFuture()
+	close(f.ch)
+	return f
+}()
+
+func (f *CommitFuture) resolve(err error) {
+	f.err = err
+	close(f.ch)
+}
+
+// Done returns a channel that closes once the write is durable (or the store
+// closed without committing it; check Err after).
+func (f *CommitFuture) Done() <-chan struct{} { return f.ch }
+
+// Err reports the commit outcome. It must only be called after Done's channel
+// has closed; nil means the write is durably replicated.
+func (f *CommitFuture) Err() error { return f.err }
+
+// Wait blocks until the write is durable, the commit fails, or the context
+// ends.
+func (f *CommitFuture) Wait(ctx context.Context) error {
+	select {
+	case <-f.ch:
+		return f.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CommitFuture returns a flush-on-ack handle covering every write made so far
+// to the shard owning id: it resolves once the pending batch containing those
+// writes is durably flushed. Call it immediately after the table write whose
+// durability you need (e.g. AddTask, PutActor, UpdateJobState), then Wait.
+func (s *Store) CommitFuture(id types.UniqueID) *CommitFuture {
+	if s.batchers == nil {
+		return resolvedCommitFuture
+	}
+	return s.batchers[s.shardFor(id)].commitFuture()
+}
+
+// CommitFutureKey is CommitFuture for tables keyed by arbitrary strings
+// (function names, event keys).
+func (s *Store) CommitFutureKey(key string) *CommitFuture {
+	if s.batchers == nil {
+		return resolvedCommitFuture
+	}
+	return s.batchers[s.shardForKey(key)].commitFuture()
+}
 
 // Sync commits every pending batched write. It is a no-op on a synchronous
 // store. Tests and shutdown paths call it before inspecting chain state.
@@ -426,4 +508,5 @@ const (
 	keyPrefixNode      = "node/"
 	keyPrefixHeartbeat = "hb/"
 	keyPrefixEvent     = "event/"
+	keyPrefixJob       = "jobtbl/"
 )

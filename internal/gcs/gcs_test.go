@@ -28,14 +28,14 @@ func TestObjectTable(t *testing.T) {
 	if _, ok, err := s.GetObject(ctx, obj); err != nil || ok {
 		t.Fatalf("object should not exist yet: %v %v", ok, err)
 	}
-	if err := s.AddObjectLocation(ctx, obj, n1, 1024, creator); err != nil {
+	if err := s.AddObjectLocation(ctx, obj, n1, 1024, creator, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddObjectLocation(ctx, obj, n2, 0, types.NilTaskID); err != nil {
+	if err := s.AddObjectLocation(ctx, obj, n2, 0, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	// Adding the same location twice must not duplicate it.
-	if err := s.AddObjectLocation(ctx, obj, n1, 1024, creator); err != nil {
+	if err := s.AddObjectLocation(ctx, obj, n1, 1024, creator, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	entry, ok, err := s.GetObject(ctx, obj)
@@ -72,7 +72,7 @@ func TestObjectSubscription(t *testing.T) {
 	}
 
 	node := types.NewNodeID()
-	if err := s.AddObjectLocation(ctx, obj, node, 64, types.NilTaskID); err != nil {
+	if err := s.AddObjectLocation(ctx, obj, node, 64, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -97,7 +97,7 @@ func TestSubscriptionOnlyMatchingKey(t *testing.T) {
 	obj, other := types.NewObjectID(), types.NewObjectID()
 	ch, cancel := s.SubscribeObject(obj)
 	defer cancel()
-	if err := s.AddObjectLocation(ctx, other, types.NewNodeID(), 1, types.NilTaskID); err != nil {
+	if err := s.AddObjectLocation(ctx, other, types.NewNodeID(), 1, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -352,7 +352,7 @@ func TestFlushKeepsLiveState(t *testing.T) {
 		t.Fatal(err)
 	}
 	obj := types.NewObjectID()
-	if err := s.AddObjectLocation(ctx, obj, types.NewNodeID(), 10, spec.ID); err != nil {
+	if err := s.AddObjectLocation(ctx, obj, types.NewNodeID(), 10, spec.ID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	node := types.NewNodeID()
@@ -397,7 +397,7 @@ func TestGCSSurvivesShardReplicaFailure(t *testing.T) {
 	ctx := context.Background()
 	obj := types.NewObjectID()
 	node := types.NewNodeID()
-	if err := s.AddObjectLocation(ctx, obj, node, 99, types.NilTaskID); err != nil {
+	if err := s.AddObjectLocation(ctx, obj, node, 99, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the tail replica of every shard; reads and writes must still work.
@@ -408,7 +408,7 @@ func TestGCSSurvivesShardReplicaFailure(t *testing.T) {
 	if err != nil || !ok || entry.Size != 99 {
 		t.Fatalf("read after replica failure: %+v %v %v", entry, ok, err)
 	}
-	if err := s.AddObjectLocation(ctx, types.NewObjectID(), node, 1, types.NilTaskID); err != nil {
+	if err := s.AddObjectLocation(ctx, types.NewObjectID(), node, 1, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -424,7 +424,7 @@ func TestConcurrentMixedOperations(t *testing.T) {
 			for i := 0; i < 100; i++ {
 				obj := types.NewObjectID()
 				node := types.NewNodeID()
-				if err := s.AddObjectLocation(ctx, obj, node, int64(i), types.NilTaskID); err != nil {
+				if err := s.AddObjectLocation(ctx, obj, node, int64(i), types.NilTaskID, types.NilJobID); err != nil {
 					t.Error(err)
 					return
 				}
@@ -609,7 +609,7 @@ func TestBatchedSubscriberNotifiedAtCommit(t *testing.T) {
 	notify, cancel := s.SubscribeObject(obj)
 	defer cancel()
 	node := types.NewNodeID()
-	if err := s.AddObjectLocation(ctx, obj, node, 10, types.NilTaskID); err != nil {
+	if err := s.AddObjectLocation(ctx, obj, node, 10, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -15,17 +15,19 @@ import (
 func objectKey(id types.ObjectID) string { return keyPrefixObject + id.Hex() }
 
 // AddObjectLocation records that node holds a replica of the object. It
-// creates the entry if needed and preserves existing locations. The write
-// triggers pub-sub notifications for any subscriber waiting on the object
-// (the callback mechanism of paper Figure 7b).
-func (s *Store) AddObjectLocation(ctx context.Context, id types.ObjectID, node types.NodeID, size int64, creator types.TaskID) error {
+// creates the entry if needed and preserves existing locations (and the
+// owning job, once known). The write triggers pub-sub notifications for any
+// subscriber waiting on the object (the callback mechanism of paper
+// Figure 7b). A nil job leaves the recorded owner untouched — replicas made
+// by pulls re-register locations without knowing the producer's job.
+func (s *Store) AddObjectLocation(ctx context.Context, id types.ObjectID, node types.NodeID, size int64, creator types.TaskID, job types.JobID) error {
 	shard := s.shardFor(types.UniqueID(id))
 	key := objectKey(id)
 	raw, ok, err := s.get(ctx, shard, key)
 	if err != nil {
 		return err
 	}
-	entry := &ObjectEntry{Size: size, Creator: creator}
+	entry := &ObjectEntry{Size: size, Creator: creator, Job: job}
 	if ok {
 		if existing, derr := unmarshalObjectEntry(raw); derr == nil {
 			entry = existing
@@ -35,12 +37,46 @@ func (s *Store) AddObjectLocation(ctx context.Context, id types.ObjectID, node t
 			if !creator.IsNil() {
 				entry.Creator = creator
 			}
+			if !job.IsNil() {
+				entry.Job = job
+			}
 		}
 	}
 	if !entry.HasLocation(node) {
 		entry.Locations = append(entry.Locations, node)
 	}
+	if !entry.Job.IsNil() {
+		s.objIdxMu.Lock()
+		owned, ok := s.objByJob[entry.Job]
+		if !ok {
+			owned = make(map[types.ObjectID]struct{})
+			s.objByJob[entry.Job] = owned
+		}
+		owned[id] = struct{}{}
+		s.objIdxMu.Unlock()
+	}
 	return s.put(ctx, shard, key, entry.marshal())
+}
+
+// ObjectsForJob lists the objects owned by one job, via the ownership index
+// (O(the job's objects), not a cluster-wide scan).
+func (s *Store) ObjectsForJob(job types.JobID) []types.ObjectID {
+	s.objIdxMu.Lock()
+	defer s.objIdxMu.Unlock()
+	owned := s.objByJob[job]
+	out := make([]types.ObjectID, 0, len(owned))
+	for id := range owned {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DropJobObjectIndex discards a job's ownership index entries once its
+// objects have been released (job-exit cleanup's final step).
+func (s *Store) DropJobObjectIndex(job types.JobID) {
+	s.objIdxMu.Lock()
+	delete(s.objByJob, job)
+	s.objIdxMu.Unlock()
 }
 
 // RemoveObjectLocation removes node from the object's location set (e.g. on
@@ -153,9 +189,41 @@ func (s *Store) GetTask(ctx context.Context, id types.TaskID) (*TaskEntry, bool,
 func actorKey(id types.ActorID) string { return keyPrefixActor + id.Hex() }
 
 // PutActor writes the actor table entry (creation, relocation, state change,
-// checkpoint update all go through here).
+// checkpoint update all go through here), indexing the actor under its
+// owning job so job-exit cleanup finds it even while it is pending,
+// reconstructing, or stranded on a dead node.
 func (s *Store) PutActor(ctx context.Context, id types.ActorID, entry *ActorEntry) error {
+	if !entry.Job.IsNil() {
+		s.actorIdxMu.Lock()
+		owned, ok := s.actorsByJob[entry.Job]
+		if !ok {
+			owned = make(map[types.ActorID]struct{})
+			s.actorsByJob[entry.Job] = owned
+		}
+		owned[id] = struct{}{}
+		s.actorIdxMu.Unlock()
+	}
 	return s.put(ctx, s.shardFor(types.UniqueID(id)), actorKey(id), entry.marshal())
+}
+
+// ActorsForJob lists the actors owned by one job, via the ownership index.
+func (s *Store) ActorsForJob(job types.JobID) []types.ActorID {
+	s.actorIdxMu.Lock()
+	defer s.actorIdxMu.Unlock()
+	owned := s.actorsByJob[job]
+	out := make([]types.ActorID, 0, len(owned))
+	for id := range owned {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DropJobActorIndex discards a job's actor ownership index entries once its
+// actors have been stopped.
+func (s *Store) DropJobActorIndex(job types.JobID) {
+	s.actorIdxMu.Lock()
+	delete(s.actorsByJob, job)
+	s.actorIdxMu.Unlock()
 }
 
 // GetActor returns the actor table entry.
@@ -415,6 +483,112 @@ func (s *Store) AliveNodes(ctx context.Context) ([]*NodeEntry, error) {
 		}
 	}
 	return alive, nil
+}
+
+// --- Job table -------------------------------------------------------------------
+
+func jobKey(id types.JobID) string { return keyPrefixJob + id.Hex() }
+
+// RegisterJob records a new job in the job table. Weights below 1 are
+// normalized to 1 (the default fair share).
+func (s *Store) RegisterJob(ctx context.Context, entry *JobEntry) error {
+	if entry.ID.IsNil() {
+		return fmt.Errorf("gcs: register job with nil id")
+	}
+	if entry.Weight < 1 {
+		entry.Weight = 1
+	}
+	if entry.StartUnixNano == 0 {
+		entry.StartUnixNano = time.Now().UnixNano()
+	}
+	if err := s.put(ctx, s.shardFor(types.UniqueID(entry.ID)), jobKey(entry.ID), entry.marshal()); err != nil {
+		return err
+	}
+	s.jobIDMu.Lock()
+	known := false
+	for _, id := range s.jobIDs {
+		if id == entry.ID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		s.jobIDs = append(s.jobIDs, entry.ID)
+	}
+	s.jobIDMu.Unlock()
+	return nil
+}
+
+// GetJob returns the job table entry, or ok=false for unknown jobs.
+func (s *Store) GetJob(ctx context.Context, id types.JobID) (*JobEntry, bool, error) {
+	raw, ok, err := s.get(ctx, s.shardFor(types.UniqueID(id)), jobKey(id))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	entry, err := unmarshalJobEntry(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// UpdateJobState transitions a job's lifecycle state. Terminal transitions
+// record the finish time; a job already terminal stays in its first terminal
+// state (finish/kill races resolve to whoever got there first). changed
+// reports whether THIS call performed the transition — the caller that wins
+// the race owns the job's cleanup.
+func (s *Store) UpdateJobState(ctx context.Context, id types.JobID, state types.JobState) (entry *JobEntry, changed bool, err error) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	shard := s.shardFor(types.UniqueID(id))
+	raw, ok, err := s.get(ctx, shard, jobKey(id))
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, fmt.Errorf("gcs: update state of unknown job %s: %w", id, types.ErrJobNotFound)
+	}
+	entry, err = unmarshalJobEntry(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	if entry.State.Terminal() {
+		return entry, false, nil
+	}
+	entry.State = state
+	if state.Terminal() {
+		entry.FinishUnixNano = time.Now().UnixNano()
+	}
+	if err := s.put(ctx, shard, jobKey(id), entry.marshal()); err != nil {
+		return nil, false, err
+	}
+	return entry, true, nil
+}
+
+// Jobs returns every registered job, sorted by start time then ID for
+// determinism, via O(jobs) point reads through the jobIDs index.
+func (s *Store) Jobs(ctx context.Context) ([]*JobEntry, error) {
+	s.jobIDMu.RLock()
+	ids := make([]types.JobID, len(s.jobIDs))
+	copy(ids, s.jobIDs)
+	s.jobIDMu.RUnlock()
+	out := make([]*JobEntry, 0, len(ids))
+	for _, id := range ids {
+		entry, ok, err := s.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartUnixNano != out[j].StartUnixNano {
+			return out[i].StartUnixNano < out[j].StartUnixNano
+		}
+		return out[i].ID.Hex() < out[j].ID.Hex()
+	})
+	return out, nil
 }
 
 // --- Event log -------------------------------------------------------------------

@@ -1,0 +1,157 @@
+package job
+
+import (
+	"ray/internal/types"
+)
+
+// FairQueue is a weighted deficit-round-robin multi-queue keyed by JobID: the
+// dispatch structure behind fair-share scheduling. Items of the same job pop
+// in FIFO order; across jobs, each round of service grants every backlogged
+// job a quantum proportional to its weight, so a job that floods the queue
+// with work cannot starve the others — it only ever gets its share.
+//
+// FairQueue is NOT safe for concurrent use; callers (the local scheduler's
+// slot pool, the cluster's forward dispatcher) guard it with their own locks
+// so queue operations stay inside their existing critical sections.
+type FairQueue[T any] struct {
+	// weight returns a job's fair-share weight (values < 1 count as 1).
+	// A nil function gives every job weight 1.
+	weight func(types.JobID) int
+
+	queues map[types.JobID]*subQueue[T]
+	// ring holds the backlogged jobs in round-robin order; cursor is the job
+	// currently being served.
+	ring   []types.JobID
+	cursor int
+	size   int
+}
+
+// subQueue is one job's FIFO plus its deficit counter: how many more items
+// the job may pop before the round moves on.
+type subQueue[T any] struct {
+	items   []T
+	head    int
+	deficit int
+}
+
+func (s *subQueue[T]) len() int { return len(s.items) - s.head }
+
+func (s *subQueue[T]) push(item T) { s.items = append(s.items, item) }
+
+func (s *subQueue[T]) pop() T {
+	item := s.items[s.head]
+	var zero T
+	s.items[s.head] = zero // release references
+	s.head++
+	if s.head > 64 && s.head*2 >= len(s.items) {
+		s.items = append(s.items[:0], s.items[s.head:]...)
+		s.head = 0
+	}
+	return item
+}
+
+// NewFairQueue creates an empty queue. weight maps jobs to fair-share
+// weights; nil means every job weighs 1.
+func NewFairQueue[T any](weight func(types.JobID) int) *FairQueue[T] {
+	return &FairQueue[T]{weight: weight, queues: make(map[types.JobID]*subQueue[T])}
+}
+
+// Len returns the total number of queued items across all jobs.
+func (q *FairQueue[T]) Len() int { return q.size }
+
+// Push enqueues an item for the given job (nil JobID is a valid key: all
+// system work shares one queue and therefore one fair share).
+func (q *FairQueue[T]) Push(job types.JobID, item T) {
+	sq, ok := q.queues[job]
+	if !ok {
+		sq = &subQueue[T]{}
+		q.queues[job] = sq
+	}
+	if sq.len() == 0 {
+		q.ring = append(q.ring, job)
+	}
+	sq.push(item)
+	q.size++
+}
+
+// Pop dequeues the next item under deficit round robin: the job at the
+// cursor keeps popping until its deficit for this round is spent or its
+// queue empties, then the cursor advances and the next job gets a fresh
+// quantum equal to its weight.
+func (q *FairQueue[T]) Pop() (T, bool) {
+	var zero T
+	if q.size == 0 {
+		return zero, false
+	}
+	if q.cursor >= len(q.ring) {
+		q.cursor = 0
+	}
+	// Every ring entry has a non-empty subqueue (drained jobs are removed
+	// below), so the job at the cursor always yields an item.
+	job := q.ring[q.cursor]
+	sq := q.queues[job]
+	if sq.deficit <= 0 {
+		sq.deficit = q.weightOf(job)
+	}
+	item := sq.pop()
+	sq.deficit--
+	q.size--
+	if sq.len() == 0 {
+		// Queue drained: drop it from the ring and reset its deficit so a
+		// re-appearing job starts a fresh round.
+		delete(q.queues, job)
+		q.ring = append(q.ring[:q.cursor], q.ring[q.cursor+1:]...)
+	} else if sq.deficit <= 0 {
+		q.cursor++
+	}
+	return item, true
+}
+
+// Purge removes and returns every queued item of one job (job-exit cleanup).
+func (q *FairQueue[T]) Purge(job types.JobID) []T {
+	sq, ok := q.queues[job]
+	if !ok {
+		return nil
+	}
+	items := make([]T, 0, sq.len())
+	for sq.len() > 0 {
+		items = append(items, sq.pop())
+	}
+	delete(q.queues, job)
+	for i, id := range q.ring {
+		if id == job {
+			q.ring = append(q.ring[:i], q.ring[i+1:]...)
+			if q.cursor > i {
+				q.cursor--
+			}
+			break
+		}
+	}
+	q.size -= len(items)
+	return items
+}
+
+// Jobs returns the jobs that currently have queued items (for stats).
+func (q *FairQueue[T]) Jobs() []types.JobID {
+	out := make([]types.JobID, len(q.ring))
+	copy(out, q.ring)
+	return out
+}
+
+// PendingFor returns how many items one job has queued.
+func (q *FairQueue[T]) PendingFor(job types.JobID) int {
+	if sq, ok := q.queues[job]; ok {
+		return sq.len()
+	}
+	return 0
+}
+
+func (q *FairQueue[T]) weightOf(job types.JobID) int {
+	if q.weight == nil {
+		return 1
+	}
+	if w := q.weight(job); w > 1 {
+		return w
+	}
+	return 1
+}

@@ -33,6 +33,12 @@ type Reconstructor struct {
 	reconstructedTasks   atomic.Int64
 	reconstructedObjects atomic.Int64
 
+	// byJobMu guards byJob, the per-job replay counters the cross-job
+	// isolation tests (and debugging tools) read: reconstruction for job A
+	// must never replay job B's tasks.
+	byJobMu sync.Mutex
+	byJob   map[types.JobID]int64
+
 	// maxDepth bounds recursive reconstruction to catch lineage cycles that
 	// would indicate GCS corruption.
 	maxDepth int
@@ -51,6 +57,7 @@ func New(store *gcs.Store, submit ResubmitFunc) *Reconstructor {
 		gcs:         store,
 		submit:      submit,
 		inflight:    make(map[types.ObjectID]chan error),
+		byJob:       make(map[types.JobID]int64),
 		maxDepth:    64,
 		waitTimeout: 30 * time.Second,
 	}
@@ -69,6 +76,15 @@ func (r *Reconstructor) Stats() Stats {
 		ReconstructedTasks:   r.reconstructedTasks.Load(),
 		ReconstructedObjects: r.reconstructedObjects.Load(),
 	}
+}
+
+// ReconstructedTasksForJob returns how many of the job's tasks this
+// reconstructor has replayed (per-job lineage scoping: a node failure must
+// only replay the affected job's tasks).
+func (r *Reconstructor) ReconstructedTasksForJob(job types.JobID) int64 {
+	r.byJobMu.Lock()
+	defer r.byJobMu.Unlock()
+	return r.byJob[job]
 }
 
 // ReconstructObject re-executes lineage until the object has at least one
@@ -136,6 +152,21 @@ func (r *Reconstructor) doReconstruct(ctx context.Context, id types.ObjectID, de
 			entry.Creator, id, types.ErrTaskNotFound)
 	}
 
+	// Per-job lineage scoping: never replay a task of a finished or killed
+	// job. Whatever that job produced has been (or is being) released; a
+	// consumer in another job holding one of its references observes loss,
+	// not a resurrection of the dead job's computation.
+	if jobID := taskEntry.Spec.Job; !jobID.IsNil() {
+		jobEntry, ok, jerr := r.gcs.GetJob(ctx, jobID)
+		if jerr != nil {
+			return jerr
+		}
+		if ok && jobEntry.State.Terminal() {
+			return fmt.Errorf("lineage: creator task %s of %s belongs to terminated job %s: %w",
+				taskEntry.Spec.ID, id, jobID, types.ErrJobTerminated)
+		}
+	}
+
 	// Recursively make sure the creator's own inputs exist somewhere.
 	for _, dep := range taskEntry.Spec.Dependencies() {
 		depEntry, ok, err := r.gcs.GetObject(ctx, dep)
@@ -152,6 +183,9 @@ func (r *Reconstructor) doReconstruct(ctx context.Context, id types.ObjectID, de
 
 	// Re-execute the creator task and wait for the object to reappear.
 	r.reconstructedTasks.Add(1)
+	r.byJobMu.Lock()
+	r.byJob[taskEntry.Spec.Job]++
+	r.byJobMu.Unlock()
 	if err := r.submit(ctx, taskEntry); err != nil {
 		return fmt.Errorf("lineage: resubmit %s: %w", taskEntry.Spec.ID, err)
 	}

@@ -29,7 +29,7 @@ func addLostObject(t *testing.T, store *gcs.Store, spec *task.Spec) types.Object
 	}
 	obj := spec.Returns()[0]
 	node := types.NewNodeID()
-	if err := store.AddObjectLocation(ctx, obj, node, 8, spec.ID); err != nil {
+	if err := store.AddObjectLocation(ctx, obj, node, 8, spec.ID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.RemoveObjectLocation(ctx, obj, node); err != nil {
@@ -63,7 +63,7 @@ func TestConcurrentReconstructionsDeduplicated(t *testing.T) {
 		// Simulate re-execution: after a short delay the object reappears.
 		go func() {
 			time.Sleep(10 * time.Millisecond)
-			_ = store.AddObjectLocation(context.Background(), obj, types.NewNodeID(), 8, entry.Spec.ID)
+			_ = store.AddObjectLocation(context.Background(), obj, types.NewNodeID(), 8, entry.Spec.ID, types.NilJobID)
 		}()
 		return nil
 	})
@@ -112,7 +112,7 @@ func TestRecursiveReconstructionRebuildsInputs(t *testing.T) {
 		mu.Lock()
 		order = append(order, entry.Spec.ID)
 		mu.Unlock()
-		return store.AddObjectLocation(ctx, entry.Spec.Returns()[0], types.NewNodeID(), 8, entry.Spec.ID)
+		return store.AddObjectLocation(ctx, entry.Spec.Returns()[0], types.NewNodeID(), 8, entry.Spec.ID, types.NilJobID)
 	})
 	if err := r.ReconstructObject(ctx, root); err != nil {
 		t.Fatal(err)
@@ -179,7 +179,7 @@ func TestReconstructionErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	alive := spec.Returns()[0]
-	if err := store.AddObjectLocation(ctx, alive, types.NewNodeID(), 8, spec.ID); err != nil {
+	if err := store.AddObjectLocation(ctx, alive, types.NewNodeID(), 8, spec.ID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.ReconstructObject(ctx, alive); err != nil {
@@ -192,7 +192,7 @@ func TestReconstructionErrors(t *testing.T) {
 	// ray.put object (no creator task) cannot be rebuilt.
 	put := types.NewObjectID()
 	node := types.NewNodeID()
-	if err := store.AddObjectLocation(ctx, put, node, 8, types.NilTaskID); err != nil {
+	if err := store.AddObjectLocation(ctx, put, node, 8, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	if err := store.RemoveObjectLocation(ctx, put, node); err != nil {

@@ -82,6 +82,13 @@ type Config struct {
 	// DirectDispatch restores goroutine-per-task dispatch in the local
 	// scheduler (the unbatched ablation baseline).
 	DirectDispatch bool
+	// FIFOScheduling restores the shared FIFO slot queue instead of the
+	// default per-job fair-share queue (the cluster threads its own knob in
+	// here).
+	FIFOScheduling bool
+	// JobWeight maps jobs to fair-share weights for the slot queue (nil
+	// means every job weighs 1); wired by the cluster from its job manager.
+	JobWeight func(types.JobID) int
 }
 
 // DefaultConfig returns a 4-CPU node with defaults suitable for tests.
@@ -182,6 +189,8 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 		WorkerSlots:        cfg.SchedulerSlots,
 		DirectDispatch:     cfg.DirectDispatch,
 		SerialPulls:        cfg.BlockingTransfers,
+		FIFOScheduling:     cfg.FIFOScheduling,
+		JobWeight:          cfg.JobWeight,
 	}, n.workers, n, n.router)
 	return n
 }
@@ -391,8 +400,8 @@ func (n *Node) FetchObject(ctx context.Context, id types.ObjectID) ([]byte, bool
 }
 
 // StoreObject implements worker.Runtime.
-func (n *Node) StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error {
-	return n.objects.Put(ctx, id, data, isError, creator)
+func (n *Node) StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID, job types.JobID) error {
+	return n.objects.PutOwned(ctx, id, data, isError, creator, job)
 }
 
 // WaitObjects implements worker.Runtime: it returns once at least k of the

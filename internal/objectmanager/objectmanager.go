@@ -135,21 +135,29 @@ func (m *Manager) NodeID() types.NodeID { return m.nodeID }
 // removal to land first, so the directory never loses track of a resident
 // replica to out-of-order updates.
 func (m *Manager) Put(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error {
+	return m.PutOwned(ctx, id, data, isError, creator, types.NilJobID)
+}
+
+// PutOwned is Put with the owning job recorded in the object table, so
+// job-exit cleanup can find and release the job's objects. The worker pool
+// stores task outputs through it; a nil job (system objects, tests) leaves
+// the object unowned.
+func (m *Manager) PutOwned(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID, job types.JobID) error {
 	if err := m.local.Put(id, data, isError); err != nil {
 		return err
 	}
-	return m.registerLocation(ctx, id, int64(len(data)), creator)
+	return m.registerLocation(ctx, id, int64(len(data)), creator, job)
 }
 
 // registerLocation orders the GCS location add after any in-flight eviction
 // notification for the same object on this node (the evict/re-put race: a
 // stale RemoveObjectLocation landing after our AddObjectLocation would leave
 // the directory blind to a resident replica).
-func (m *Manager) registerLocation(ctx context.Context, id types.ObjectID, size int64, creator types.TaskID) error {
+func (m *Manager) registerLocation(ctx context.Context, id types.ObjectID, size int64, creator types.TaskID, job types.JobID) error {
 	if err := m.local.WaitEvictions(ctx, id); err != nil {
 		return err
 	}
-	return m.gcs.AddObjectLocation(ctx, id, m.nodeID, size, creator)
+	return m.gcs.AddObjectLocation(ctx, id, m.nodeID, size, creator, job)
 }
 
 // Pull ensures the object is in the local store, fetching a replica from a
@@ -330,7 +338,7 @@ func (m *Manager) fetchWhole(ctx context.Context, id types.ObjectID, entry *gcs.
 		}
 		m.bytesPulled.Add(obj.Size())
 		m.transferNanos.Add(time.Since(start).Nanoseconds())
-		return m.registerLocation(ctx, id, obj.Size(), entry.Creator)
+		return m.registerLocation(ctx, id, obj.Size(), entry.Creator, entry.Job)
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("objectmanager: no usable replica for %s: %w", id, types.ErrObjectLost)
@@ -409,7 +417,7 @@ func (m *Manager) fetchChunked(ctx context.Context, id types.ObjectID, entry *gc
 	m.chunkedPulls.Add(1)
 	m.chunksPulled.Add(int64(chunks))
 	m.transferNanos.Add(time.Since(start).Nanoseconds())
-	return m.registerLocation(ctx, id, size, entry.Creator)
+	return m.registerLocation(ctx, id, size, entry.Creator, entry.Job)
 }
 
 // fetchWindow copies one window of chunks into buf, trying each replica in

@@ -35,12 +35,29 @@ const (
 	evaluateBatchName = "evaluate_batch"
 )
 
-// Register publishes the ES worker actor and helper functions.
+// Register publishes the ES worker actor and helper functions. Worker
+// methods live on the class's registration-time method table.
 func Register(rt *core.Runtime) error {
 	if err := collective.Register(rt); err != nil {
 		return err
 	}
-	return rt.RegisterActor(workerActorName, "evolution strategies rollout worker", newWorker)
+	if err := rt.RegisterActorClass(workerActorName, "evolution strategies rollout worker", newWorker); err != nil {
+		return err
+	}
+	for _, m := range []struct {
+		name    string
+		numArgs int
+		impl    worker.ActorMethodImpl
+	}{
+		{evaluateBatchName, 4, esWorkerMethod(esEvaluateBatch)},
+		{"partial_gradient", 4, esWorkerMethod(esPartialGradient)},
+		{"evaluate_noise", 3, esWorkerMethod(esEvaluateNoise)},
+	} {
+		if err := rt.RegisterActorMethod(workerActorName, m.name, m.numArgs, 1, m.impl); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // esWorker is a rollout worker: it owns an environment and evaluates
@@ -50,7 +67,7 @@ type esWorker struct {
 	policy *rl.LinearPolicy
 }
 
-func newWorker(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+func newWorker(ctx *worker.TaskContext, args [][]byte) (any, error) {
 	var envName string
 	if err := codec.Decode(args[0], &envName); err != nil {
 		return nil, err
@@ -65,6 +82,17 @@ func newWorker(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, er
 	}, nil
 }
 
+// esWorkerMethod adapts a typed worker method into a method-table entry.
+func esWorkerMethod(impl func(w *esWorker, args [][]byte) ([][]byte, error)) worker.ActorMethodImpl {
+	return func(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+		w, ok := state.(*esWorker)
+		if !ok {
+			return nil, fmt.Errorf("es: worker instance is %T", state)
+		}
+		return impl(w, args)
+	}
+}
+
 // batchResult is what evaluate_batch returns: one entry per evaluated seed.
 type batchResult struct {
 	Seeds   []int64
@@ -72,75 +100,76 @@ type batchResult struct {
 	Steps   int
 }
 
-// Call implements worker.ActorInstance.
-func (w *esWorker) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case evaluateBatchName:
-		// evaluate_batch(params, seeds, noiseStd, maxSteps)
-		var params []float64
-		if err := codec.Decode(args[0], &params); err != nil {
-			return nil, err
-		}
-		var seeds []int64
-		if err := codec.Decode(args[1], &seeds); err != nil {
-			return nil, err
-		}
-		var noiseStd float64
-		if err := codec.Decode(args[2], &noiseStd); err != nil {
-			return nil, err
-		}
-		var maxSteps int
-		if err := codec.Decode(args[3], &maxSteps); err != nil {
-			return nil, err
-		}
-		res := batchResult{Seeds: seeds}
-		for _, seed := range seeds {
-			perturbed := perturb(params, seed, noiseStd)
-			w.policy.SetParameters(perturbed)
-			traj := rl.Rollout(w.env, w.policy, seed, maxSteps, false)
-			res.Returns = append(res.Returns, traj.TotalReward)
-			res.Steps += traj.Steps
-		}
-		return [][]byte{codec.MustEncode(res)}, nil
-	case "partial_gradient":
-		// partial_gradient(dim, seeds, weights, noiseStd): the worker's share
-		// of the weighted noise sum (used by the hierarchical aggregation).
-		var dim int
-		if err := codec.Decode(args[0], &dim); err != nil {
-			return nil, err
-		}
-		var seeds []int64
-		if err := codec.Decode(args[1], &seeds); err != nil {
-			return nil, err
-		}
-		var weights []float64
-		if err := codec.Decode(args[2], &weights); err != nil {
-			return nil, err
-		}
-		var noiseStd float64
-		if err := codec.Decode(args[3], &noiseStd); err != nil {
-			return nil, err
-		}
-		return [][]byte{codec.MustEncode(weightedNoiseSum(dim, seeds, weights, noiseStd))}, nil
-	case "evaluate_noise":
-		// evaluate_noise(dim, seed, noiseStd): the raw perturbation vector,
-		// shipped whole to the driver — the reference system's protocol.
-		var dim int
-		if err := codec.Decode(args[0], &dim); err != nil {
-			return nil, err
-		}
-		var seed int64
-		if err := codec.Decode(args[1], &seed); err != nil {
-			return nil, err
-		}
-		var noiseStd float64
-		if err := codec.Decode(args[2], &noiseStd); err != nil {
-			return nil, err
-		}
-		return [][]byte{codec.MustEncode(noiseVector(dim, seed, noiseStd))}, nil
-	default:
-		return nil, fmt.Errorf("es: unknown worker method %q", method)
+// esEvaluateBatch is evaluate_batch(params, seeds, noiseStd, maxSteps): run
+// one rollout per seed against the perturbed policy.
+func esEvaluateBatch(w *esWorker, args [][]byte) ([][]byte, error) {
+	var params []float64
+	if err := codec.Decode(args[0], &params); err != nil {
+		return nil, err
 	}
+	var seeds []int64
+	if err := codec.Decode(args[1], &seeds); err != nil {
+		return nil, err
+	}
+	var noiseStd float64
+	if err := codec.Decode(args[2], &noiseStd); err != nil {
+		return nil, err
+	}
+	var maxSteps int
+	if err := codec.Decode(args[3], &maxSteps); err != nil {
+		return nil, err
+	}
+	res := batchResult{Seeds: seeds}
+	for _, seed := range seeds {
+		perturbed := perturb(params, seed, noiseStd)
+		w.policy.SetParameters(perturbed)
+		traj := rl.Rollout(w.env, w.policy, seed, maxSteps, false)
+		res.Returns = append(res.Returns, traj.TotalReward)
+		res.Steps += traj.Steps
+	}
+	return [][]byte{codec.MustEncode(res)}, nil
+}
+
+// esPartialGradient is partial_gradient(dim, seeds, weights, noiseStd): the
+// worker's share of the weighted noise sum (used by the hierarchical
+// aggregation).
+func esPartialGradient(w *esWorker, args [][]byte) ([][]byte, error) {
+	var dim int
+	if err := codec.Decode(args[0], &dim); err != nil {
+		return nil, err
+	}
+	var seeds []int64
+	if err := codec.Decode(args[1], &seeds); err != nil {
+		return nil, err
+	}
+	var weights []float64
+	if err := codec.Decode(args[2], &weights); err != nil {
+		return nil, err
+	}
+	var noiseStd float64
+	if err := codec.Decode(args[3], &noiseStd); err != nil {
+		return nil, err
+	}
+	return [][]byte{codec.MustEncode(weightedNoiseSum(dim, seeds, weights, noiseStd))}, nil
+}
+
+// esEvaluateNoise is evaluate_noise(dim, seed, noiseStd): the raw
+// perturbation vector, shipped whole to the driver — the reference system's
+// protocol.
+func esEvaluateNoise(w *esWorker, args [][]byte) ([][]byte, error) {
+	var dim int
+	if err := codec.Decode(args[0], &dim); err != nil {
+		return nil, err
+	}
+	var seed int64
+	if err := codec.Decode(args[1], &seed); err != nil {
+		return nil, err
+	}
+	var noiseStd float64
+	if err := codec.Decode(args[2], &noiseStd); err != nil {
+		return nil, err
+	}
+	return [][]byte{codec.MustEncode(noiseVector(dim, seed, noiseStd))}, nil
 }
 
 // noiseVector regenerates the Gaussian perturbation for a seed. Workers and

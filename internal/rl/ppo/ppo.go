@@ -56,7 +56,8 @@ const (
 	updateTaskName     = "ppo.update_policy"
 )
 
-// Register publishes the PPO simulator actor and update task.
+// Register publishes the PPO simulator actor and update task. The
+// simulator's single method lives on its registration-time method table.
 func Register(rt *core.Runtime) error {
 	if err := collective.Register(rt); err != nil {
 		return err
@@ -64,7 +65,10 @@ func Register(rt *core.Runtime) error {
 	if err := rt.Register(updateTaskName, "PPO policy update (GPU task)", updatePolicy); err != nil {
 		return err
 	}
-	return rt.RegisterActor(simulatorActorName, "PPO rollout simulator", newSimulator)
+	if err := rt.RegisterActorClass(simulatorActorName, "PPO rollout simulator", newSimulator); err != nil {
+		return err
+	}
+	return rt.RegisterActorMethod(simulatorActorName, "rollout", 4, 1, simulatorRollout)
 }
 
 // simulator is a rollout actor with its own environment instance.
@@ -73,7 +77,7 @@ type simulator struct {
 	policy *rl.LinearPolicy
 }
 
-func newSimulator(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+func newSimulator(ctx *worker.TaskContext, args [][]byte) (any, error) {
 	var envName string
 	if err := codec.Decode(args[0], &envName); err != nil {
 		return nil, err
@@ -92,34 +96,33 @@ type rolloutResult struct {
 	Steps  int
 }
 
-// Call implements worker.ActorInstance.
-func (s *simulator) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "rollout":
-		// rollout(params, seed, noiseStd, maxSteps)
-		var params []float64
-		if err := codec.Decode(args[0], &params); err != nil {
-			return nil, err
-		}
-		var seed int64
-		if err := codec.Decode(args[1], &seed); err != nil {
-			return nil, err
-		}
-		var noiseStd float64
-		if err := codec.Decode(args[2], &noiseStd); err != nil {
-			return nil, err
-		}
-		var maxSteps int
-		if err := codec.Decode(args[3], &maxSteps); err != nil {
-			return nil, err
-		}
-		perturbed := perturb(params, seed, noiseStd)
-		s.policy.SetParameters(perturbed)
-		traj := rl.Rollout(s.env, s.policy, seed, maxSteps, false)
-		return [][]byte{codec.MustEncode(rolloutResult{Seed: seed, Return: traj.TotalReward, Steps: traj.Steps})}, nil
-	default:
-		return nil, fmt.Errorf("ppo: unknown simulator method %q", method)
+// simulatorRollout is rollout(params, seed, noiseStd, maxSteps): one episode
+// under the seed-perturbed policy.
+func simulatorRollout(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+	s, ok := state.(*simulator)
+	if !ok {
+		return nil, fmt.Errorf("ppo: simulator instance is %T", state)
 	}
+	var params []float64
+	if err := codec.Decode(args[0], &params); err != nil {
+		return nil, err
+	}
+	var seed int64
+	if err := codec.Decode(args[1], &seed); err != nil {
+		return nil, err
+	}
+	var noiseStd float64
+	if err := codec.Decode(args[2], &noiseStd); err != nil {
+		return nil, err
+	}
+	var maxSteps int
+	if err := codec.Decode(args[3], &maxSteps); err != nil {
+		return nil, err
+	}
+	perturbed := perturb(params, seed, noiseStd)
+	s.policy.SetParameters(perturbed)
+	traj := rl.Rollout(s.env, s.policy, seed, maxSteps, false)
+	return [][]byte{codec.MustEncode(rolloutResult{Seed: seed, Return: traj.TotalReward, Steps: traj.Steps})}, nil
 }
 
 func perturb(params []float64, seed int64, std float64) nn.Vector {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ray/internal/job"
 	"ray/internal/parallel"
 	"ray/internal/resources"
 	"ray/internal/task"
@@ -76,6 +77,16 @@ type LocalConfig struct {
 	// SerialPulls restores the one-dependency-at-a-time pull loop (the
 	// blocking-transfer ablation baseline).
 	SerialPulls bool
+	// JobWeight maps a job to its fair-share weight for the per-job dispatch
+	// queue (nil, unknown jobs, and values < 1 mean weight 1). The cluster
+	// wires the job manager's weights in here.
+	JobWeight func(types.JobID) int
+	// FIFOScheduling restores the single shared FIFO slot queue — the
+	// pre-fair-share ablation baseline in which one greedy job's backlog
+	// delays every other job's queued tasks behind it. By default the slot
+	// queue is a per-job deficit-round-robin multi-queue: each backlogged
+	// job receives dispatch slots in proportion to its weight.
+	FIFOScheduling bool
 }
 
 // Local is one node's local scheduler. Tasks submitted on the node come here
@@ -103,10 +114,15 @@ type Local struct {
 	// which is separate from mu so slot bookkeeping never contends with the
 	// queue/resource accounting above.
 	poolMu sync.Mutex
-	// taskQ is the FIFO of accepted tasks awaiting a slot; qHead indexes the
-	// next task so dequeue is O(1) without reallocating.
+	// fairQ is the per-job deficit-round-robin queue of accepted tasks
+	// awaiting a slot (the default). Guarded by poolMu.
+	fairQ *job.FairQueue[queuedTask]
+	// taskQ is the shared FIFO used under cfg.FIFOScheduling; qHead indexes
+	// the next task so dequeue is O(1) without reallocating.
 	taskQ []queuedTask
 	qHead int
+	// purged counts queued tasks dropped by job-exit cleanup.
+	purged atomic.Int64
 	// slotWorkers counts live worker goroutines, including blocked ones;
 	// slotBlocked counts the subset currently parked in user code (Get/Wait)
 	// that have lent their slot out.
@@ -147,8 +163,85 @@ func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forwa
 		actorHold: make(map[types.ActorID]resources.Request),
 		avgTaskMs: 1,
 	}
+	if !cfg.FIFOScheduling {
+		l.fairQ = job.NewFairQueue[queuedTask](cfg.JobWeight)
+	}
 	l.cond = sync.NewCond(&l.mu)
 	return l
+}
+
+// --- Slot queue (guarded by poolMu) ------------------------------------------
+
+// queueLenLocked returns how many accepted tasks await a slot.
+func (l *Local) queueLenLocked() int {
+	if l.fairQ != nil {
+		return l.fairQ.Len()
+	}
+	return len(l.taskQ) - l.qHead
+}
+
+// enqueueLocked adds an accepted task to the slot queue.
+func (l *Local) enqueueLocked(qt queuedTask) {
+	if l.fairQ != nil {
+		l.fairQ.Push(qt.spec.Job, qt)
+		return
+	}
+	l.taskQ = append(l.taskQ, qt)
+}
+
+// dequeueLocked removes the next task to dispatch: deficit round robin
+// across jobs by default, FIFO under FIFOScheduling.
+func (l *Local) dequeueLocked() (queuedTask, bool) {
+	if l.fairQ != nil {
+		return l.fairQ.Pop()
+	}
+	if len(l.taskQ)-l.qHead == 0 {
+		return queuedTask{}, false
+	}
+	qt := l.taskQ[l.qHead]
+	l.taskQ[l.qHead] = queuedTask{} // release references
+	l.qHead++
+	if l.qHead > 64 && l.qHead*2 >= len(l.taskQ) {
+		l.taskQ = append(l.taskQ[:0], l.taskQ[l.qHead:]...)
+		l.qHead = 0
+	}
+	return qt, true
+}
+
+// PurgeJob drops every queued (not yet dispatched) task of the job from the
+// slot queue — job-exit cleanup. Running tasks are not touched here; they
+// observe the job context's cancellation. It returns how many tasks were
+// dropped.
+func (l *Local) PurgeJob(jobID types.JobID) int {
+	var dropped []queuedTask
+	l.poolMu.Lock()
+	if l.fairQ != nil {
+		dropped = l.fairQ.Purge(jobID)
+	} else {
+		kept := l.taskQ[:0]
+		for i := l.qHead; i < len(l.taskQ); i++ {
+			if l.taskQ[i].spec.Job == jobID {
+				dropped = append(dropped, l.taskQ[i])
+			} else {
+				kept = append(kept, l.taskQ[i])
+			}
+		}
+		l.taskQ = kept
+		l.qHead = 0
+	}
+	l.poolMu.Unlock()
+	if len(dropped) == 0 {
+		return 0
+	}
+	// The dropped tasks were counted as queued at accept; settle the books
+	// and wake anyone waiting for the queue to drain.
+	l.mu.Lock()
+	l.queued -= len(dropped)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	l.purged.Add(int64(len(dropped)))
+	l.failed.Add(int64(len(dropped)))
+	return len(dropped)
 }
 
 // defaultWorkerSlots sizes the slot pool: enough to keep every CPU the node
@@ -235,6 +328,12 @@ func (l *Local) delay(ctx context.Context) error {
 // reusable slot pool by default, or on a dedicated goroutine per task under
 // DirectDispatch.
 func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
+	// A cancelled submission context (most commonly: the task's job was
+	// finished or killed) is rejected up front instead of queueing work that
+	// would be dropped at dispatch.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	l.mu.Lock()
 	if l.draining {
 		l.mu.Unlock()
@@ -248,7 +347,7 @@ func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 		return nil
 	}
 	l.poolMu.Lock()
-	l.taskQ = append(l.taskQ, queuedTask{ctx: ctx, spec: spec})
+	l.enqueueLocked(queuedTask{ctx: ctx, spec: spec})
 	l.spawnWorkerLocked()
 	l.poolMu.Unlock()
 	return nil
@@ -257,7 +356,7 @@ func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 // spawnWorkerLocked starts a slot worker when there is queued work and a free
 // slot (a blocked worker's slot counts as free). Called with poolMu held.
 func (l *Local) spawnWorkerLocked() {
-	if len(l.taskQ)-l.qHead > 0 && l.slotWorkers-l.slotBlocked < l.cfg.WorkerSlots {
+	if l.queueLenLocked() > 0 && l.slotWorkers-l.slotBlocked < l.cfg.WorkerSlots {
 		l.slotWorkers++
 		go l.slotWorker()
 	}
@@ -269,17 +368,16 @@ func (l *Local) spawnWorkerLocked() {
 func (l *Local) slotWorker() {
 	for {
 		l.poolMu.Lock()
-		if len(l.taskQ)-l.qHead == 0 || l.slotWorkers-l.slotBlocked > l.cfg.WorkerSlots {
+		if l.slotWorkers-l.slotBlocked > l.cfg.WorkerSlots {
 			l.slotWorkers--
 			l.poolMu.Unlock()
 			return
 		}
-		qt := l.taskQ[l.qHead]
-		l.taskQ[l.qHead] = queuedTask{} // release references
-		l.qHead++
-		if l.qHead > 64 && l.qHead*2 >= len(l.taskQ) {
-			l.taskQ = append(l.taskQ[:0], l.taskQ[l.qHead:]...)
-			l.qHead = 0
+		qt, ok := l.dequeueLocked()
+		if !ok {
+			l.slotWorkers--
+			l.poolMu.Unlock()
+			return
 		}
 		l.poolMu.Unlock()
 		l.runTask(qt.ctx, qt.spec)
@@ -313,6 +411,15 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 		l.mu.Unlock()
 		l.cond.Broadcast()
 	}()
+
+	// 0. A task whose submission context died while it queued (its job was
+	//    killed, or its submitter gave up) must not execute; its outputs are
+	//    stored as error objects so any consumer unblocks.
+	if err := ctx.Err(); err != nil {
+		l.failed.Add(1)
+		_ = l.runner.Fail(ctx, spec, err)
+		return
+	}
 
 	// 1. Make every dependency local (task dispatch, decoupled from
 	//    scheduling: the object manager consults the GCS directly). Multiple
@@ -517,7 +624,10 @@ type LocalStats struct {
 	Forwarded        int64
 	Completed        int64
 	Failed           int64
-	Queued           int
+	// Purged counts queued tasks dropped by job-exit cleanup (also included
+	// in Failed).
+	Purged int64
+	Queued int
 	// SlotWorkers is the number of live slot-pool worker goroutines
 	// (including blocked ones); zero under DirectDispatch.
 	SlotWorkers int
@@ -532,15 +642,33 @@ func (l *Local) Stats() LocalStats {
 	l.mu.Unlock()
 	l.poolMu.Lock()
 	workers := l.slotWorkers
-	slotQueue := len(l.taskQ) - l.qHead
+	slotQueue := l.queueLenLocked()
 	l.poolMu.Unlock()
 	return LocalStats{
 		ScheduledLocally: l.scheduledLocal.Load(),
 		Forwarded:        l.forwarded.Load(),
 		Completed:        l.completed.Load(),
 		Failed:           l.failed.Load(),
+		Purged:           l.purged.Load(),
 		Queued:           queued,
 		SlotWorkers:      workers,
 		SlotQueueLen:     slotQueue,
 	}
+}
+
+// PendingForJob reports how many of the job's tasks await a slot (tests and
+// the multi-driver experiment inspect it).
+func (l *Local) PendingForJob(jobID types.JobID) int {
+	l.poolMu.Lock()
+	defer l.poolMu.Unlock()
+	if l.fairQ != nil {
+		return l.fairQ.PendingFor(jobID)
+	}
+	n := 0
+	for i := l.qHead; i < len(l.taskQ); i++ {
+		if l.taskQ[i].spec.Job == jobID {
+			n++
+		}
+	}
+	return n
 }

@@ -409,7 +409,7 @@ func TestGlobalLocalityAwarePlacement(t *testing.T) {
 	other := registerNode(t, store, 8, 0, 0, 5)
 	// A 100 MB object lives on the busier node.
 	obj := types.NewObjectID()
-	if err := store.AddObjectLocation(context.Background(), obj, holder, 100<<20, types.NilTaskID); err != nil {
+	if err := store.AddObjectLocation(context.Background(), obj, holder, 100<<20, types.NilTaskID, types.NilJobID); err != nil {
 		t.Fatal(err)
 	}
 	spec := simpleSpec(1)

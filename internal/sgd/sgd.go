@@ -23,7 +23,8 @@ import (
 const replicaActorName = "sgd.Replica"
 
 // Register publishes the model-replica actor class (and the primitives it
-// depends on) with the runtime.
+// depends on) with the runtime. Replica methods live on the class's
+// registration-time method table.
 func Register(rt *core.Runtime) error {
 	if err := paramserver.Register(rt); err != nil {
 		return err
@@ -31,7 +32,25 @@ func Register(rt *core.Runtime) error {
 	if err := collective.Register(rt); err != nil {
 		return err
 	}
-	return rt.RegisterActor(replicaActorName, "data-parallel SGD model replica", newReplica)
+	if err := rt.RegisterActorClass(replicaActorName, "data-parallel SGD model replica", newReplica); err != nil {
+		return err
+	}
+	for _, m := range []struct {
+		name       string
+		numArgs    int
+		numReturns int
+		impl       worker.ActorMethodImpl
+	}{
+		{"weights", 0, 1, replicaMethod(replicaWeights)},
+		{"set_weights", 1, 1, replicaMethod(replicaSetWeights)},
+		{"gradient", 1, 2, replicaMethod(replicaGradient)},
+		{"loss", 1, 1, replicaMethod(replicaLoss)},
+	} {
+		if err := rt.RegisterActorMethod(replicaActorName, m.name, m.numArgs, m.numReturns, m.impl); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // replica is one model replica: a small MLP plus a deterministic synthetic
@@ -42,7 +61,7 @@ type replica struct {
 	rng   *rand.Rand
 }
 
-func newReplica(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
+func newReplica(ctx *worker.TaskContext, args [][]byte) (any, error) {
 	var sizes []int
 	if err := codec.Decode(args[0], &sizes); err != nil {
 		return nil, err
@@ -57,38 +76,52 @@ func newReplica(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, e
 	}, nil
 }
 
-// Call implements worker.ActorInstance.
-func (r *replica) Call(ctx *worker.TaskContext, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "weights":
-		return [][]byte{codec.MustEncode([]float64(r.model.Parameters()))}, nil
-	case "set_weights":
-		var w []float64
-		if err := codec.Decode(args[0], &w); err != nil {
-			return nil, err
+// replicaMethod adapts a typed replica method into a method-table entry.
+func replicaMethod(impl func(r *replica, args [][]byte) ([][]byte, error)) worker.ActorMethodImpl {
+	return func(ctx *worker.TaskContext, state any, args [][]byte) ([][]byte, error) {
+		r, ok := state.(*replica)
+		if !ok {
+			return nil, fmt.Errorf("sgd: replica instance is %T", state)
 		}
-		r.model.SetParameters(w)
-		return [][]byte{codec.MustEncode(true)}, nil
-	case "gradient":
-		// gradient(batchSize): compute loss and gradient on one synthetic
-		// batch. Returns (gradient, loss).
-		var batch int
-		if err := codec.Decode(args[0], &batch); err != nil {
-			return nil, err
-		}
-		inputs, targets := r.syntheticBatch(batch)
-		loss, grad := r.model.Gradient(inputs, targets)
-		return [][]byte{codec.MustEncode([]float64(grad)), codec.MustEncode(loss)}, nil
-	case "loss":
-		var batch int
-		if err := codec.Decode(args[0], &batch); err != nil {
-			return nil, err
-		}
-		inputs, targets := r.syntheticBatch(batch)
-		return [][]byte{codec.MustEncode(r.model.Loss(inputs, targets))}, nil
-	default:
-		return nil, fmt.Errorf("sgd: unknown replica method %q", method)
+		return impl(r, args)
 	}
+}
+
+// replicaWeights returns the replica's flat parameters.
+func replicaWeights(r *replica, args [][]byte) ([][]byte, error) {
+	return [][]byte{codec.MustEncode([]float64(r.model.Parameters()))}, nil
+}
+
+// replicaSetWeights installs new parameters.
+func replicaSetWeights(r *replica, args [][]byte) ([][]byte, error) {
+	var w []float64
+	if err := codec.Decode(args[0], &w); err != nil {
+		return nil, err
+	}
+	r.model.SetParameters(w)
+	return [][]byte{codec.MustEncode(true)}, nil
+}
+
+// replicaGradient computes loss and gradient on one synthetic batch and
+// returns (gradient, loss) as two objects.
+func replicaGradient(r *replica, args [][]byte) ([][]byte, error) {
+	var batch int
+	if err := codec.Decode(args[0], &batch); err != nil {
+		return nil, err
+	}
+	inputs, targets := r.syntheticBatch(batch)
+	loss, grad := r.model.Gradient(inputs, targets)
+	return [][]byte{codec.MustEncode([]float64(grad)), codec.MustEncode(loss)}, nil
+}
+
+// replicaLoss evaluates the loss on one synthetic batch.
+func replicaLoss(r *replica, args [][]byte) ([][]byte, error) {
+	var batch int
+	if err := codec.Decode(args[0], &batch); err != nil {
+		return nil, err
+	}
+	inputs, targets := r.syntheticBatch(batch)
+	return [][]byte{codec.MustEncode(r.model.Loss(inputs, targets))}, nil
 }
 
 // syntheticBatch generates a regression batch whose target is a fixed linear

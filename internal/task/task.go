@@ -46,6 +46,12 @@ func RefArg(id types.ObjectID) Arg { return Arg{Kind: ArgObjectRef, Ref: id} }
 type Spec struct {
 	// ID uniquely identifies this task.
 	ID types.TaskID
+	// Job identifies the job the task belongs to. Every task a driver's
+	// program submits (directly or through nested tasks) carries the driver's
+	// JobID: it scopes lineage reconstruction, drives fair-share scheduling,
+	// and lets job-exit cleanup find the job's work. Nil for system-initiated
+	// tasks created outside any job (e.g. direct scheduler tests).
+	Job types.JobID
 	// Driver identifies the driver program the task belongs to.
 	Driver types.DriverID
 	// ParentTask is the task (or driver, via its root task) that submitted
@@ -127,6 +133,7 @@ func (s *Spec) Marshal() []byte {
 	var buf bytes.Buffer
 	writeU32(&buf, specMagic)
 	buf.Write(s.ID[:])
+	buf.Write(s.Job[:])
 	buf.Write(s.Driver[:])
 	buf.Write(s.ParentTask[:])
 	writeString(&buf, s.Function)
@@ -166,6 +173,7 @@ func Unmarshal(data []byte) (*Spec, error) {
 	}
 	s := &Spec{}
 	r.id((*[16]byte)(&s.ID))
+	r.id((*[16]byte)(&s.Job))
 	r.id((*[16]byte)(&s.Driver))
 	r.id((*[16]byte)(&s.ParentTask))
 	s.Function = r.str()

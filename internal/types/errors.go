@@ -57,6 +57,14 @@ var (
 	// ErrWorkerCrashed indicates the worker executing a task crashed (used by
 	// fault-injection tests and by application errors that escape a task).
 	ErrWorkerCrashed = errors.New("ray: worker crashed")
+
+	// ErrJobNotFound indicates the GCS job table has no entry for a job.
+	ErrJobNotFound = errors.New("ray: job not found")
+
+	// ErrJobTerminated indicates an operation targeted a job that has finished
+	// or been killed: its queued tasks are cancelled, its lineage is no longer
+	// replayable, and its actors and objects have been released.
+	ErrJobTerminated = errors.New("ray: job terminated")
 )
 
 // TaskError wraps an application-level error raised inside a remote function

@@ -36,6 +36,10 @@ type (
 	DriverID UniqueID
 	// WorkerID identifies a worker process on a node.
 	WorkerID UniqueID
+	// JobID identifies a job: one driver's whole body of work — every task,
+	// object, and actor it creates is stamped with its JobID, which is what
+	// scopes lineage, fair-share scheduling, and job-exit garbage collection.
+	JobID UniqueID
 )
 
 // Nil IDs (all zero) denote "no value".
@@ -46,6 +50,7 @@ var (
 	NilNodeID   NodeID
 	NilDriverID DriverID
 	NilWorkerID WorkerID
+	NilJobID    JobID
 )
 
 // IDGenerator produces unique identifiers for a given origin. It is safe for
@@ -86,6 +91,9 @@ func (g *IDGenerator) NextDriverID() DriverID { return DriverID(g.next()) }
 // NextWorkerID returns a fresh WorkerID.
 func (g *IDGenerator) NextWorkerID() WorkerID { return WorkerID(g.next()) }
 
+// NextJobID returns a fresh JobID.
+func (g *IDGenerator) NextJobID() JobID { return JobID(g.next()) }
+
 // globalGen backs the package-level convenience constructors used by tests
 // and drivers that do not care about origin partitioning.
 var globalGen = NewIDGenerator(0xFFFFFFFFFFFFFFFF)
@@ -107,6 +115,9 @@ func NewDriverID() DriverID { return globalGen.NextDriverID() }
 
 // NewWorkerID returns a process-unique WorkerID from the global generator.
 func NewWorkerID() WorkerID { return globalGen.NextWorkerID() }
+
+// NewJobID returns a process-unique JobID from the global generator.
+func NewJobID() JobID { return globalGen.NextJobID() }
 
 // hexString renders an ID as hexadecimal, the canonical printable form.
 func hexString(id UniqueID) string { return hex.EncodeToString(id[:]) }
@@ -132,6 +143,9 @@ func (id DriverID) String() string { return "driver:" + shortHex(UniqueID(id)) }
 // String implements fmt.Stringer.
 func (id WorkerID) String() string { return "worker:" + shortHex(UniqueID(id)) }
 
+// String implements fmt.Stringer.
+func (id JobID) String() string { return "job:" + shortHex(UniqueID(id)) }
+
 // Hex returns the full 32-character hexadecimal form of the ObjectID.
 func (id ObjectID) Hex() string { return hexString(UniqueID(id)) }
 
@@ -143,6 +157,9 @@ func (id ActorID) Hex() string { return hexString(UniqueID(id)) }
 
 // Hex returns the full 32-character hexadecimal form of the NodeID.
 func (id NodeID) Hex() string { return hexString(UniqueID(id)) }
+
+// Hex returns the full 32-character hexadecimal form of the JobID.
+func (id JobID) Hex() string { return hexString(UniqueID(id)) }
 
 // IsNil reports whether the ID is the zero value.
 func (id ObjectID) IsNil() bool { return id == NilObjectID }
@@ -161,6 +178,9 @@ func (id DriverID) IsNil() bool { return id == NilDriverID }
 
 // IsNil reports whether the ID is the zero value.
 func (id WorkerID) IsNil() bool { return id == NilWorkerID }
+
+// IsNil reports whether the ID is the zero value.
+func (id JobID) IsNil() bool { return id == NilJobID }
 
 // ObjectIDFromHex parses the canonical hexadecimal form produced by Hex.
 func ObjectIDFromHex(s string) (ObjectID, error) {
@@ -196,6 +216,9 @@ func (id TaskID) Shard(n int) int { return ShardIndex(UniqueID(id), n) }
 
 // Shard returns the GCS shard index for an ActorID.
 func (id ActorID) Shard(n int) int { return ShardIndex(UniqueID(id), n) }
+
+// Shard returns the GCS shard index for a JobID.
+func (id JobID) Shard(n int) int { return ShardIndex(UniqueID(id), n) }
 
 // ReturnObjectID derives the i-th return object ID of a task
 // deterministically from the task ID. Determinism is what makes lineage

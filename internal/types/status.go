@@ -82,6 +82,42 @@ func (s ActorState) String() string {
 	}
 }
 
+// JobState tracks a job (one driver's whole body of work) through its
+// lifecycle in the GCS job table.
+type JobState int
+
+// Job lifecycle states.
+const (
+	// JobRunning means the job's driver is attached and may submit work.
+	JobRunning JobState = iota
+	// JobFinished means the driver detached cleanly; the job's tasks were
+	// cancelled, its actors stopped, and its objects released.
+	JobFinished
+	// JobKilled means the job was terminated forcibly (operator kill or
+	// driver failure); cleanup ran exactly as for JobFinished.
+	JobKilled
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case JobRunning:
+		return "RUNNING"
+	case JobFinished:
+		return "FINISHED"
+	case JobKilled:
+		return "KILLED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Terminal reports whether the job has exited (finished or killed). Lineage
+// reconstruction refuses to replay tasks of terminal jobs.
+func (s JobState) Terminal() bool {
+	return s == JobFinished || s == JobKilled
+}
+
 // NodeState tracks cluster membership in the GCS node table.
 type NodeState int
 

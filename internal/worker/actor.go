@@ -15,9 +15,13 @@ type actorProcess struct {
 	id       types.ActorID
 	class    string
 	creation types.TaskID
+	// job is the job that created the actor: method dispatch resolves the
+	// class through the job's namespace, and job-exit cleanup finds the
+	// job's actors by it.
+	job types.JobID
 	// instance is the actor's private state, as returned by the class's
-	// constructor. Method-table classes dispatch against it through the
-	// registry; legacy classes assert it to ActorInstance and Call it.
+	// constructor; the class's method table dispatches against it through
+	// the registry.
 	instance any
 	// registry resolves the class's method table at dispatch time.
 	registry *Registry
@@ -36,11 +40,12 @@ type actorProcess struct {
 	dead bool
 }
 
-func newActorProcess(id types.ActorID, class string, creation types.TaskID, instance any, registry *Registry) *actorProcess {
+func newActorProcess(id types.ActorID, class string, creation types.TaskID, job types.JobID, instance any, registry *Registry) *actorProcess {
 	p := &actorProcess{
 		id:       id,
 		class:    class,
 		creation: creation,
+		job:      job,
 		instance: instance,
 		registry: registry,
 		executed: make(map[types.TaskID]bool),
@@ -76,12 +81,11 @@ func (p *actorProcess) run(ctx *TaskContext, spec *task.Spec, args [][]byte) ([]
 		return nil, fmt.Errorf("worker: actor %s: %w", p.id, types.ErrActorDead)
 	}
 	// Execute while holding the lock: actor methods are serial by definition.
-	// Dispatch resolves through the class's registered method table (or the
-	// legacy ActorInstance.Call for classes without one); a resolution error
-	// (unknown method) is an application error — it becomes an error object,
-	// not a crashed task.
+	// Dispatch resolves through the class's registered method table (in the
+	// owning job's namespace first); a resolution error (unknown method) is
+	// an application error — it becomes an error object, not a crashed task.
 	var outs [][]byte
-	call, err := p.registry.Dispatch(p.class, spec.Function, p.instance)
+	call, err := p.registry.DispatchFor(p.job, p.class, spec.Function, p.instance)
 	if err == nil {
 		outs, err = call(ctx, args)
 	}

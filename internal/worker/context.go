@@ -47,6 +47,9 @@ type TaskContext struct {
 	Ctx context.Context
 	// TaskID is the currently executing task.
 	TaskID types.TaskID
+	// Job is the job the task belongs to; every task and actor submitted
+	// through this context inherits it. Nil for system-initiated work.
+	Job types.JobID
 	// Driver is the driver the task belongs to.
 	Driver types.DriverID
 	// Node is the node executing the task.
@@ -59,8 +62,8 @@ type TaskContext struct {
 
 // NewTaskContext builds a context for a task execution. The node runtime
 // constructs these; applications never do.
-func NewTaskContext(ctx context.Context, id types.TaskID, driver types.DriverID, node types.NodeID, rt Runtime, ids *types.IDGenerator) *TaskContext {
-	return &TaskContext{Ctx: ctx, TaskID: id, Driver: driver, Node: node, runtime: rt, ids: ids}
+func NewTaskContext(ctx context.Context, id types.TaskID, job types.JobID, driver types.DriverID, node types.NodeID, rt Runtime, ids *types.IDGenerator) *TaskContext {
+	return &TaskContext{Ctx: ctx, TaskID: id, Job: job, Driver: driver, Node: node, runtime: rt, ids: ids}
 }
 
 // Runtime exposes the underlying cluster runtime (used by the core package).
@@ -134,6 +137,7 @@ func (c *TaskContext) Call(function string, opts CallOptions, args ...any) ([]ty
 	}
 	spec := &task.Spec{
 		ID:         c.ids.NextTaskID(),
+		Job:        c.Job,
 		Driver:     c.Driver,
 		ParentTask: c.TaskID,
 		Function:   function,
@@ -264,7 +268,7 @@ func (c *TaskContext) Put(v any) (types.ObjectID, error) {
 		return types.NilObjectID, err
 	}
 	id := types.PutObjectID(c.TaskID, int(c.putSeq.Add(1)))
-	if err := c.runtime.StoreObject(c.Ctx, id, data, false, c.TaskID); err != nil {
+	if err := c.runtime.StoreObject(c.Ctx, id, data, false, c.TaskID, c.Job); err != nil {
 		return types.NilObjectID, err
 	}
 	return id, nil
@@ -321,6 +325,7 @@ func (c *TaskContext) CreateActor(class string, opts CallOptions, args ...any) (
 	actorID := c.ids.NextActorID()
 	spec := &task.Spec{
 		ID:            c.ids.NextTaskID(),
+		Job:           c.Job,
 		Driver:        c.Driver,
 		ParentTask:    c.TaskID,
 		Function:      class,
@@ -349,6 +354,7 @@ func (c *TaskContext) CallActor(h *ActorHandle, method string, opts CallOptions,
 	prev := h.lastTask
 	spec := &task.Spec{
 		ID:                c.ids.NextTaskID(),
+		Job:               c.Job,
 		Driver:            c.Driver,
 		ParentTask:        c.TaskID,
 		Function:          method,

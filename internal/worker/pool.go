@@ -86,7 +86,7 @@ func (p *Pool) getRuntime() Runtime {
 // be evicted underneath it. Application-level errors become error objects
 // rather than Run errors.
 func (p *Pool) Run(ctx context.Context, spec *task.Spec) error {
-	tctx := NewTaskContext(ctx, spec.ID, spec.Driver, p.cfg.NodeID, p.getRuntime(), p.ids)
+	tctx := NewTaskContext(ctx, spec.ID, spec.Job, spec.Driver, p.cfg.NodeID, p.getRuntime(), p.ids)
 
 	args, pinned, argErr, err := p.resolveArgs(ctx, spec)
 	defer p.unpinAll(pinned)
@@ -112,7 +112,7 @@ func (p *Pool) Run(ctx context.Context, spec *task.Spec) error {
 			return err
 		}
 	default:
-		fn, ferr := p.registry.Function(spec.Function)
+		fn, ferr := p.registry.FunctionFor(spec.Job, spec.Function)
 		if ferr != nil {
 			return ferr
 		}
@@ -189,7 +189,7 @@ func (p *Pool) storeOutputs(ctx context.Context, spec *task.Spec, outs [][]byte,
 		status = types.TaskFailed
 		payload := codec.MustEncode(appErr.Error())
 		for _, ret := range returns {
-			if err := p.objects.Put(ctx, ret, payload, true, spec.ID); err != nil {
+			if err := p.objects.PutOwned(ctx, ret, payload, true, spec.ID, spec.Job); err != nil {
 				return err
 			}
 		}
@@ -203,7 +203,7 @@ func (p *Pool) storeOutputs(ctx context.Context, spec *task.Spec, outs [][]byte,
 				// so consumers unblock rather than hang.
 				data = codec.MustEncode([]byte(nil))
 			}
-			if err := p.objects.Put(ctx, ret, data, false, spec.ID); err != nil {
+			if err := p.objects.PutOwned(ctx, ret, data, false, spec.ID, spec.Job); err != nil {
 				return err
 			}
 		}
@@ -219,7 +219,7 @@ func (p *Pool) storeOutputs(ctx context.Context, spec *task.Spec, outs [][]byte,
 // createActor runs an actor creation task: construct the instance and
 // register the actor in the GCS actor table.
 func (p *Pool) createActor(ctx context.Context, tctx *TaskContext, spec *task.Spec, args [][]byte) error {
-	ctor, err := p.registry.ActorClass(spec.Function)
+	ctor, err := p.registry.ActorClassFor(spec.Job, spec.Function)
 	if err != nil {
 		return err
 	}
@@ -227,12 +227,13 @@ func (p *Pool) createActor(ctx context.Context, tctx *TaskContext, spec *task.Sp
 	if err != nil {
 		return err
 	}
-	proc := newActorProcess(spec.ActorID, spec.Function, spec.ID, instance, p.registry)
+	proc := newActorProcess(spec.ActorID, spec.Function, spec.ID, spec.Job, instance, p.registry)
 	p.actorsMu.Lock()
 	p.actors[spec.ActorID] = proc
 	p.actorsMu.Unlock()
 	return p.gcs.PutActor(ctx, spec.ActorID, &gcs.ActorEntry{
 		State:        types.ActorAlive,
+		Job:          spec.Job,
 		Node:         p.cfg.NodeID,
 		CreationTask: spec.ID,
 		LastTask:     spec.ID,
@@ -357,6 +358,20 @@ func (p *Pool) DropAllActors() []types.ActorID {
 		proc.stop()
 	}
 	return ids
+}
+
+// ActorsForJob lists the actors hosted on this node that belong to the given
+// job (job-exit cleanup terminates exactly these).
+func (p *Pool) ActorsForJob(job types.JobID) []types.ActorID {
+	p.actorsMu.RLock()
+	defer p.actorsMu.RUnlock()
+	var out []types.ActorID
+	for id, proc := range p.actors {
+		if proc.job == job {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // ActorIDs lists actors hosted on this node.

@@ -22,19 +22,6 @@ import (
 // semantics for application failures).
 type Function func(ctx *TaskContext, args [][]byte) ([][]byte, error)
 
-// ActorInstance is the legacy actor shape: private state plus a single Call
-// entry point that dispatches on the method name itself.
-//
-// Deprecated: new actor classes should be registered with RegisterActorClass
-// and a per-method table (RegisterActorMethod) so the runtime — not each user
-// type — owns dispatch. Classes registered through the legacy RegisterActor
-// path still dispatch through Call; this escape hatch remains for one release.
-type ActorInstance interface {
-	// Call invokes the named method with serialized arguments and returns
-	// serialized outputs.
-	Call(ctx *TaskContext, method string, args [][]byte) ([][]byte, error)
-}
-
 // Checkpointable is implemented by actor instances that support user-defined
 // checkpoints, bounding reconstruction time after a failure (paper
 // Section 5.1, "Recovering from actor failures").
@@ -50,12 +37,6 @@ type Checkpointable interface {
 // dispatches against; if it also implements Checkpointable it participates in
 // checkpointing.
 type StateConstructor func(ctx *TaskContext, args [][]byte) (any, error)
-
-// ActorConstructor is the legacy constructor shape, returning an
-// ActorInstance whose Call does its own method dispatch.
-//
-// Deprecated: use StateConstructor with RegisterActorClass.
-type ActorConstructor func(ctx *TaskContext, args [][]byte) (ActorInstance, error)
 
 // ActorMethodImpl is one entry of a class's method table: it receives the
 // actor's state (as returned by the class's StateConstructor) plus the
@@ -76,9 +57,8 @@ type MethodSpec struct {
 }
 
 // actorClass is a registered actor class: its constructor plus its method
-// table. A nil methods map marks a legacy class whose instances dispatch
-// through ActorInstance.Call; table-registered classes dispatch exclusively
-// through the map — an unknown method is an error, never a fallthrough.
+// table. Classes dispatch exclusively through the table — an unknown method
+// is an error, never a fallthrough.
 type actorClass struct {
 	ctor    StateConstructor
 	methods map[string]MethodSpec
@@ -88,10 +68,24 @@ type actorClass struct {
 // registry is shared by every node in an in-process cluster, mirroring the
 // paper's behaviour of publishing each definition to all workers via the GCS
 // function table.
+//
+// Names live in two namespaces: the cluster-wide one (library code registered
+// through the Runtime, visible to every job) and per-job ones (definitions a
+// driver registers for its own job only). A job-scoped registration is stored
+// under its qualified name — QualifiedName(job, name) — and resolution for a
+// task of that job tries the job's namespace first, then falls back to the
+// cluster-wide one, so two drivers registering the same name never collide.
 type Registry struct {
 	mu        sync.RWMutex
 	functions map[string]Function
 	actors    map[string]*actorClass
+}
+
+// QualifiedName returns the registry key of a job-scoped definition. The hex
+// job ID prefix plus the '/' separator keeps per-job names disjoint from the
+// cluster-wide namespace and from every other job's.
+func QualifiedName(job types.JobID, name string) string {
+	return job.Hex() + "/" + name
 }
 
 // NewRegistry returns an empty registry.
@@ -130,8 +124,7 @@ func (r *Registry) RegisterActorClass(name string, ctor StateConstructor) error 
 }
 
 // RegisterActorMethod attaches one method to a class's table. The class must
-// have been registered with RegisterActorClass (legacy classes own their
-// dispatch and cannot mix in table entries), and each method name may be
+// have been registered with RegisterActorClass, and each method name may be
 // declared only once per class registration.
 func (r *Registry) RegisterActorMethod(class, method string, spec MethodSpec) error {
 	if method == "" || spec.Impl == nil {
@@ -146,9 +139,6 @@ func (r *Registry) RegisterActorMethod(class, method string, spec MethodSpec) er
 	if !ok {
 		return fmt.Errorf("worker: method %s.%s: class: %w", class, method, types.ErrFunctionNotFound)
 	}
-	if c.methods == nil {
-		return fmt.Errorf("worker: method %s.%s: class uses legacy Call dispatch, re-register it with RegisterActorClass", class, method)
-	}
 	if _, dup := c.methods[method]; dup {
 		return fmt.Errorf("worker: method %s.%s: %w", class, method, types.ErrDuplicateMethod)
 	}
@@ -156,30 +146,22 @@ func (r *Registry) RegisterActorMethod(class, method string, spec MethodSpec) er
 	return nil
 }
 
-// RegisterActor adds an actor class under name whose instances dispatch
-// through ActorInstance.Call.
-//
-// Deprecated: use RegisterActorClass + RegisterActorMethod so the runtime
-// owns method dispatch; this path remains for one release.
-func (r *Registry) RegisterActor(name string, ctor ActorConstructor) error {
-	if name == "" || ctor == nil {
-		return fmt.Errorf("worker: invalid actor registration %q", name)
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.actors[name] = &actorClass{
-		ctor: func(ctx *TaskContext, args [][]byte) (any, error) {
-			return ctor(ctx, args)
-		},
-		// methods stays nil: the legacy marker that dispatch goes through Call.
-	}
-	return nil
+// Function looks up a remote function in the cluster-wide namespace.
+func (r *Registry) Function(name string) (Function, error) {
+	return r.FunctionFor(types.NilJobID, name)
 }
 
-// Function looks up a remote function.
-func (r *Registry) Function(name string) (Function, error) {
+// FunctionFor resolves a function for a task of the given job: the job's own
+// namespace first, then the cluster-wide one. A nil job searches only the
+// cluster-wide namespace.
+func (r *Registry) FunctionFor(job types.JobID, name string) (Function, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
+	if !job.IsNil() {
+		if fn, ok := r.functions[QualifiedName(job, name)]; ok {
+			return fn, nil
+		}
+	}
 	fn, ok := r.functions[name]
 	if !ok {
 		return nil, fmt.Errorf("worker: function %q: %w", name, types.ErrFunctionNotFound)
@@ -187,57 +169,78 @@ func (r *Registry) Function(name string) (Function, error) {
 	return fn, nil
 }
 
-// ActorClass looks up an actor class constructor.
+// ActorClass looks up an actor class constructor in the cluster-wide
+// namespace.
 func (r *Registry) ActorClass(name string) (StateConstructor, error) {
+	return r.ActorClassFor(types.NilJobID, name)
+}
+
+// ActorClassFor resolves an actor class constructor for a creation task of
+// the given job, job namespace first.
+func (r *Registry) ActorClassFor(job types.JobID, name string) (StateConstructor, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	c, ok := r.actors[name]
-	if !ok {
-		return nil, fmt.Errorf("worker: actor class %q: %w", name, types.ErrFunctionNotFound)
+	c, err := r.lookupClassLocked(job, name)
+	if err != nil {
+		return nil, err
 	}
 	return c.ctor, nil
 }
 
+// lookupClassLocked resolves a class through the job then global namespace.
+// Caller holds r.mu.
+func (r *Registry) lookupClassLocked(job types.JobID, name string) (*actorClass, error) {
+	if !job.IsNil() {
+		if c, ok := r.actors[QualifiedName(job, name)]; ok {
+			return c, nil
+		}
+	}
+	c, ok := r.actors[name]
+	if !ok {
+		return nil, fmt.Errorf("worker: actor class %q: %w", name, types.ErrFunctionNotFound)
+	}
+	return c, nil
+}
+
 // MethodSpecFor returns the registered spec of one method (for tests and the
-// debugging tools). ok is false for unknown classes, legacy classes, and
-// unregistered methods.
+// debugging tools). ok is false for unknown classes and unregistered methods.
 func (r *Registry) MethodSpecFor(class, method string) (MethodSpec, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	c, ok := r.actors[class]
-	if !ok || c.methods == nil {
+	if !ok {
 		return MethodSpec{}, false
 	}
 	spec, ok := c.methods[method]
 	return spec, ok
 }
 
-// Dispatch resolves the callee for one method invocation on an instance of
-// the class. Table-registered classes resolve exclusively through their
-// method table: an unknown method is an ErrMethodNotFound, which the worker
-// pool stores as an error object for the caller to observe at Get. Legacy
-// classes fall back to the instance's own ActorInstance.Call.
+// Dispatch resolves the callee for one method invocation on an instance of a
+// cluster-wide class.
 func (r *Registry) Dispatch(class, method string, instance any) (func(ctx *TaskContext, args [][]byte) ([][]byte, error), error) {
+	return r.DispatchFor(types.NilJobID, class, method, instance)
+}
+
+// DispatchFor resolves the callee for one method invocation on an instance
+// of the class, searching the job's namespace before the cluster-wide one.
+// Classes resolve exclusively through their method table: an unknown method
+// is an ErrMethodNotFound, which the worker pool stores as an error object
+// for the caller to observe at Get.
+func (r *Registry) DispatchFor(job types.JobID, class, method string, instance any) (func(ctx *TaskContext, args [][]byte) ([][]byte, error), error) {
 	r.mu.RLock()
-	c, ok := r.actors[class]
-	if ok && c.methods != nil {
-		spec, found := c.methods[method]
+	c, err := r.lookupClassLocked(job, class)
+	if err != nil {
 		r.mu.RUnlock()
-		if !found {
-			return nil, fmt.Errorf("worker: %s.%s: %w", class, method, types.ErrMethodNotFound)
-		}
-		return func(ctx *TaskContext, args [][]byte) ([][]byte, error) {
-			return spec.Impl(ctx, instance, args)
-		}, nil
+		return nil, err
 	}
+	spec, found := c.methods[method]
 	r.mu.RUnlock()
-	if legacy, isLegacy := instance.(ActorInstance); isLegacy {
-		return func(ctx *TaskContext, args [][]byte) ([][]byte, error) {
-			return legacy.Call(ctx, method, args)
-		}, nil
+	if !found {
+		return nil, fmt.Errorf("worker: %s.%s: %w", class, method, types.ErrMethodNotFound)
 	}
-	return nil, fmt.Errorf("worker: %s.%s: class has no method table and instance %T implements no Call: %w",
-		class, method, instance, types.ErrMethodNotFound)
+	return func(ctx *TaskContext, args [][]byte) ([][]byte, error) {
+		return spec.Impl(ctx, instance, args)
+	}, nil
 }
 
 // Names returns all registered function and actor class names, sorted (for
@@ -256,13 +259,12 @@ func (r *Registry) Names() []string {
 	return out
 }
 
-// MethodNames returns the sorted method-table names of a class (empty for
-// legacy classes, which own their dispatch).
+// MethodNames returns the sorted method-table names of a class.
 func (r *Registry) MethodNames(class string) []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	c, ok := r.actors[class]
-	if !ok || c.methods == nil {
+	if !ok {
 		return nil
 	}
 	out := make([]string, 0, len(c.methods))
@@ -287,8 +289,8 @@ type Runtime interface {
 	// application error.
 	FetchObject(ctx context.Context, id types.ObjectID) (data []byte, isError bool, err error)
 	// StoreObject writes a payload into the local object store and registers
-	// it with the GCS.
-	StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error
+	// it with the GCS, recording the owning job (nil for system objects).
+	StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID, job types.JobID) error
 	// WaitObjects blocks until at least k of the given objects are available
 	// anywhere in the cluster or the timeout expires, returning the ready set.
 	WaitObjects(ctx context.Context, ids []types.ObjectID, k int, timeoutMillis int64) ([]types.ObjectID, error)

@@ -48,8 +48,8 @@ func (r *testRuntime) FetchObject(ctx context.Context, id types.ObjectID) ([]byt
 	return obj.Data, obj.IsError, nil
 }
 
-func (r *testRuntime) StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID) error {
-	return r.pool.objects.Put(ctx, id, data, isError, creator)
+func (r *testRuntime) StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID, job types.JobID) error {
+	return r.pool.objects.PutOwned(ctx, id, data, isError, creator, job)
 }
 
 func (r *testRuntime) WaitObjects(ctx context.Context, ids []types.ObjectID, k int, timeoutMillis int64) ([]types.ObjectID, error) {
@@ -99,7 +99,7 @@ func newEnv(t *testing.T, checkpointInterval int64) *testEnv {
 }
 
 func (e *testEnv) ctx() *TaskContext {
-	return NewTaskContext(context.Background(), types.NewTaskID(), types.NewDriverID(), e.node, e.rt, e.ids)
+	return NewTaskContext(context.Background(), types.NewTaskID(), types.NilJobID, types.NewDriverID(), e.node, e.rt, e.ids)
 }
 
 // Counter is a tiny checkpointable actor used across the tests. Its methods
@@ -120,14 +120,6 @@ func (c *Counter) Restore(data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return codec.Decode(data, &c.value)
-}
-
-// legacyEcho is an ActorInstance exercising the deprecated Call-dispatch
-// fallback for classes registered without a method table.
-type legacyEcho struct{ prefix string }
-
-func (l *legacyEcho) Call(ctx *TaskContext, method string, args [][]byte) ([][]byte, error) {
-	return [][]byte{codec.MustEncode(l.prefix + method)}, nil
 }
 
 func registerTestFunctions(t *testing.T, env *testEnv) {
@@ -205,9 +197,6 @@ func TestRegistryBasics(t *testing.T) {
 	if err := r.Register("", nil); err == nil {
 		t.Fatal("empty registration must fail")
 	}
-	if err := r.RegisterActor("", nil); err == nil {
-		t.Fatal("empty actor registration must fail")
-	}
 	if err := r.RegisterActorClass("", nil); err == nil {
 		t.Fatal("empty actor class registration must fail")
 	}
@@ -220,12 +209,69 @@ func TestRegistryBasics(t *testing.T) {
 	if err := r.Register("f", func(*TaskContext, [][]byte) ([][]byte, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.RegisterActor("A", func(*TaskContext, [][]byte) (ActorInstance, error) { return nil, nil }); err != nil {
+	if err := r.RegisterActorClass("A", func(*TaskContext, [][]byte) (any, error) { return nil, nil }); err != nil {
 		t.Fatal(err)
 	}
 	names := r.Names()
 	if len(names) != 2 || names[0] != "A" || names[1] != "f" {
 		t.Fatalf("names wrong: %v", names)
+	}
+}
+
+// TestRegistryJobNamespaces: a job-scoped registration shadows the
+// cluster-wide one for that job only, and two jobs registering the same name
+// resolve to their own definitions.
+func TestRegistryJobNamespaces(t *testing.T) {
+	r := NewRegistry()
+	mk := func(tag string) Function {
+		return func(*TaskContext, [][]byte) ([][]byte, error) {
+			return [][]byte{codec.MustEncode(tag)}, nil
+		}
+	}
+	run := func(fn Function) string {
+		outs, err := fn(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tag string
+		if err := codec.Decode(outs[0], &tag); err != nil {
+			t.Fatal(err)
+		}
+		return tag
+	}
+	jobA, jobB := types.NewJobID(), types.NewJobID()
+	if err := r.Register("dup", mk("global")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(QualifiedName(jobA, "dup"), mk("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(QualifiedName(jobB, "dup"), mk("B")); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		job  types.JobID
+		want string
+	}{
+		{jobA, "A"}, {jobB, "B"}, {types.NewJobID(), "global"}, {types.NilJobID, "global"},
+	} {
+		fn, err := r.FunctionFor(tc.job, "dup")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(fn); got != tc.want {
+			t.Fatalf("FunctionFor(%v) resolved %q, want %q", tc.job, got, tc.want)
+		}
+	}
+	// A job-only name is invisible to other jobs and to the global namespace.
+	if err := r.Register(QualifiedName(jobA, "private"), mk("A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.FunctionFor(jobB, "private"); !errors.Is(err, types.ErrFunctionNotFound) {
+		t.Fatalf("cross-job resolution of a private name: %v, want ErrFunctionNotFound", err)
+	}
+	if _, err := r.Function("private"); !errors.Is(err, types.ErrFunctionNotFound) {
+		t.Fatalf("global resolution of a private name: %v, want ErrFunctionNotFound", err)
 	}
 }
 
@@ -261,15 +307,8 @@ func TestRegistryMethodTable(t *testing.T) {
 	if got := r.MethodNames("C"); len(got) != 1 || got[0] != "m" {
 		t.Fatalf("MethodNames wrong: %v", got)
 	}
-	// Legacy classes cannot mix in table entries: they own their dispatch.
-	if err := r.RegisterActor("L", func(*TaskContext, [][]byte) (ActorInstance, error) { return &legacyEcho{}, nil }); err != nil {
-		t.Fatal(err)
-	}
-	if err := r.RegisterActorMethod("L", "m", MethodSpec{NumReturns: 1, Impl: impl}); err == nil {
-		t.Fatal("method on a legacy class must fail")
-	}
-	if r.MethodNames("L") != nil {
-		t.Fatal("legacy classes have no method-table names")
+	if r.MethodNames("Ghost") != nil {
+		t.Fatal("unknown classes have no method-table names")
 	}
 }
 
@@ -296,30 +335,39 @@ func TestRegistryDispatch(t *testing.T) {
 	if _, err := call(nil, nil); err != nil || !called {
 		t.Fatalf("table dispatch failed: %v (called=%v)", err, called)
 	}
-	// Unknown method on a table class is ErrMethodNotFound — instances never
-	// see the name, even when they happen to implement ActorInstance.
-	if _, err := r.Dispatch("C", "ghost", &legacyEcho{}); !errors.Is(err, types.ErrMethodNotFound) {
+	// Unknown method on a table class is ErrMethodNotFound — the method table
+	// is the only dispatch path, never a fallthrough to the instance.
+	if _, err := r.Dispatch("C", "ghost", &Counter{}); !errors.Is(err, types.ErrMethodNotFound) {
 		t.Fatalf("unknown table method: %v, want ErrMethodNotFound", err)
 	}
-	// Legacy classes fall back to the instance's own Call.
-	if err := r.RegisterActor("L", func(*TaskContext, [][]byte) (ActorInstance, error) { return &legacyEcho{}, nil }); err != nil {
+	// Unknown class is ErrFunctionNotFound.
+	if _, err := r.Dispatch("Ghost", "m", &Counter{}); !errors.Is(err, types.ErrFunctionNotFound) {
+		t.Fatalf("unknown class: %v, want ErrFunctionNotFound", err)
+	}
+	// A job-scoped class shadows the global one of the same name for its own
+	// job's actors only.
+	job := types.NewJobID()
+	if err := r.RegisterActorClass(QualifiedName(job, "C"), func(*TaskContext, [][]byte) (any, error) { return &Counter{}, nil }); err != nil {
 		t.Fatal(err)
 	}
-	call, err = r.Dispatch("L", "anything", &legacyEcho{prefix: "got:"})
+	jobCalled := false
+	if err := r.RegisterActorMethod(QualifiedName(job, "C"), "jobonly", MethodSpec{NumReturns: 1,
+		Impl: func(ctx *TaskContext, state any, args [][]byte) ([][]byte, error) {
+			jobCalled = true
+			return [][]byte{codec.MustEncode(true)}, nil
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	call, err = r.DispatchFor(job, "C", "jobonly", &Counter{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	outs, err := call(nil, nil)
-	if err != nil {
-		t.Fatal(err)
+	if _, err := call(nil, nil); err != nil || !jobCalled {
+		t.Fatalf("job-scoped dispatch failed: %v (called=%v)", err, jobCalled)
 	}
-	var echoed string
-	if err := codec.Decode(outs[0], &echoed); err != nil || echoed != "got:anything" {
-		t.Fatalf("legacy dispatch wrong: %q %v", echoed, err)
-	}
-	// A legacy instance that implements no Call is undispatchable.
-	if _, err := r.Dispatch("L", "m", 42); !errors.Is(err, types.ErrMethodNotFound) {
-		t.Fatalf("callless instance: %v, want ErrMethodNotFound", err)
+	// Other jobs (and the global namespace) cannot reach the job's method.
+	if _, err := r.DispatchFor(types.NewJobID(), "C", "jobonly", &Counter{}); !errors.Is(err, types.ErrMethodNotFound) {
+		t.Fatalf("cross-job dispatch: %v, want ErrMethodNotFound", err)
 	}
 }
 

@@ -356,90 +356,6 @@ func callActor[R any](c Caller, a *Actor, method string, opts []Option, args ...
 	return ObjectRef[R]{ID: id}, nil
 }
 
-// --- Deprecated legacy surface ------------------------------------------------
-
-// ActorInstance is the legacy actor shape: private state plus a Call that
-// dispatches on the method name itself.
-//
-// Deprecated: register classes with RegisterActorClass0/1/2 and declare
-// methods with ActorMethod0/1/2; the method table is then the only dispatch
-// path. This alias remains for one release.
-type ActorInstance = worker.ActorInstance
-
-// ActorClass0 is the legacy untyped handle to an actor class with a
-// no-argument constructor.
-//
-// Deprecated: use RegisterActorClass0, whose handle carries the state type.
-type ActorClass0 struct{ name string }
-
-// ActorClass1 is the legacy handle to an actor class whose constructor takes
-// an A.
-//
-// Deprecated: use RegisterActorClass1.
-type ActorClass1[A any] struct{ name string }
-
-// Name returns the registered class name.
-func (c ActorClass0) Name() string { return c.name }
-
-// Name returns the registered class name.
-func (c ActorClass1[A]) Name() string { return c.name }
-
-// RegisterActor0 registers a legacy actor class: the constructor returns an
-// ActorInstance that dispatches methods in its own Call.
-//
-// Deprecated: use RegisterActorClass0 + ActorMethod declarations.
-func RegisterActor0(rt *Runtime, name, doc string, ctor func(ctx *Context) (ActorInstance, error)) (ActorClass0, error) {
-	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-		return ctor(ctx)
-	})
-	return ActorClass0{name: name}, err
-}
-
-// RegisterActor1 registers a legacy actor class whose constructor takes an A.
-//
-// Deprecated: use RegisterActorClass1 + ActorMethod declarations.
-func RegisterActor1[A any](rt *Runtime, name, doc string, ctor func(ctx *Context, a A) (ActorInstance, error)) (ActorClass1[A], error) {
-	err := rt.RegisterActor(name, doc, func(ctx *worker.TaskContext, args [][]byte) (worker.ActorInstance, error) {
-		a, err := decode1[A](args, 0)
-		if err != nil {
-			return nil, err
-		}
-		return ctor(ctx, a)
-	})
-	return ActorClass1[A]{name: name}, err
-}
-
-// NamedActorClass0 mints a legacy handle for a class registered under a
-// compile-time constant name.
-//
-// Deprecated: hold the handle RegisterActorClass0 returns instead.
-func NamedActorClass0(name string) ActorClass0 { return ActorClass0{name: name} }
-
-// NamedActorClass1 is NamedActorClass0 for classes whose constructor takes
-// an A.
-//
-// Deprecated: hold the handle RegisterActorClass1 returns instead.
-func NamedActorClass1[A any](name string) ActorClass1[A] { return ActorClass1[A]{name: name} }
-
-// New instantiates a remote actor of the legacy class.
-func (c ActorClass0) New(caller Caller, opts ...Option) (*Actor, error) {
-	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts))
-	if err != nil {
-		return nil, err
-	}
-	return &Actor{h: h}, nil
-}
-
-// New instantiates a remote actor of the legacy class with a constructor
-// argument.
-func (c ActorClass1[A]) New(caller Caller, a A, opts ...Option) (*Actor, error) {
-	h, err := caller.CallContext().CreateActor(c.name, buildOpts(opts), a)
-	if err != nil {
-		return nil, err
-	}
-	return &Actor{h: h}, nil
-}
-
 // Actor is an untyped handle to a remote actor. Method calls through the
 // handle return futures exactly like task invocations; consecutive calls are
 // chained with stateful edges so the actor's lineage can be replayed after a
@@ -457,37 +373,3 @@ func (a *Actor) Handle() *worker.ActorHandle { return a.h }
 // argument via worker.DecodeActorHandle) into the untyped API; WrapActorOf is
 // its typed counterpart.
 func WrapActor(h *worker.ActorHandle) *Actor { return &Actor{h: h} }
-
-// Method returns the untyped variadic handle for the named method — the
-// escape hatch mirroring FuncN, and the only typed-API path to multi-return
-// methods.
-//
-// Deprecated: prefer the ClassMethod handles minted by ActorMethod0/1/2,
-// which pin the method name and types at compile time. This escape hatch
-// remains for one release.
-func (a *Actor) Method(name string) ActorMethod {
-	return ActorMethod{actor: a, name: name}
-}
-
-// ActorMethod is an untyped method handle: counter.Method("add").Remote(...).
-//
-// Deprecated: see Actor.Method.
-type ActorMethod struct {
-	actor *Actor
-	name  string
-	opts  []Option
-}
-
-// With returns a copy of the handle with the options pre-bound.
-func (m ActorMethod) With(opts ...Option) ActorMethod {
-	bound := make([]Option, 0, len(m.opts)+len(opts))
-	bound = append(bound, m.opts...)
-	bound = append(bound, opts...)
-	return ActorMethod{actor: m.actor, name: m.name, opts: bound}
-}
-
-// Remote invokes the method and returns one raw reference per declared
-// return — the actor.method.remote(args) of Table 1, untyped.
-func (m ActorMethod) Remote(c Caller, args ...any) ([]RawRef, error) {
-	return c.CallContext().CallActor(m.actor.h, m.name, buildOpts(m.opts), args...)
-}

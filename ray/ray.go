@@ -40,6 +40,7 @@ import (
 
 	"ray/internal/codec"
 	"ray/internal/core"
+	"ray/internal/job"
 	"ray/internal/types"
 	"ray/internal/worker"
 )
@@ -53,10 +54,19 @@ type (
 	// Context is the API surface available inside remote functions, actor
 	// constructors, and actor methods; drivers embed one too.
 	Context = worker.TaskContext
-	// Driver is a user program connected to the cluster.
+	// Driver is a user program connected to the cluster. Every driver is a
+	// registered Job: its tasks, objects, and actors are stamped with its
+	// JobID, scheduled under its fair share, and cleaned up at Shutdown.
 	Driver = core.Driver
+	// JobID identifies one driver's job.
+	JobID = types.JobID
+	// JobOptions name and weight the job a driver attaches as
+	// (Runtime.NewDriverWithOptions).
+	JobOptions = core.JobOptions
+	// CleanupReport summarizes what a Shutdown or kill released.
+	CleanupReport = job.CleanupReport
 	// RawRef is an untyped object reference, the currency of the variadic
-	// escape hatches (FuncN, Actor.Method). RefAs re-types one.
+	// escape hatch (FuncN). RefAs re-types one.
 	RawRef = types.ObjectID
 )
 
@@ -67,12 +77,25 @@ type Caller interface {
 	CallContext() *worker.TaskContext
 }
 
-// Init builds and starts a cluster.
+// Init builds and starts a cluster. Attach drivers with Runtime.NewDriver
+// (or NewDriverWithOptions for a named, weighted job): each driver gets its
+// own job-scoped context and JobID, so many drivers can share the cluster
+// with isolated namespaces, fair-share dispatch, and independent lifecycles.
 func Init(ctx context.Context, cfg Config) (*Runtime, error) { return core.Init(ctx, cfg) }
 
 // DefaultConfig returns a small test-friendly cluster: 4 nodes × 4 CPUs,
-// instant data plane, lineage recording on, batched control plane.
+// instant data plane, lineage recording on, batched control plane,
+// fair-share dispatch.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Shutdown detaches one driver, triggering its job's cleanup: queued and
+// running tasks are cancelled, its actors terminated, and its objects
+// released from the store — without touching other drivers sharing the
+// cluster. Call it when the driver's program is done (the whole-cluster
+// counterpart is Runtime.Shutdown). Idempotent.
+func Shutdown(ctx context.Context, d *Driver) (CleanupReport, error) {
+	return d.Finish(ctx)
+}
 
 // Get blocks until the future is available and returns its value — the
 // ray.get of Table 1, typed: the result type is carried by the reference.

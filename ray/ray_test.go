@@ -9,6 +9,7 @@ import (
 	"ray/internal/codec"
 	"ray/internal/gcs"
 	"ray/internal/types"
+	"ray/internal/worker"
 	"ray/ray"
 )
 
@@ -146,56 +147,17 @@ func TestActorRoundTrip(t *testing.T) {
 	if got != 115 {
 		t.Fatalf("counter = %d, want 115", got)
 	}
-	// The untyped escape hatch dispatches through the same method table.
-	refs, err := counter.Method("add").Remote(d, 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var after int
-	if err := ray.GetInto(d, refs[0], &after); err != nil {
-		t.Fatal(err)
-	}
-	if after != 120 {
-		t.Fatalf("untyped add = %d, want 120", after)
-	}
-	// An unknown method on a table-registered class is an error object the
-	// caller observes at Get — never a switch fallthrough into user code.
-	badRefs, err := counter.Method("nope").Remote(d)
+	// An unknown method arriving over the wire (here forged through the
+	// worker-layer handle, since the typed API makes it a compile error) is an
+	// error object the caller observes at Get — never a fallthrough into user
+	// code.
+	badRef, err := d.CallActor1(counter.Handle(), "nope", worker.CallOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var ignored int
-	if err := ray.GetInto(d, badRefs[0], &ignored); err == nil {
+	if err := ray.GetInto(d, badRef, &ignored); err == nil {
 		t.Fatal("unknown method must surface as an error at Get")
-	}
-}
-
-// TestLegacyCallDispatchStillWorks covers the deprecated escape hatch: a
-// class registered through RegisterActor1 dispatches through its own
-// ActorInstance.Call for one more release.
-func TestLegacyCallDispatchStillWorks(t *testing.T) {
-	rt, d := newTestRuntime(t)
-	Legacy, err := ray.RegisterActor1(rt, "LegacyCounter", "legacy Call-dispatch counter",
-		func(ctx *ray.Context, start int) (ray.ActorInstance, error) {
-			return &legacyCounter{value: start}, nil
-		})
-	if err != nil {
-		t.Fatal(err)
-	}
-	actor, err := Legacy.New(d, 7)
-	if err != nil {
-		t.Fatal(err)
-	}
-	refs, err := actor.Method("add").Remote(d, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var got int
-	if err := ray.GetInto(d, refs[0], &got); err != nil {
-		t.Fatal(err)
-	}
-	if got != 10 {
-		t.Fatalf("legacy add = %d, want 10", got)
 	}
 }
 
@@ -469,24 +431,6 @@ type checkpointCounter struct{ value int }
 
 func (c *checkpointCounter) Checkpoint() ([]byte, error) { return codec.Encode(c.value) }
 func (c *checkpointCounter) Restore(data []byte) error   { return codec.Decode(data, &c.value) }
-
-// legacyCounter exercises the deprecated ActorInstance.Call path.
-type legacyCounter struct{ value int }
-
-func (c *legacyCounter) Call(ctx *ray.Context, method string, args [][]byte) ([][]byte, error) {
-	switch method {
-	case "add":
-		var delta int
-		if err := codec.Decode(args[0], &delta); err != nil {
-			return nil, err
-		}
-		c.value += delta
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	case "value":
-		return [][]byte{codec.MustEncode(c.value)}, nil
-	}
-	return nil, types.ErrFunctionNotFound
-}
 
 // TestTypedMultiReturn covers the Func1R2 pair handles: both outputs come
 // back as independent typed futures, registration records arity 2 in the GCS
