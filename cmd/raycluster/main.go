@@ -27,6 +27,9 @@ func main() {
 	pipelineDepth := flag.Int("pipeline-depth", 0, "chunks per transfer message round trip (0 = 4)")
 	fifo := flag.Bool("fifo", false, "disable per-job fair-share dispatch (shared FIFO queues, the ablation baseline)")
 	weight := flag.Int("job-weight", 1, "fair-share weight of this driver's job")
+	spillDir := flag.String("spill-dir", "", "directory for spill-to-disk of primary object copies under memory pressure (empty = spilling disabled)")
+	noRefcount := flag.Bool("no-refcount", false, "disable ownership reference counting (objects released only by job-exit GC or eviction, the ablation baseline)")
+	storeBytes := flag.Int64("store-bytes", 0, "object store capacity per node in bytes (0 = 1 GiB)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -41,6 +44,9 @@ func main() {
 	cfg.ChunkBytes = *chunkBytes
 	cfg.PipelineDepth = *pipelineDepth
 	cfg.FIFOScheduling = *fifo
+	cfg.SpillDir = *spillDir
+	cfg.DisableRefCounting = *noRefcount
+	cfg.ObjectStoreBytes = *storeBytes
 	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)

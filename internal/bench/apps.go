@@ -539,6 +539,7 @@ func Registry() map[string]func(Scale) (*Table, error) {
 		"throughput_batched":  ThroughputBatched,
 		"transfer_pipelining": TransferPipelining,
 		"multi_driver":        MultiDriver,
+		"larger_than_memory":  LargerThanMemory,
 		"fig9":                Fig9ObjectStore,
 		"fig10a":              Fig10aGCSFaultTolerance,
 		"fig10b":              Fig10bGCSFlush,

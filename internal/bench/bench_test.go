@@ -123,3 +123,54 @@ func TestMultiDriverFairShare(t *testing.T) {
 	}
 	t.Fatalf("fair share never held the 50%% per-driver floor (last ratio %.2f)", lastRatio)
 }
+
+// TestLargerThanMemoryBounded is the acceptance check for distributed memory
+// management: a working set 3× the aggregate store capacity must run to
+// completion, with ownership refcounting keeping resident bytes bounded and
+// barely touching disk, while the -no-refcount ablation survives only by
+// spilling the overflow. Both variants run through memoryRun directly so the
+// assertions see raw bytes, not formatted table cells.
+func TestLargerThanMemoryBounded(t *testing.T) {
+	const (
+		nodes      = 4
+		storeBytes = int64(256 << 10)
+		objectSize = 32 << 10
+		numObjects = 96 // 3 MiB working set vs 1 MiB aggregate capacity
+	)
+	aggregate := storeBytes * nodes
+
+	withRC, err := memoryRun(nodes, storeBytes, objectSize, numObjects, false)
+	if err != nil {
+		t.Fatalf("refcount variant: %v", err)
+	}
+	withoutRC, err := memoryRun(nodes, storeBytes, objectSize, numObjects, true)
+	if err != nil {
+		t.Fatalf("no-refcount variant: %v", err)
+	}
+
+	// Refcounting must reclaim eagerly (every payload and every result) and
+	// keep the resident set far below aggregate capacity.
+	if withRC.reclaimed < int64(numObjects) {
+		t.Errorf("refcount variant reclaimed %d objects, want >= %d", withRC.reclaimed, numObjects)
+	}
+	if withRC.peakResident >= aggregate {
+		t.Errorf("refcount variant peak resident %d >= aggregate capacity %d", withRC.peakResident, aggregate)
+	}
+	// The ablation keeps everything alive until job exit, so it must have
+	// been forced to spill, and its memory+disk footprint must dwarf the
+	// refcounted run's.
+	if withoutRC.spills == 0 {
+		t.Error("no-refcount variant never spilled despite 3x-capacity working set")
+	}
+	if withoutRC.peakSpilled <= withRC.peakSpilled {
+		t.Errorf("no-refcount peak spilled %d not above refcount's %d", withoutRC.peakSpilled, withRC.peakSpilled)
+	}
+	rcFootprint := withRC.peakResident + withRC.peakSpilled
+	ablFootprint := withoutRC.peakResident + withoutRC.peakSpilled
+	if ablFootprint < 2*rcFootprint {
+		t.Errorf("ablation footprint %d not at least 2x refcount footprint %d", ablFootprint, rcFootprint)
+	}
+	t.Logf("refcount: peak resident %d B, spilled %d B, reclaimed %d; no-refcount: peak resident %d B, spilled %d B, spills %d",
+		withRC.peakResident, withRC.peakSpilled, withRC.reclaimed,
+		withoutRC.peakResident, withoutRC.peakSpilled, withoutRC.spills)
+}

@@ -106,9 +106,10 @@ type Cluster struct {
 	heartbeatDone   chan struct{}
 	shutdownOnce    sync.Once
 
-	forwards       atomic.Int64
-	actorRoutes    atomic.Int64
-	reconstructedA atomic.Int64
+	forwards         atomic.Int64
+	actorRoutes      atomic.Int64
+	reconstructedA   atomic.Int64
+	objectsReclaimed atomic.Int64
 }
 
 // New builds a cluster (nodes are created but not started; call Start).
@@ -134,6 +135,7 @@ func New(cfg Config) *Cluster {
 		reconInflight: make(map[types.ActorID]chan error),
 	}
 	c.globals = scheduler.NewPool(cfg.GlobalSchedulers, cfg.Scheduling, c.gcs)
+	c.gcs.SetReclaimer(c.reclaimObject)
 	c.jobs = job.NewManager(c.gcs, c)
 	if !cfg.FIFOScheduling {
 		c.dispatch = newDispatcher(c, cfg.DispatchWorkers, c.jobs.Weight)
@@ -654,6 +656,31 @@ func (c *Cluster) StopJobActors(ctx context.Context, jobID types.JobID) int {
 	return stopped
 }
 
+// reclaimObject is the ownership ledger's reclaimer: an object's reference
+// count reached zero, so no live reference can name it again. Every store
+// copy (resident or spilled) is deleted and its GCS location withdrawn.
+// Copies pinned by a still-running task are left alone — the location stays
+// valid for the pin's duration and job-exit cleanup is the backstop for the
+// remainder. Objects that do not exist yet (count zeroed between submission
+// and execution) simply have no locations to withdraw; if the producing task
+// still runs, its output registers and lives until job GC.
+func (c *Cluster) reclaimObject(ctx context.Context, id types.ObjectID) {
+	entry, ok, err := c.gcs.GetObject(ctx, id)
+	if err != nil || !ok {
+		return
+	}
+	for _, nodeID := range entry.Locations {
+		nd := c.Node(nodeID)
+		if nd == nil || nd.Dead() {
+			continue
+		}
+		if nd.Store().Delete(id) {
+			c.objectsReclaimed.Add(1)
+			_ = c.gcs.RemoveObjectLocation(ctx, id, nodeID)
+		}
+	}
+}
+
 // ReleaseJobObjects implements job.Hooks: every replica of every object the
 // job's tasks produced is dropped from the stores and its location withdrawn
 // from the object table. The GCS ownership index makes this O(the job's
@@ -663,7 +690,8 @@ func (c *Cluster) StopJobActors(ctx context.Context, jobID types.JobID) int {
 // jobs' objects are untouched.
 func (c *Cluster) ReleaseJobObjects(ctx context.Context, jobID types.JobID) int {
 	released := 0
-	for _, objID := range c.gcs.ObjectsForJob(jobID) {
+	owned := c.gcs.ObjectsForJob(jobID)
+	for _, objID := range owned {
 		entry, ok, err := c.gcs.GetObject(ctx, objID)
 		if err != nil || !ok || entry.Job != jobID {
 			continue
@@ -679,6 +707,9 @@ func (c *Cluster) ReleaseJobObjects(ctx context.Context, jobID types.JobID) int 
 			}
 		}
 	}
+	// Purge any ledger entries the job leaked (references its driver still
+	// held, fire-and-forget futures): the backstop behind eager reclamation.
+	c.gcs.ForgetObjectRefs(owned...)
 	c.gcs.DropJobObjectIndex(jobID)
 	return released
 }
@@ -689,6 +720,9 @@ type Stats struct {
 	ActorRoutes         int64
 	ActorsReconstructed int64
 	GlobalDecisions     int64
+	// ObjectsReclaimed counts store copies deleted by ownership-rooted
+	// reference counting (refcount reached zero before job exit).
+	ObjectsReclaimed int64
 }
 
 // Stats returns a snapshot of cluster counters.
@@ -702,5 +736,6 @@ func (c *Cluster) Stats() Stats {
 		ActorRoutes:         c.actorRoutes.Load(),
 		ActorsReconstructed: c.reconstructedA.Load(),
 		GlobalDecisions:     decisions,
+		ObjectsReclaimed:    c.objectsReclaimed.Load(),
 	}
 }

@@ -53,6 +53,15 @@ type Config struct {
 	GPUsPerNode float64
 	// ObjectStoreBytes is each node's object store capacity (0 = 1 GiB).
 	ObjectStoreBytes int64
+	// SpillDir, when set, enables spill-to-disk: each node writes primary
+	// copies displaced by memory pressure under SpillDir/<nodeID> and
+	// restores them on demand, instead of dropping them and relying on
+	// lineage reconstruction.
+	SpillDir string
+	// DisableRefCounting turns off ownership-rooted reference counting (the
+	// -no-refcount ablation): objects are only released by job-exit GC or
+	// LRU eviction instead of eagerly when their last reference dies.
+	DisableRefCounting bool
 	// GCSShards and GCSReplication configure the Global Control Store.
 	GCSShards      int
 	GCSReplication int
@@ -171,6 +180,7 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 			GPUs:                     cfg.GPUsPerNode,
 			CustomResources:          cfg.CustomResourcesPerNode,
 			ObjectStoreBytes:         cfg.ObjectStoreBytes,
+			SpillDir:                 cfg.SpillDir,
 			SpilloverThreshold:       cfg.SpilloverThreshold,
 			TransferStreams:          cfg.TransferStreams,
 			ChunkBytes:               cfg.ChunkBytes,
@@ -189,6 +199,7 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 			SyncWrites:         cfg.SyncWrites,
 			BatchFlushInterval: cfg.GCSBatchFlushInterval,
 			BatchMaxEntries:    cfg.GCSBatchMaxEntries,
+			DisableRefCounting: cfg.DisableRefCounting,
 		},
 		Network:          cfg.Network,
 		GlobalSchedulers: cfg.GlobalSchedulers,
@@ -196,6 +207,7 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 			LocalityAware:        cfg.LocalityAware,
 			BandwidthBytesPerSec: cfg.Network.BandwidthBytesPerSec,
 			InjectedLatency:      cfg.InjectedSchedulerLatency,
+			MemoryWatermark:      scheduler.DefaultGlobalConfig().MemoryWatermark,
 		},
 	}
 	cl := cluster.New(ccfg)

@@ -205,6 +205,19 @@ type NodeEntry struct {
 	AvgTaskMillis float64
 	// HeartbeatUnixNano is when the last heartbeat was recorded.
 	HeartbeatUnixNano int64
+	// MemoryUsed/MemoryCapacity are the node's object-store occupancy as of
+	// the last heartbeat. The global scheduler compares their ratio against
+	// its memory watermark to steer tasks away from nodes close to eviction.
+	MemoryUsed     int64
+	MemoryCapacity int64
+}
+
+// MemoryPressure returns used/capacity (0 when capacity is unreported).
+func (e *NodeEntry) MemoryPressure() float64 {
+	if e.MemoryCapacity <= 0 {
+		return 0
+	}
+	return float64(e.MemoryUsed) / float64(e.MemoryCapacity)
 }
 
 func (e *NodeEntry) marshal() []byte {
@@ -216,6 +229,8 @@ func (e *NodeEntry) marshal() []byte {
 	writeU64(&buf, uint64(e.QueueLength))
 	writeU64(&buf, uint64(int64(e.AvgTaskMillis*1000)))
 	writeU64(&buf, uint64(e.HeartbeatUnixNano))
+	writeU64(&buf, uint64(e.MemoryUsed))
+	writeU64(&buf, uint64(e.MemoryCapacity))
 	return buf.Bytes()
 }
 
@@ -229,6 +244,8 @@ func unmarshalNodeEntry(data []byte) (*NodeEntry, error) {
 	e.QueueLength = int(r.u64())
 	e.AvgTaskMillis = float64(int64(r.u64())) / 1000
 	e.HeartbeatUnixNano = int64(r.u64())
+	e.MemoryUsed = int64(r.u64())
+	e.MemoryCapacity = int64(r.u64())
 	if r.err != nil {
 		return nil, r.err
 	}

@@ -55,6 +55,9 @@ type Config struct {
 	// BatchMaxEntries triggers an early flush once a shard's pending buffer
 	// reaches this many distinct keys. Zero means 256.
 	BatchMaxEntries int
+	// DisableRefCounting turns the ownership reference ledger (refs.go) into
+	// a no-op, restoring wait-until-job-GC object lifetimes. Ablation knob.
+	DisableRefCounting bool
 }
 
 // DefaultConfig returns a small in-process GCS: 4 shards, 2-way replication.
@@ -112,6 +115,11 @@ type Store struct {
 	flushedN  atomic.Int64
 	eventSeq  atomic.Uint64
 	flushedBy atomic.Int64
+
+	// refOnce/refLedger lazily build the ownership reference ledger
+	// (refs.go); lazy so zero-value Stores used in tests stay cheap.
+	refOnce   sync.Once
+	refLedger *refLedger
 
 	flushMu sync.Mutex
 	closed  atomic.Bool

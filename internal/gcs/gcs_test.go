@@ -248,18 +248,25 @@ func TestNodeTableAndHeartbeats(t *testing.T) {
 	if err != nil || len(nodes) != 5 {
 		t.Fatalf("nodes: %d %v", len(nodes), err)
 	}
-	// Heartbeat updates load info.
-	if err := s.Heartbeat(ctx, ids[0], map[string]float64{"CPU": 3}, 12, 4.5); err != nil {
+	// Heartbeat updates load info, including object-store occupancy.
+	err = s.Heartbeat(ctx, HeartbeatUpdate{
+		ID: ids[0], Available: map[string]float64{"CPU": 3}, QueueLength: 12,
+		AvgTaskMillis: 4.5, MemoryUsed: 800, MemoryCapacity: 1000,
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	n0, ok, _ := s.GetNode(ctx, ids[0])
 	if !ok || n0.AvailableResources["CPU"] != 3 || n0.QueueLength != 12 || n0.AvgTaskMillis != 4.5 {
 		t.Fatalf("heartbeat lost: %+v", n0)
 	}
+	if n0.MemoryUsed != 800 || n0.MemoryCapacity != 1000 || n0.MemoryPressure() != 0.8 {
+		t.Fatalf("memory occupancy lost: %+v", n0)
+	}
 	if n0.HeartbeatAge(time.Now()) > time.Minute {
 		t.Fatal("heartbeat age implausible")
 	}
-	if err := s.Heartbeat(ctx, types.NewNodeID(), nil, 0, 0); err == nil {
+	if err := s.Heartbeat(ctx, HeartbeatUpdate{ID: types.NewNodeID()}); err == nil {
 		t.Fatal("heartbeat from unregistered node must fail")
 	}
 	// Mark one dead.

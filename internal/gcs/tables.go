@@ -294,36 +294,46 @@ func (s *Store) RegisterNode(ctx context.Context, entry *NodeEntry) error {
 	return nil
 }
 
-// Heartbeat refreshes a node's load and resource availability. The global
-// scheduler consumes these entries to estimate queueing delay per node.
-func (s *Store) Heartbeat(ctx context.Context, id types.NodeID, available map[string]float64, queueLength int, avgTaskMillis float64) error {
+// Heartbeat refreshes a node's load, resource availability and object-store
+// occupancy. The global scheduler consumes these entries to estimate queueing
+// delay per node and to steer work away from memory-pressured nodes.
+func (s *Store) Heartbeat(ctx context.Context, u HeartbeatUpdate) error {
 	s.hbMu.Lock()
 	defer s.hbMu.Unlock()
-	shard := s.shardFor(types.UniqueID(id))
-	raw, ok, err := s.get(ctx, shard, nodeKey(id))
+	shard := s.shardFor(types.UniqueID(u.ID))
+	raw, ok, err := s.get(ctx, shard, nodeKey(u.ID))
 	if err != nil {
 		return err
 	}
 	if !ok {
-		return fmt.Errorf("gcs: heartbeat from unregistered node %s: %w", id, types.ErrNodeNotFound)
+		return fmt.Errorf("gcs: heartbeat from unregistered node %s: %w", u.ID, types.ErrNodeNotFound)
 	}
 	entry, err := unmarshalNodeEntry(raw)
 	if err != nil {
 		return err
 	}
-	entry.AvailableResources = available
-	entry.QueueLength = queueLength
-	entry.AvgTaskMillis = avgTaskMillis
-	entry.HeartbeatUnixNano = time.Now().UnixNano()
-	return s.put(ctx, shard, nodeKey(id), entry.marshal())
+	applyHeartbeat(entry, u, time.Now().UnixNano())
+	return s.put(ctx, shard, nodeKey(u.ID), entry.marshal())
 }
 
-// HeartbeatUpdate is one node's load report inside a coalesced heartbeat.
+// HeartbeatUpdate is one node's load report, sent alone or inside a coalesced
+// heartbeat batch.
 type HeartbeatUpdate struct {
-	ID            types.NodeID
-	Available     map[string]float64
-	QueueLength   int
-	AvgTaskMillis float64
+	ID             types.NodeID
+	Available      map[string]float64
+	QueueLength    int
+	AvgTaskMillis  float64
+	MemoryUsed     int64
+	MemoryCapacity int64
+}
+
+func applyHeartbeat(entry *NodeEntry, u HeartbeatUpdate, now int64) {
+	entry.AvailableResources = u.Available
+	entry.QueueLength = u.QueueLength
+	entry.AvgTaskMillis = u.AvgTaskMillis
+	entry.MemoryUsed = u.MemoryUsed
+	entry.MemoryCapacity = u.MemoryCapacity
+	entry.HeartbeatUnixNano = now
 }
 
 // HeartbeatBatch records many nodes' heartbeats with one chain commit per
@@ -358,10 +368,7 @@ func (s *Store) HeartbeatBatch(ctx context.Context, updates []HeartbeatUpdate) e
 			// Writing the update back would resurrect a dead node's entry.
 			continue
 		}
-		entry.AvailableResources = u.Available
-		entry.QueueLength = u.QueueLength
-		entry.AvgTaskMillis = u.AvgTaskMillis
-		entry.HeartbeatUnixNano = now
+		applyHeartbeat(entry, u, now)
 		perShardKeys[si] = append(perShardKeys[si], nodeKey(u.ID))
 		perShardValues[si] = append(perShardValues[si], entry.marshal())
 	}

@@ -9,6 +9,7 @@ package node
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -47,6 +48,10 @@ type Config struct {
 	CustomResources map[string]float64
 	// ObjectStoreBytes is the object store capacity. Zero means 1 GiB.
 	ObjectStoreBytes int64
+	// SpillDir, when set, enables spill-to-disk: primary copies displaced by
+	// memory pressure are written under SpillDir/<nodeID> and restored on
+	// demand instead of being dropped and reconstructed through lineage.
+	SpillDir string
 	// SpilloverThreshold is the local scheduler queue length that triggers
 	// forwarding to the global scheduler.
 	SpilloverThreshold int
@@ -157,9 +162,16 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 		pool:    resources.NewPool(caps),
 		ids:     ids,
 	}
+	spillDir := ""
+	if cfg.SpillDir != "" {
+		// Per-node subdirectory: nodes of one cluster share a root without
+		// colliding, and a node's spill files are removable as a unit.
+		spillDir = filepath.Join(cfg.SpillDir, id.String())
+	}
 	n.store = objectstore.New(objectstore.Config{
 		CapacityBytes: cfg.ObjectStoreBytes,
 		CopyThreads:   8,
+		SpillDir:      spillDir,
 		OnEvict: func(obj types.ObjectID, size int64) {
 			// Eviction removes this node from the object's location set so
 			// the directory never points at data we no longer hold.
@@ -254,14 +266,17 @@ func (n *Node) Start(ctx context.Context) error {
 }
 
 // LoadUpdate returns this node's current load as a HeartbeatUpdate for the
-// cluster's coalesced heartbeat writer.
+// cluster's coalesced heartbeat writer. It includes the object store's
+// occupancy so the global scheduler can observe memory pressure.
 func (n *Node) LoadUpdate() gcs.HeartbeatUpdate {
 	load := n.local.Load()
 	return gcs.HeartbeatUpdate{
-		ID:            n.id,
-		Available:     load.AvailableResources,
-		QueueLength:   load.QueueLength,
-		AvgTaskMillis: load.AvgTaskMillis,
+		ID:             n.id,
+		Available:      load.AvailableResources,
+		QueueLength:    load.QueueLength,
+		AvgTaskMillis:  load.AvgTaskMillis,
+		MemoryUsed:     n.store.Used(),
+		MemoryCapacity: n.store.Capacity(),
 	}
 }
 
@@ -272,8 +287,7 @@ func (n *Node) SendHeartbeat(ctx context.Context) error {
 	if n.dead.Load() {
 		return types.ErrNodeDead
 	}
-	load := n.local.Load()
-	return n.gcs.Heartbeat(ctx, n.id, load.AvailableResources, load.QueueLength, load.AvgTaskMillis)
+	return n.gcs.Heartbeat(ctx, n.LoadUpdate())
 }
 
 func (n *Node) heartbeatLoop(ctx context.Context) {
@@ -336,25 +350,45 @@ func (n *Node) Kill(ctx context.Context) []types.ActorID {
 
 // SubmitSpec implements worker.Runtime: it is the bottom-up submission entry
 // point used by drivers and by nested remote calls running on this node.
+// Submission roots the ownership references: the submitter gains one
+// reference per return object (released when its own context finishes or
+// frees them), and the pending task gains one per object argument (released
+// by the worker pool when the task completes).
 func (n *Node) SubmitSpec(ctx context.Context, spec *task.Spec) error {
 	if n.dead.Load() {
 		return fmt.Errorf("node %s: %w", n.id, types.ErrNodeDead)
 	}
 	n.submits.Add(1)
-	if n.cfg.RecordLineage {
-		if err := n.gcs.AddTask(ctx, spec); err != nil {
-			return err
+	returns := spec.Returns()
+	deps := spec.Dependencies()
+	n.gcs.IncObjectRefs(1, returns...)
+	n.gcs.IncObjectRefs(1, deps...)
+	err := func() error {
+		if n.cfg.RecordLineage {
+			if err := n.gcs.AddTask(ctx, spec); err != nil {
+				return err
+			}
 		}
+		if spec.IsActorTask() && !spec.ActorCreation {
+			return n.router.RouteActorTask(ctx, spec)
+		}
+		return n.local.Submit(ctx, spec)
+	}()
+	if err != nil {
+		// The task never entered the system: take back the references so the
+		// failed submission cannot pin its arguments forever.
+		n.gcs.DecObjectRefs(ctx, returns...)
+		n.gcs.DecObjectRefs(ctx, deps...)
 	}
-	if spec.IsActorTask() && !spec.ActorCreation {
-		return n.router.RouteActorTask(ctx, spec)
-	}
-	return n.local.Submit(ctx, spec)
+	return err
 }
 
 // resubmit re-injects a task during lineage reconstruction. The task's spec
-// is already in the GCS task table, so it skips the AddTask step.
+// is already in the GCS task table, so it skips the AddTask step; the
+// lineage-replay context marker keeps the replayed execution from releasing
+// argument references the original run already released.
 func (n *Node) resubmit(ctx context.Context, spec *task.Spec) error {
+	ctx = types.WithLineageReplay(ctx)
 	if spec.IsActorTask() && !spec.ActorCreation {
 		return n.router.RouteActorTask(ctx, spec)
 	}
@@ -382,26 +416,47 @@ func (n *Node) Pull(ctx context.Context, id types.ObjectID) error {
 }
 
 // FetchObject implements worker.Runtime: it blocks until the object is local
-// (pulling and reconstructing as needed) and returns its payload.
+// (pulling and reconstructing as needed) and returns its payload. The fetch
+// holds a transient ownership reference so a concurrent release elsewhere
+// cannot reclaim the object out from under the read.
 func (n *Node) FetchObject(ctx context.Context, id types.ObjectID) ([]byte, bool, error) {
-	if err := n.Pull(ctx, id); err != nil {
-		return nil, false, err
-	}
-	obj, ok := n.store.Get(id)
-	if !ok {
-		// Evicted between pull and read; retry once via Wait.
-		waited, err := n.store.Wait(ctx, id)
-		if err != nil {
+	n.gcs.IncObjectRefs(1, id)
+	defer n.gcs.DecObjectRefs(ctx, id)
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := n.Pull(ctx, id); err != nil {
 			return nil, false, err
 		}
-		obj = waited
+		if obj, ok := n.store.Get(id); ok {
+			return obj.Data, obj.IsError, nil
+		}
+		// The copy vanished between pull and read: evicted under pressure,
+		// or a spilled copy whose disk file is gone — the failed restore
+		// withdrew the location, so the next pull goes remote or through
+		// lineage reconstruction instead of blocking on a copy that will
+		// never reappear.
+	}
+	obj, err := n.store.Wait(ctx, id)
+	if err != nil {
+		return nil, false, err
 	}
 	return obj.Data, obj.IsError, nil
 }
 
-// StoreObject implements worker.Runtime.
+// StoreObject implements worker.Runtime. The putter owns the stored object:
+// it holds the reference until its context finishes or frees it.
 func (n *Node) StoreObject(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID, job types.JobID) error {
-	return n.objects.PutOwned(ctx, id, data, isError, creator, job)
+	n.gcs.IncObjectRefs(1, id)
+	if err := n.objects.PutOwned(ctx, id, data, isError, creator, job); err != nil {
+		n.gcs.DecObjectRefs(ctx, id)
+		return err
+	}
+	return nil
+}
+
+// FreeObjects implements worker.Runtime: it releases ownership references,
+// reclaiming (via the GCS ledger's reclaimer) any object that reaches zero.
+func (n *Node) FreeObjects(ctx context.Context, ids ...types.ObjectID) {
+	n.gcs.DecObjectRefs(ctx, ids...)
 }
 
 // WaitObjects implements worker.Runtime: it returns once at least k of the

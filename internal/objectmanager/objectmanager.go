@@ -89,15 +89,35 @@ type Manager struct {
 	network *netsim.Network
 	peers   PeerResolver
 
-	// inflight deduplicates concurrent pulls of the same object.
+	// inflight deduplicates concurrent pulls of the same object; partial
+	// parks a chunked assembly whose originator was cancelled mid-transfer so
+	// a restarted pull resumes from the windows already fetched instead of
+	// re-fetching from chunk 0. Only the current pull originator (single-
+	// flight via inflight) touches a parked assembly.
 	mu       sync.Mutex
 	inflight map[types.ObjectID]chan error
+	partial  map[types.ObjectID]*assembly
 
-	pulls         atomic.Int64
-	bytesPulled   atomic.Int64
-	transferNanos atomic.Int64
-	chunkedPulls  atomic.Int64
-	chunksPulled  atomic.Int64
+	pulls          atomic.Int64
+	bytesPulled    atomic.Int64
+	transferNanos  atomic.Int64
+	chunkedPulls   atomic.Int64
+	chunksPulled   atomic.Int64
+	resumedPulls   atomic.Int64
+	resumedWindows atomic.Int64
+}
+
+// assembly is the transfer state of one chunked pull: the store-side
+// reservation plus per-window completion. It outlives a cancelled originator
+// so the next pull of the same object reuses the fetched windows.
+type assembly struct {
+	pending     *objectstore.PendingPut
+	done        []bool // per-window; workers own disjoint indices
+	chunkBytes  int64
+	windowBytes int64
+	windows     int
+	chunks      int
+	size        int64
 }
 
 // New creates an object manager for the given node.
@@ -119,6 +139,7 @@ func New(cfg Config, nodeID types.NodeID, local *objectstore.Store, store *gcs.S
 		network:  network,
 		peers:    peers,
 		inflight: make(map[types.ObjectID]chan error),
+		partial:  make(map[types.ObjectID]*assembly),
 	}
 }
 
@@ -141,9 +162,11 @@ func (m *Manager) Put(ctx context.Context, id types.ObjectID, data []byte, isErr
 // PutOwned is Put with the owning job recorded in the object table, so
 // job-exit cleanup can find and release the job's objects. The worker pool
 // stores task outputs through it; a nil job (system objects, tests) leaves
-// the object unowned.
+// the object unowned. Locally produced objects are primary copies: under
+// memory pressure they spill to disk instead of evicting (replicas fetched
+// from other nodes just evict — the primary can always serve them again).
 func (m *Manager) PutOwned(ctx context.Context, id types.ObjectID, data []byte, isError bool, creator types.TaskID, job types.JobID) error {
-	if err := m.local.Put(id, data, isError); err != nil {
+	if err := m.local.PutPrimary(id, data, isError); err != nil {
 		return err
 	}
 	return m.registerLocation(ctx, id, int64(len(data)), creator, job)
@@ -372,15 +395,99 @@ func (m *Manager) fetchChunked(ctx context.Context, id types.ObjectID, entry *gc
 		return fmt.Errorf("objectmanager: no usable replica for %s: %w", id, types.ErrObjectLost)
 	}
 
-	pending, ok, err := m.local.BeginPut(id, size, isError)
+	a, err := m.assemblyFor(id, size, isError)
 	if err != nil {
 		return err
 	}
-	if !ok {
+	if a == nil {
 		// Resident already (another path re-put it); nothing to transfer.
 		return nil
 	}
-	defer pending.Abort() // no-op after Commit
+
+	// Fetch only the windows not already assembled by a previous, cancelled
+	// pull of this object.
+	var todo []int
+	for i := 0; i < a.windows; i++ {
+		if !a.done[i] {
+			todo = append(todo, i)
+		}
+	}
+	if len(todo) < a.windows {
+		m.resumedPulls.Add(1)
+		m.resumedWindows.Add(int64(a.windows - len(todo)))
+	}
+	workers := m.cfg.TransferStreams
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+
+	start := time.Now()
+	err = parallel.ForEach(ctx, workers, len(todo), func(fetchCtx context.Context, i int) error {
+		w := todo[i]
+		if err := m.fetchWindow(fetchCtx, id, a.pending.Data(), a.windowBytes, w, sources); err != nil {
+			return err
+		}
+		a.done[w] = true
+		// Count chunks at window granularity so resumed pulls account each
+		// chunk exactly once across attempts.
+		lo := int64(w) * a.windowBytes
+		hi := lo + a.windowBytes
+		if hi > a.size {
+			hi = a.size
+		}
+		m.chunksPulled.Add((hi - lo + a.chunkBytes - 1) / a.chunkBytes)
+		return nil
+	})
+	if err != nil {
+		if isContextError(err) || ctx.Err() != nil {
+			// The caller went away, not the object: park the assembly (the
+			// reservation stays pinned in the store) so the next pull resumes
+			// from the windows that completed instead of chunk 0.
+			m.mu.Lock()
+			m.partial[id] = a
+			m.mu.Unlock()
+		} else {
+			a.pending.Abort()
+		}
+		return err
+	}
+	a.pending.Commit()
+	m.bytesPulled.Add(size)
+	m.chunkedPulls.Add(1)
+	m.transferNanos.Add(time.Since(start).Nanoseconds())
+	return m.registerLocation(ctx, id, size, entry.Creator, entry.Job)
+}
+
+// assemblyFor returns the transfer state for a chunked pull of id: a parked
+// partial assembly if a cancelled pull left one (and its geometry still
+// matches), otherwise a fresh reservation. nil with no error means the
+// object became resident in the meantime.
+func (m *Manager) assemblyFor(id types.ObjectID, size int64, isError bool) (*assembly, error) {
+	m.mu.Lock()
+	parked, ok := m.partial[id]
+	if ok {
+		delete(m.partial, id)
+	}
+	m.mu.Unlock()
+	if parked != nil {
+		if parked.size == size && !m.local.Contains(id) {
+			return parked, nil
+		}
+		// Superseded (object re-put locally, or the directory entry changed
+		// size — shouldn't happen for immutable objects, but be safe).
+		parked.pending.Abort()
+		if m.local.Contains(id) {
+			return nil, nil
+		}
+	}
+
+	pending, ok, err := m.local.BeginPut(id, size, isError)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
 
 	// Shrink the chunk when the object has fewer full chunks than streams,
 	// so every stream still carries a share (a 2 MB object over 8 streams
@@ -400,24 +507,15 @@ func (m *Manager) fetchChunked(ctx context.Context, id types.ObjectID, entry *gc
 	}
 	windowBytes := chunkBytes * int64(depth)
 	windows := int((size + windowBytes - 1) / windowBytes)
-	workers := m.cfg.TransferStreams
-	if workers > windows {
-		workers = windows
-	}
-
-	start := time.Now()
-	err = parallel.ForEach(ctx, workers, windows, func(fetchCtx context.Context, i int) error {
-		return m.fetchWindow(fetchCtx, id, pending.Data(), windowBytes, i, sources)
-	})
-	if err != nil {
-		return err
-	}
-	pending.Commit()
-	m.bytesPulled.Add(size)
-	m.chunkedPulls.Add(1)
-	m.chunksPulled.Add(int64(chunks))
-	m.transferNanos.Add(time.Since(start).Nanoseconds())
-	return m.registerLocation(ctx, id, size, entry.Creator, entry.Job)
+	return &assembly{
+		pending:     pending,
+		done:        make([]bool, windows),
+		chunkBytes:  chunkBytes,
+		windowBytes: windowBytes,
+		windows:     windows,
+		chunks:      chunks,
+		size:        size,
+	}, nil
 }
 
 // fetchWindow copies one window of chunks into buf, trying each replica in
@@ -464,17 +562,24 @@ type Stats struct {
 	TransferNanos int64
 	// ChunkedPulls counts pulls that went through the chunked pipeline.
 	ChunkedPulls int64
-	// ChunksPulled counts individual chunks fetched by the pipeline.
+	// ChunksPulled counts individual chunks fetched by the pipeline, each
+	// exactly once even across a cancelled-and-resumed pull.
 	ChunksPulled int64
+	// ResumedPulls counts chunked pulls that picked up a parked partial
+	// assembly; ResumedWindows is how many windows they skipped re-fetching.
+	ResumedPulls   int64
+	ResumedWindows int64
 }
 
 // Stats returns a snapshot of transfer counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Pulls:         m.pulls.Load(),
-		BytesPulled:   m.bytesPulled.Load(),
-		TransferNanos: m.transferNanos.Load(),
-		ChunkedPulls:  m.chunkedPulls.Load(),
-		ChunksPulled:  m.chunksPulled.Load(),
+		Pulls:          m.pulls.Load(),
+		BytesPulled:    m.bytesPulled.Load(),
+		TransferNanos:  m.transferNanos.Load(),
+		ChunkedPulls:   m.chunkedPulls.Load(),
+		ChunksPulled:   m.chunksPulled.Load(),
+		ResumedPulls:   m.resumedPulls.Load(),
+		ResumedWindows: m.resumedWindows.Load(),
 	}
 }

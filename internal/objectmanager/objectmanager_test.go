@@ -486,6 +486,69 @@ func TestCancelledWaiterStillFails(t *testing.T) {
 // the eviction's asynchronous GCS location removal must not land after the
 // same object has been re-admitted and re-registered, or the directory goes
 // blind to a resident replica.
+func TestCancelledChunkedPullResumesWithoutRefetch(t *testing.T) {
+	g := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	cluster := newFakeCluster()
+	// Slow enough that a pull can be cancelled mid-transfer: one stream,
+	// ~20ms per 32 KiB window.
+	net := netsim.New(netsim.Config{BandwidthBytesPerSec: 1.6e6, MaxParallelStreams: 1, TimeScale: 1})
+	cfg := Config{TransferStreams: 1, ChunkBytes: 32 << 10, PipelineDepth: 1}
+	src, dst := types.NewNodeID(), types.NewNodeID()
+	srcStore := objectstore.New(objectstore.Config{CapacityBytes: 1 << 26})
+	dstStore := objectstore.New(objectstore.Config{CapacityBytes: 1 << 26})
+	cluster.add(src, srcStore)
+	cluster.add(dst, dstStore)
+	mSrc := New(cfg, src, srcStore, g, net, cluster)
+	mDst := New(cfg, dst, dstStore, g, net, cluster)
+
+	ctx := context.Background()
+	id := types.NewObjectID()
+	payload := make([]byte, 256<<10) // 8 windows of 32 KiB
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := mSrc.Put(ctx, id, payload, false, types.NilTaskID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Start a pull and cancel it once a few windows have landed.
+	pullCtx, cancel := context.WithCancel(ctx)
+	errCh := make(chan error, 1)
+	go func() { errCh <- mDst.Pull(pullCtx, id) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for mDst.Stats().ChunksPulled < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("pull never made progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Fatal("cancelled pull must report an error")
+	}
+	fetchedBeforeResume := mDst.Stats().ChunksPulled
+	if fetchedBeforeResume >= 8 {
+		t.Skip("transfer finished before cancellation landed; resume not exercised")
+	}
+
+	// Restart under a fresh context: the parked assembly must be reused and
+	// only the missing windows fetched.
+	if err := mDst.Pull(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := dstStore.Get(id)
+	if !ok || !bytes.Equal(obj.Data, payload) {
+		t.Fatal("resumed pull produced a corrupt object")
+	}
+	st := mDst.Stats()
+	if st.ChunksPulled != 8 {
+		t.Fatalf("no chunk may be transferred twice: fetched %d chunks for an 8-chunk object", st.ChunksPulled)
+	}
+	if st.ResumedPulls != 1 || st.ResumedWindows != fetchedBeforeResume {
+		t.Fatalf("resume accounting wrong: %+v (windows done before resume: %d)", st, fetchedBeforeResume)
+	}
+}
+
 func TestEvictThenRepullLocationConsistency(t *testing.T) {
 	ctx := context.Background()
 	gstore := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})

@@ -22,6 +22,8 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -64,6 +66,15 @@ type Config struct {
 	CopyThreshold int64
 	// OnEvict, when set, is called for every evicted object.
 	OnEvict EvictionCallback
+	// SpillDir, when non-empty, enables spill-to-disk: primary copies (the
+	// creator node's copy, marked by PutPrimary) are written to this
+	// directory instead of being discarded when memory pressure evicts them,
+	// and are restored on demand by Get/GetPin/Wait. Spilled objects keep
+	// their GCS location — the node can still serve them — so remote pulls
+	// restore them transparently and lineage reconstruction is only needed
+	// once a spill copy is lost. Replica copies are evicted as before (the
+	// primary can always be re-pulled).
+	SpillDir string
 }
 
 // DefaultConfig returns a 1 GiB store with 8 copy threads, matching the
@@ -86,18 +97,47 @@ type Store struct {
 	// removal to land before registering the fresh location (the evict/re-put
 	// ordering guarantee behind WaitEvictions).
 	evictNotify map[types.ObjectID][]chan struct{}
+	// spilled tracks primary copies moved to disk; spilledBytes sums their
+	// payload sizes. Guarded by mu (file I/O happens outside the lock; the
+	// record's data field bridges reads racing an in-flight write).
+	spilled      map[types.ObjectID]*spillRecord
+	spilledBytes int64
+	spillDirOnce sync.Once
+	spillDirErr  error
 
 	// stats
-	puts      atomic.Int64
-	gets      atomic.Int64
-	hits      atomic.Int64
-	evictions atomic.Int64
+	puts          atomic.Int64
+	gets          atomic.Int64
+	hits          atomic.Int64
+	evictions     atomic.Int64
+	spills        atomic.Int64
+	restores      atomic.Int64
+	spillErrors   atomic.Int64
+	restoreErrors atomic.Int64
 }
 
 type entry struct {
 	obj     *Object
 	element *list.Element
 	pins    int
+	// primary marks the creator node's copy — the one spill-to-disk
+	// preserves under memory pressure. Replicas fetched from other nodes
+	// stay false and are simply evicted.
+	primary bool
+}
+
+// spillRecord is one primary copy living on disk (or on its way there).
+type spillRecord struct {
+	id      types.ObjectID
+	size    int64
+	isError bool
+	path    string
+	// data holds the payload until the disk write completes (or forever if
+	// the write failed), so readers racing the write never miss.
+	data []byte
+	// dropped marks a record superseded by restore/delete; a still-pending
+	// write observing it removes the file it just produced.
+	dropped bool
 }
 
 // New creates a store with the given configuration.
@@ -117,14 +157,26 @@ func New(cfg Config) *Store {
 		lru:         list.New(),
 		waiters:     make(map[types.ObjectID][]chan struct{}),
 		evictNotify: make(map[types.ObjectID][]chan struct{}),
+		spilled:     make(map[types.ObjectID]*spillRecord),
 	}
 }
 
 // Put stores data under id, copying it into a store-owned buffer. Storing an
-// object that already exists is a no-op (objects are immutable, so the
-// existing copy is identical). Put fails with types.ErrStoreFull if the
-// object cannot fit even after evicting every unpinned object.
+// object that already exists (resident or spilled) is a no-op (objects are
+// immutable, so the existing copy is identical). Put fails with
+// types.ErrStoreFull if the object cannot fit even after evicting every
+// unpinned object.
 func (s *Store) Put(id types.ObjectID, data []byte, isError bool) error {
+	return s.put(id, data, isError, false)
+}
+
+// PutPrimary is Put for the creator node's copy: under memory pressure the
+// store spills it to disk instead of discarding it.
+func (s *Store) PutPrimary(id types.ObjectID, data []byte, isError bool) error {
+	return s.put(id, data, isError, true)
+}
+
+func (s *Store) put(id types.ObjectID, data []byte, isError bool, primary bool) error {
 	s.puts.Add(1)
 	size := int64(len(data))
 	if size > s.cfg.CapacityBytes {
@@ -140,16 +192,22 @@ func (s *Store) Put(id types.ObjectID, data []byte, isError bool) error {
 		s.mu.Unlock()
 		return nil
 	}
-	evicted, err := s.evictForLocked(size)
+	if _, ok := s.spilled[id]; ok {
+		// A spilled copy is still the same immutable object; keep it.
+		s.mu.Unlock()
+		return nil
+	}
+	evicted, toSpill, err := s.evictForLocked(size)
 	if err != nil {
 		s.mu.Unlock()
-		// Evictions that happened before the failure are real: their
+		// Evictions/spills that happened before the failure are real: their
 		// callbacks must still run (and their pending markers retire).
+		s.writeSpills(toSpill)
 		s.notifyEvicted(evicted)
 		return err
 	}
 	obj := &Object{ID: id, Data: buf, IsError: isError}
-	e := &entry{obj: obj}
+	e := &entry{obj: obj, primary: primary}
 	e.element = s.lru.PushFront(id)
 	s.objects[id] = e
 	s.used += size
@@ -160,6 +218,7 @@ func (s *Store) Put(id types.ObjectID, data []byte, isError bool) error {
 	for _, ch := range waiters {
 		close(ch)
 	}
+	s.writeSpills(toSpill)
 	s.notifyEvicted(evicted)
 	return nil
 }
@@ -195,14 +254,20 @@ func (s *Store) BeginPut(id types.ObjectID, size int64, isError bool) (*PendingP
 		s.mu.Unlock()
 		return nil, false, nil
 	}
-	evicted, err := s.evictForLocked(size)
+	if _, ok := s.spilled[id]; ok {
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	evicted, toSpill, err := s.evictForLocked(size)
 	if err != nil {
 		s.mu.Unlock()
+		s.writeSpills(toSpill)
 		s.notifyEvicted(evicted)
 		return nil, false, err
 	}
 	s.used += size
 	s.mu.Unlock()
+	s.writeSpills(toSpill)
 	s.notifyEvicted(evicted)
 	return &PendingPut{store: s, id: id, buf: make([]byte, size), isError: isError}, true, nil
 }
@@ -279,13 +344,17 @@ type evictedObject struct {
 	done chan struct{}
 }
 
-// evictForLocked evicts least-recently-used unpinned objects until size bytes
-// fit. Caller holds s.mu and must pass the returned evictions to
-// notifyEvicted after releasing the lock: each eviction is registered in
-// evictNotify before the object leaves the map, so any later re-put of the
-// same object observes the pending notification and can wait for it.
-func (s *Store) evictForLocked(size int64) ([]evictedObject, error) {
+// evictForLocked frees memory until size bytes fit, walking the LRU from
+// coldest to hottest. Unpinned replicas are evicted; unpinned primaries are
+// spilled to disk instead when a spill directory is configured (their GCS
+// location stays valid — the record serves restores). Caller holds s.mu and
+// must pass the returned slices to writeSpills and notifyEvicted after
+// releasing the lock: each eviction is registered in evictNotify before the
+// object leaves the map, so any later re-put of the same object observes the
+// pending notification and can wait for it.
+func (s *Store) evictForLocked(size int64) ([]evictedObject, []*spillRecord, error) {
 	var evicted []evictedObject
+	var toSpill []*spillRecord
 	for s.used+size > s.cfg.CapacityBytes {
 		progressed := false
 		for el := s.lru.Back(); el != nil; el = el.Prev() {
@@ -293,6 +362,22 @@ func (s *Store) evictForLocked(size int64) ([]evictedObject, error) {
 			e := s.objects[id]
 			if e.pins > 0 {
 				continue
+			}
+			if e.primary && s.cfg.SpillDir != "" {
+				rec := &spillRecord{
+					id:      id,
+					size:    e.obj.Size(),
+					isError: e.obj.IsError,
+					path:    filepath.Join(s.cfg.SpillDir, id.String()+".obj"),
+					data:    e.obj.Data,
+				}
+				s.spilled[id] = rec
+				s.spilledBytes += rec.size
+				s.removeLocked(id, e)
+				s.spills.Add(1)
+				toSpill = append(toSpill, rec)
+				progressed = true
+				break
 			}
 			ev := evictedObject{id: id, size: e.obj.Size()}
 			if s.cfg.OnEvict != nil {
@@ -306,11 +391,155 @@ func (s *Store) evictForLocked(size int64) ([]evictedObject, error) {
 			break
 		}
 		if !progressed {
-			return evicted, fmt.Errorf("objectstore: need %d bytes but all %d resident bytes are pinned: %w",
+			return evicted, toSpill, fmt.Errorf("objectstore: need %d bytes but all %d resident bytes are pinned: %w",
 				size, s.used, types.ErrStoreFull)
 		}
 	}
-	return evicted, nil
+	return evicted, toSpill, nil
+}
+
+// writeSpills performs the disk writes for records handed out by
+// evictForLocked. Must be called without holding s.mu. On success the
+// record's in-memory payload is released; on failure it stays resident in
+// the record (memory is not actually freed, but reads remain correct).
+func (s *Store) writeSpills(recs []*spillRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	s.spillDirOnce.Do(func() {
+		s.spillDirErr = os.MkdirAll(s.cfg.SpillDir, 0o755)
+	})
+	for _, rec := range recs {
+		var err error
+		if s.spillDirErr != nil {
+			err = s.spillDirErr
+		} else {
+			err = os.WriteFile(rec.path, rec.data, 0o644)
+		}
+		s.mu.Lock()
+		if rec.dropped {
+			s.mu.Unlock()
+			if err == nil {
+				os.Remove(rec.path)
+			}
+			continue
+		}
+		if err != nil {
+			s.spillErrors.Add(1)
+			s.mu.Unlock()
+			continue
+		}
+		rec.data = nil
+		s.mu.Unlock()
+	}
+}
+
+// restore brings a spilled object back. With pin set, the returned object is
+// pinned (admission is forced over capacity if every resident byte is pinned
+// — a pinned demand needs the object resident regardless). Without pin, a
+// full-of-pins store serves a transient copy and leaves the spill record in
+// place. A missing or unreadable spill file drops the record and fires the
+// eviction callback so the object's GCS location is withdrawn — only then
+// does a consumer fall through to lineage reconstruction.
+func (s *Store) restore(id types.ObjectID, pin bool) (*Object, bool) {
+	for {
+		s.mu.Lock()
+		if e, ok := s.objects[id]; ok {
+			// A concurrent restore (or re-put) won; use its copy.
+			if pin {
+				e.pins++
+			}
+			s.lru.MoveToFront(e.element)
+			s.mu.Unlock()
+			return e.obj, true
+		}
+		rec, ok := s.spilled[id]
+		if !ok {
+			s.mu.Unlock()
+			return nil, false
+		}
+		data := rec.data
+		path := rec.path
+		s.mu.Unlock()
+
+		if data == nil {
+			// The disk write completed; read the file back outside the lock.
+			fileData, err := os.ReadFile(path)
+			if err != nil || int64(len(fileData)) != rec.size {
+				s.dropSpilledCopy(id, rec)
+				return nil, false
+			}
+			data = fileData
+		}
+
+		s.mu.Lock()
+		if _, ok := s.objects[id]; ok {
+			s.mu.Unlock()
+			continue // concurrent restore won; loop serves its entry
+		}
+		if s.spilled[id] != rec {
+			s.mu.Unlock()
+			continue // record superseded; re-evaluate
+		}
+		evicted, toSpill, err := s.evictForLocked(rec.size)
+		if err != nil && !pin {
+			// Everything resident is pinned: serve without admitting.
+			s.mu.Unlock()
+			s.writeSpills(toSpill)
+			s.notifyEvicted(evicted)
+			s.restores.Add(1)
+			return &Object{ID: id, Data: data, IsError: rec.isError}, true
+		}
+		obj := &Object{ID: id, Data: data, IsError: rec.isError}
+		e := &entry{obj: obj, primary: true}
+		if pin {
+			e.pins = 1
+		}
+		e.element = s.lru.PushFront(id)
+		s.objects[id] = e
+		s.used += rec.size
+		rec.dropped = true
+		delete(s.spilled, id)
+		s.spilledBytes -= rec.size
+		hadFile := rec.data == nil
+		waiters := s.waiters[id]
+		delete(s.waiters, id)
+		s.mu.Unlock()
+
+		for _, ch := range waiters {
+			close(ch)
+		}
+		if hadFile {
+			os.Remove(path)
+		}
+		s.writeSpills(toSpill)
+		s.notifyEvicted(evicted)
+		s.restores.Add(1)
+		return obj, true
+	}
+}
+
+// dropSpilledCopy discards a spill record whose file is gone or corrupt and
+// withdraws the object's location via the eviction callback, opening the
+// lineage-reconstruction path.
+func (s *Store) dropSpilledCopy(id types.ObjectID, rec *spillRecord) {
+	s.mu.Lock()
+	if s.spilled[id] != rec {
+		s.mu.Unlock()
+		return
+	}
+	rec.dropped = true
+	delete(s.spilled, id)
+	s.spilledBytes -= rec.size
+	ev := evictedObject{id: id, size: rec.size}
+	if s.cfg.OnEvict != nil {
+		ev.done = make(chan struct{})
+		s.evictNotify[id] = append(s.evictNotify[id], ev.done)
+	}
+	s.mu.Unlock()
+	s.restoreErrors.Add(1)
+	os.Remove(rec.path)
+	s.notifyEvicted([]evictedObject{ev})
 }
 
 // notifyEvicted runs the eviction callback for each evicted object and then
@@ -364,38 +593,69 @@ func (s *Store) removeLocked(id types.ObjectID, e *entry) {
 	s.used -= e.obj.Size()
 }
 
-// Get returns the object if it is local, bumping its LRU recency.
+// Get returns the object if it is local, bumping its LRU recency. A spilled
+// object is restored from disk transparently.
 func (s *Store) Get(id types.ObjectID) (*Object, bool) {
 	s.gets.Add(1)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	e, ok := s.objects[id]
-	if !ok {
+	if ok {
+		s.hits.Add(1)
+		s.lru.MoveToFront(e.element)
+		s.mu.Unlock()
+		return e.obj, true
+	}
+	_, haveSpill := s.spilled[id]
+	s.mu.Unlock()
+	if !haveSpill {
 		return nil, false
 	}
-	s.hits.Add(1)
-	s.lru.MoveToFront(e.element)
-	return e.obj, true
+	obj, ok := s.restore(id, false)
+	if ok {
+		s.hits.Add(1)
+	}
+	return obj, ok
 }
 
-// Contains reports whether the object is local without affecting recency.
+// Contains reports whether the object is local — resident or spilled —
+// without affecting recency.
 func (s *Store) Contains(id types.ObjectID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.objects[id]
+	if _, ok := s.objects[id]; ok {
+		return true
+	}
+	_, ok := s.spilled[id]
 	return ok
 }
 
-// Delete removes an object regardless of recency (used when a node drops
-// objects on failure injection). Pinned objects cannot be deleted.
+// Delete removes an object regardless of recency (reference-count
+// reclamation, job GC, failure injection), including its spill copy if any.
+// Pinned objects cannot be deleted.
 func (s *Store) Delete(id types.ObjectID) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.objects[id]
-	if !ok || e.pins > 0 {
+	if e, ok := s.objects[id]; ok {
+		if e.pins > 0 {
+			s.mu.Unlock()
+			return false
+		}
+		s.removeLocked(id, e)
+		s.mu.Unlock()
+		return true
+	}
+	rec, ok := s.spilled[id]
+	if !ok {
+		s.mu.Unlock()
 		return false
 	}
-	s.removeLocked(id, e)
+	rec.dropped = true
+	delete(s.spilled, id)
+	s.spilledBytes -= rec.size
+	hadFile := rec.data == nil
+	s.mu.Unlock()
+	if hadFile {
+		os.Remove(rec.path)
+	}
 	return true
 }
 
@@ -414,19 +674,28 @@ func (s *Store) Pin(id types.ObjectID) bool {
 
 // GetPin atomically fetches the object and pins it, bumping LRU recency.
 // The worker pool uses it to hold a running task's inputs resident for the
-// duration of execution; the caller must Unpin when done.
+// duration of execution; the caller must Unpin when done. A spilled object
+// is restored (and pinned atomically at re-admission) first.
 func (s *Store) GetPin(id types.ObjectID) (*Object, bool) {
 	s.gets.Add(1)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.objects[id]
-	if !ok {
+	if e, ok := s.objects[id]; ok {
+		s.hits.Add(1)
+		e.pins++
+		s.lru.MoveToFront(e.element)
+		s.mu.Unlock()
+		return e.obj, true
+	}
+	_, haveSpill := s.spilled[id]
+	s.mu.Unlock()
+	if !haveSpill {
 		return nil, false
 	}
-	s.hits.Add(1)
-	e.pins++
-	s.lru.MoveToFront(e.element)
-	return e.obj, true
+	obj, ok := s.restore(id, true)
+	if ok {
+		s.hits.Add(1)
+	}
+	return obj, ok
 }
 
 // Unpin releases a previous Pin.
@@ -438,7 +707,8 @@ func (s *Store) Unpin(id types.ObjectID) {
 	}
 }
 
-// Wait blocks until the object is local or the context is cancelled.
+// Wait blocks until the object is local or the context is cancelled. A
+// spilled object counts as local and is restored before returning.
 func (s *Store) Wait(ctx context.Context, id types.ObjectID) (*Object, error) {
 	for {
 		s.mu.Lock()
@@ -446,6 +716,14 @@ func (s *Store) Wait(ctx context.Context, id types.ObjectID) (*Object, error) {
 			s.lru.MoveToFront(e.element)
 			s.mu.Unlock()
 			return e.obj, nil
+		}
+		_, haveSpill := s.spilled[id]
+		if haveSpill {
+			s.mu.Unlock()
+			if obj, ok := s.restore(id, false); ok {
+				return obj, nil
+			}
+			continue
 		}
 		ch := make(chan struct{})
 		s.waiters[id] = append(s.waiters[id], ch)
@@ -460,30 +738,47 @@ func (s *Store) Wait(ctx context.Context, id types.ObjectID) (*Object, error) {
 	}
 }
 
-// List returns the IDs of all resident objects (for failure injection and
-// debugging tools).
+// List returns the IDs of all local objects — resident and spilled (both
+// have registered locations; failure injection withdraws them all).
 func (s *Store) List() []types.ObjectID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]types.ObjectID, 0, len(s.objects))
+	out := make([]types.ObjectID, 0, len(s.objects)+len(s.spilled))
 	for id := range s.objects {
+		out = append(out, id)
+	}
+	for id := range s.spilled {
 		out = append(out, id)
 	}
 	return out
 }
 
-// DropAll removes every unpinned object, simulating the loss of a node's
-// store contents. It returns the dropped IDs.
+// DropAll removes every unpinned object — including spill copies, whose
+// files are deleted (a dead node's disk is gone with it) — simulating the
+// loss of a node's store contents. It returns the dropped IDs.
 func (s *Store) DropAll() []types.ObjectID {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var dropped []types.ObjectID
+	var files []string
 	for id, e := range s.objects {
 		if e.pins > 0 {
 			continue
 		}
 		s.removeLocked(id, e)
 		dropped = append(dropped, id)
+	}
+	for id, rec := range s.spilled {
+		rec.dropped = true
+		delete(s.spilled, id)
+		s.spilledBytes -= rec.size
+		if rec.data == nil {
+			files = append(files, rec.path)
+		}
+		dropped = append(dropped, id)
+	}
+	s.mu.Unlock()
+	for _, path := range files {
+		os.Remove(path)
 	}
 	return dropped
 }
@@ -505,6 +800,13 @@ func (s *Store) Len() int {
 	return len(s.objects)
 }
 
+// SpilledBytes returns the payload bytes currently spilled to disk.
+func (s *Store) SpilledBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilledBytes
+}
+
 // Stats is a snapshot of store counters.
 type Stats struct {
 	Puts      int64
@@ -513,16 +815,37 @@ type Stats struct {
 	Evictions int64
 	Used      int64
 	Objects   int
+	// Spills counts primary copies written to disk under memory pressure;
+	// Restores counts spilled copies brought back on demand. SpillErrors are
+	// failed disk writes (the copy stayed in memory); RestoreErrors are
+	// missing/corrupt spill files (the location was withdrawn, opening the
+	// lineage path).
+	Spills        int64
+	Restores      int64
+	SpillErrors   int64
+	RestoreErrors int64
+	SpilledBytes  int64
+	SpilledCount  int
 }
 
 // Stats returns a snapshot of store counters.
 func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	spilledBytes := s.spilledBytes
+	spilledCount := len(s.spilled)
+	s.mu.Unlock()
 	return Stats{
-		Puts:      s.puts.Load(),
-		Gets:      s.gets.Load(),
-		Hits:      s.hits.Load(),
-		Evictions: s.evictions.Load(),
-		Used:      s.Used(),
-		Objects:   s.Len(),
+		Puts:          s.puts.Load(),
+		Gets:          s.gets.Load(),
+		Hits:          s.hits.Load(),
+		Evictions:     s.evictions.Load(),
+		Used:          s.Used(),
+		Objects:       s.Len(),
+		Spills:        s.spills.Load(),
+		Restores:      s.restores.Load(),
+		SpillErrors:   s.spillErrors.Load(),
+		RestoreErrors: s.restoreErrors.Load(),
+		SpilledBytes:  spilledBytes,
+		SpilledCount:  spilledCount,
 	}
 }

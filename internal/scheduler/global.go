@@ -35,12 +35,19 @@ type GlobalConfig struct {
 	// EMAAlpha is the exponential-averaging coefficient for observed task
 	// durations and bandwidth (paper Section 4.2.2). Zero means 0.2.
 	EMAAlpha float64
+	// MemoryWatermark is the object-store occupancy fraction (used/capacity,
+	// reported via heartbeats) above which a node is considered close to
+	// eviction: placing a task there would likely spill or evict objects to
+	// make room for its outputs. Such nodes are only chosen when no node
+	// below the watermark can run the task. Zero disables the check.
+	MemoryWatermark float64
 }
 
 // DefaultGlobalConfig returns a locality-aware configuration assuming a
-// 25 Gbps interconnect.
+// 25 Gbps interconnect, steering work away from nodes above 80% object-store
+// occupancy.
 func DefaultGlobalConfig() GlobalConfig {
-	return GlobalConfig{LocalityAware: true, BandwidthBytesPerSec: 3.125e9, EMAAlpha: 0.2}
+	return GlobalConfig{LocalityAware: true, BandwidthBytesPerSec: 3.125e9, EMAAlpha: 0.2, MemoryWatermark: 0.8}
 }
 
 // Global is one global scheduler replica. Replicas are stateless: every
@@ -140,7 +147,11 @@ func (g *Global) Schedule(ctx context.Context, spec *task.Spec) (types.NodeID, e
 	// Two candidate tiers: nodes whose *currently available* resources fit
 	// the request (preferred — the task can start immediately), and nodes
 	// whose total capacity fits it (fallback — the task must queue there).
-	// Within a tier, pick the lowest estimated waiting time.
+	// Within a tier, pick the lowest estimated waiting time. Nodes above the
+	// memory watermark are demoted out of the preferred tier and penalized in
+	// the fallback tier, so tasks land on memory-pressured nodes only when
+	// nothing else can run them.
+	const memoryPressurePenaltyMillis = 1e9
 	best := types.NilNodeID
 	bestCost := math.MaxFloat64
 	bestAvailable := types.NilNodeID
@@ -151,6 +162,7 @@ func (g *Global) Schedule(ctx context.Context, spec *task.Spec) (types.NodeID, e
 			continue
 		}
 		feasible = true
+		pressured := g.cfg.MemoryWatermark > 0 && n.MemoryPressure() >= g.cfg.MemoryWatermark
 		// Queueing delay estimate.
 		avg := n.AvgTaskMillis
 		if avg <= 0 {
@@ -167,11 +179,14 @@ func (g *Global) Schedule(ctx context.Context, spec *task.Spec) (types.NodeID, e
 			}
 			cost += float64(remoteBytes) / bandwidth * 1000 // milliseconds
 		}
+		if pressured {
+			cost += memoryPressurePenaltyMillis
+		}
 		if cost < bestCost {
 			bestCost = cost
 			best = n.ID
 		}
-		if resources.FitsSnapshot(n.AvailableResources, spec.Resources) && cost < bestAvailableCost {
+		if !pressured && resources.FitsSnapshot(n.AvailableResources, spec.Resources) && cost < bestAvailableCost {
 			bestAvailableCost = cost
 			bestAvailable = n.ID
 		}

@@ -48,7 +48,9 @@ type LocalConfig struct {
 	// Pool is the node's resource pool.
 	Pool *resources.Pool
 	// SpilloverThreshold is the queued-task count above which new tasks are
-	// forwarded to the global scheduler instead of queued locally.
+	// forwarded to the global scheduler instead of queued locally. The test
+	// is per job: one job's backlog spills that job's overflow without
+	// forcing an idle job's occasional task off its own node.
 	// Zero means 64.
 	SpilloverThreshold int
 	// InjectedLatency adds artificial delay to every local scheduling
@@ -100,8 +102,11 @@ type Local struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	// queued counts tasks accepted locally that have not finished.
-	queued int
+	// queued counts tasks accepted locally that have not finished;
+	// queuedByJob breaks the same count down per job so the spillover test
+	// can charge a backlog to the job that built it.
+	queued      int
+	queuedByJob map[types.JobID]int
 	// actorHold tracks resources held by live actors created on this node.
 	actorHold map[types.ActorID]resources.Request
 	// avgTaskMs is the exponentially averaged execution time of recent tasks.
@@ -156,12 +161,13 @@ func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forwa
 		cfg.PullFanOut = 4
 	}
 	l := &Local{
-		cfg:       cfg,
-		runner:    runner,
-		puller:    puller,
-		forward:   forward,
-		actorHold: make(map[types.ActorID]resources.Request),
-		avgTaskMs: 1,
+		cfg:         cfg,
+		runner:      runner,
+		puller:      puller,
+		forward:     forward,
+		actorHold:   make(map[types.ActorID]resources.Request),
+		queuedByJob: make(map[types.JobID]int),
+		avgTaskMs:   1,
 	}
 	if !cfg.FIFOScheduling {
 		l.fairQ = job.NewFairQueue[queuedTask](cfg.JobWeight)
@@ -237,6 +243,7 @@ func (l *Local) PurgeJob(jobID types.JobID) int {
 	// and wake anyone waiting for the queue to drain.
 	l.mu.Lock()
 	l.queued -= len(dropped)
+	l.decJobQueuedLocked(jobID, len(dropped))
 	l.mu.Unlock()
 	l.cond.Broadcast()
 	l.purged.Add(int64(len(dropped)))
@@ -277,7 +284,10 @@ func (l *Local) Submit(ctx context.Context, spec *task.Spec) error {
 		return l.accept(ctx, spec)
 	}
 	l.mu.Lock()
-	overloaded := l.queued >= l.cfg.SpilloverThreshold
+	// Overload is judged against the submitting job's own backlog, not the
+	// node total: a greedy job that floods the queue spills its own overflow
+	// while a quiet job's next task still runs where it was submitted.
+	overloaded := l.queuedByJob[spec.Job] >= l.cfg.SpilloverThreshold
 	infeasible := !l.cfg.Pool.CanEverFit(spec.Resources)
 	// Actor creations hold their resources for the actor's lifetime, so
 	// accepting one the node cannot currently satisfy risks queueing it
@@ -340,6 +350,7 @@ func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 		return fmt.Errorf("scheduler: node %s draining: %w", l.cfg.NodeID, types.ErrNodeDead)
 	}
 	l.queued++
+	l.queuedByJob[spec.Job]++
 	l.mu.Unlock()
 	l.scheduledLocal.Add(1)
 	if l.cfg.DirectDispatch {
@@ -408,6 +419,7 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 	defer func() {
 		l.mu.Lock()
 		l.queued--
+		l.decJobQueuedLocked(spec.Job, 1)
 		l.mu.Unlock()
 		l.cond.Broadcast()
 	}()
@@ -566,6 +578,16 @@ func (l *Local) acquireWithDeadline(spec *task.Spec, deadline time.Duration) boo
 			return false
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// decJobQueuedLocked settles a job's share of the queued count, dropping the
+// map entry at zero so finished jobs do not accumulate. Called with mu held.
+func (l *Local) decJobQueuedLocked(jobID types.JobID, n int) {
+	if c := l.queuedByJob[jobID] - n; c > 0 {
+		l.queuedByJob[jobID] = c
+	} else {
+		delete(l.queuedByJob, jobID)
 	}
 }
 

@@ -178,6 +178,42 @@ func TestLocalForwardsWhenOverloaded(t *testing.T) {
 	waitFor(t, func() bool { return l.Stats().Completed == 2 }, "local tasks completion")
 }
 
+func TestSpilloverIsPerJob(t *testing.T) {
+	runner := &fakeRunner{duration: 50 * time.Millisecond}
+	fwd := &fakeForwarder{}
+	l := newLocal(LocalConfig{SpilloverThreshold: 2, Pool: resources.NewNodePool(1, 0, 0)}, runner, &fakePuller{}, fwd)
+	ctx := context.Background()
+	greedy := types.NewJobID()
+	quiet := types.NewJobID()
+	// The greedy job floods past the threshold: its overflow forwards.
+	for i := 0; i < 6; i++ {
+		spec := simpleSpec(1)
+		spec.Job = greedy
+		if err := l.Submit(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fwd.count() != 4 {
+		t.Fatalf("greedy job should spill its overflow: expected 4 forwards, got %d", fwd.count())
+	}
+	// The quiet job's task lands while the greedy backlog still queues; it
+	// must be accepted locally, not forwarded because of someone else's flood.
+	spec := simpleSpec(1)
+	spec.Job = quiet
+	if err := l.Submit(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	fwd.mu.Lock()
+	for _, s := range fwd.specs {
+		if s.Job == quiet {
+			fwd.mu.Unlock()
+			t.Fatal("idle job's task forwarded because of another job's backlog")
+		}
+	}
+	fwd.mu.Unlock()
+	waitFor(t, func() bool { return l.Stats().Completed == 3 }, "locally accepted tasks complete")
+}
+
 func TestLocalRespectsResourceLimits(t *testing.T) {
 	runner := &fakeRunner{duration: 30 * time.Millisecond}
 	l := newLocal(LocalConfig{Pool: resources.NewNodePool(2, 0, 0), SpilloverThreshold: 100}, runner, &fakePuller{}, &fakeForwarder{})
@@ -379,6 +415,52 @@ func TestGlobalPicksLeastLoadedNode(t *testing.T) {
 	}
 	if g.Decisions() != 1 {
 		t.Fatal("decision counter wrong")
+	}
+}
+
+func TestGlobalAvoidsMemoryPressuredNodes(t *testing.T) {
+	store := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	registerMemNode := func(queue int, used, capacity int64) types.NodeID {
+		id := types.NewNodeID()
+		total := map[string]float64{resources.CPU: 8}
+		err := store.RegisterNode(context.Background(), &gcs.NodeEntry{
+			ID:                 id,
+			State:              types.NodeAlive,
+			TotalResources:     total,
+			AvailableResources: total,
+			QueueLength:        queue,
+			AvgTaskMillis:      10,
+			MemoryUsed:         used,
+			MemoryCapacity:     capacity,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// The idle node is above the 80% watermark; the busier one has headroom.
+	pressured := registerMemNode(0, 95, 100)
+	healthy := registerMemNode(5, 10, 100)
+	g := NewGlobal(DefaultGlobalConfig(), store)
+	node, err := g.Schedule(context.Background(), simpleSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != healthy {
+		t.Fatalf("task must avoid the memory-pressured node: got %v (pressured=%v)", node, pressured)
+	}
+	// With the watermark disabled the idle pressured node wins again.
+	off := NewGlobal(GlobalConfig{LocalityAware: true}, store)
+	if node, err = off.Schedule(context.Background(), simpleSpec(1)); err != nil || node != pressured {
+		t.Fatalf("watermark disabled: expected %v, got %v (%v)", pressured, node, err)
+	}
+	// When every node is pressured, scheduling still succeeds (best effort).
+	allBad := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	store = allBad
+	only := registerMemNode(3, 99, 100)
+	g2 := NewGlobal(DefaultGlobalConfig(), allBad)
+	if node, err = g2.Schedule(context.Background(), simpleSpec(1)); err != nil || node != only {
+		t.Fatalf("fully pressured cluster must still place: got %v (%v)", node, err)
 	}
 }
 

@@ -1,0 +1,27 @@
+package types
+
+import "context"
+
+// Lineage-replay marker.
+//
+// When a task is re-executed to reconstruct a lost object (or to rebuild an
+// actor), its completion must not decrement the reference counts of its
+// argument objects: the original execution already consumed those references,
+// and a replay decrementing them again would double-release objects that
+// other holders still reference. Reconstruction paths stamp the submission
+// context with this marker; the worker pool checks it before releasing
+// references at task completion.
+
+type lineageReplayKey struct{}
+
+// WithLineageReplay marks a context as belonging to a lineage or actor
+// reconstruction replay.
+func WithLineageReplay(ctx context.Context) context.Context {
+	return context.WithValue(ctx, lineageReplayKey{}, true)
+}
+
+// IsLineageReplay reports whether the context carries the replay marker.
+func IsLineageReplay(ctx context.Context) bool {
+	v, _ := ctx.Value(lineageReplayKey{}).(bool)
+	return v
+}

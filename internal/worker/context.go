@@ -58,6 +58,13 @@ type TaskContext struct {
 	runtime Runtime
 	ids     *types.IDGenerator
 	putSeq  atomic.Int64
+
+	// created accumulates the objects this context holds owner references on
+	// (futures returned by Call/CallActor/CreateActor, Put results). Worker
+	// task contexts are auto-released when the task finishes; a driver's
+	// context is released by job-exit cleanup. Free releases entries early.
+	createdMu sync.Mutex
+	created   []types.ObjectID
 }
 
 // NewTaskContext builds a context for a task execution. The node runtime
@@ -68,6 +75,54 @@ func NewTaskContext(ctx context.Context, id types.TaskID, job types.JobID, drive
 
 // Runtime exposes the underlying cluster runtime (used by the core package).
 func (c *TaskContext) Runtime() Runtime { return c.runtime }
+
+// trackCreated records owner references this context now holds.
+func (c *TaskContext) trackCreated(ids ...types.ObjectID) {
+	if len(ids) == 0 {
+		return
+	}
+	c.createdMu.Lock()
+	c.created = append(c.created, ids...)
+	c.createdMu.Unlock()
+}
+
+// TakeCreated returns and clears the owner references this context holds.
+// The worker pool calls it when the task finishes to release them.
+func (c *TaskContext) TakeCreated() []types.ObjectID {
+	c.createdMu.Lock()
+	out := c.created
+	c.created = nil
+	c.createdMu.Unlock()
+	return out
+}
+
+// Free releases this context's references on the given objects before the
+// task (or driver) finishes — the explicit early-release hook for programs
+// that are done with a large intermediate result. Objects whose reference
+// count reaches zero are reclaimed cluster-wide. Freeing an object this
+// context does not reference is a no-op.
+func (c *TaskContext) Free(ids ...types.ObjectID) {
+	if len(ids) == 0 {
+		return
+	}
+	drop := make(map[types.ObjectID]bool, len(ids))
+	var owned []types.ObjectID
+	c.createdMu.Lock()
+	for _, id := range ids {
+		drop[id] = true
+	}
+	kept := c.created[:0]
+	for _, id := range c.created {
+		if drop[id] {
+			owned = append(owned, id)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	c.created = kept
+	c.createdMu.Unlock()
+	c.runtime.FreeObjects(c.Ctx, owned...)
+}
 
 // CallContext returns the context itself. It exists so that every value that
 // embeds a *TaskContext (drivers, application wrappers) satisfies the public
@@ -148,6 +203,7 @@ func (c *TaskContext) Call(function string, opts CallOptions, args ...any) ([]ty
 	if err := c.runtime.SubmitSpec(c.Ctx, spec); err != nil {
 		return nil, err
 	}
+	c.trackCreated(spec.Returns()...)
 	return spec.Returns(), nil
 }
 
@@ -271,6 +327,7 @@ func (c *TaskContext) Put(v any) (types.ObjectID, error) {
 	if err := c.runtime.StoreObject(c.Ctx, id, data, false, c.TaskID, c.Job); err != nil {
 		return types.NilObjectID, err
 	}
+	c.trackCreated(id)
 	return id, nil
 }
 
@@ -338,6 +395,7 @@ func (c *TaskContext) CreateActor(class string, opts CallOptions, args ...any) (
 	if err := c.runtime.SubmitSpec(c.Ctx, spec); err != nil {
 		return nil, err
 	}
+	c.trackCreated(spec.Returns()...)
 	return &ActorHandle{ID: actorID, Class: class, creation: spec.ID, lastTask: spec.ID}, nil
 }
 
@@ -370,6 +428,7 @@ func (c *TaskContext) CallActor(h *ActorHandle, method string, opts CallOptions,
 	if err := c.runtime.SubmitSpec(c.Ctx, spec); err != nil {
 		return nil, err
 	}
+	c.trackCreated(spec.Returns()...)
 	return spec.Returns(), nil
 }
 

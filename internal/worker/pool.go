@@ -120,7 +120,17 @@ func (p *Pool) Run(ctx context.Context, spec *task.Spec) error {
 		outs, appErr = fn(tctx, args)
 	}
 
-	return p.storeOutputs(ctx, spec, outs, appErr)
+	if err := p.storeOutputs(ctx, spec, outs, appErr); err != nil {
+		return err
+	}
+	// The task is done: the owner references its context accumulated (nested
+	// call futures, puts) die with it. Outputs the task handed back as data
+	// are already stored; objects only the task referenced are now
+	// unreachable and get reclaimed.
+	if created := tctx.TakeCreated(); len(created) > 0 {
+		p.getRuntime().FreeObjects(ctx, created...)
+	}
+	return nil
 }
 
 // Fail implements the scheduler's failure path: the task could not run (its
@@ -211,6 +221,15 @@ func (p *Pool) storeOutputs(ctx context.Context, spec *task.Spec, outs [][]byte,
 	if p.cfg.RecordLineage {
 		if err := p.gcs.UpdateTaskStatus(ctx, spec.ID, status, p.cfg.NodeID); err != nil {
 			return err
+		}
+	}
+	// The task no longer pends on its arguments: release the pending-task
+	// references submission took on them. Lineage replays skip this — the
+	// replayed submission never incremented, so a decrement here would steal
+	// a live holder's reference.
+	if !types.IsLineageReplay(ctx) {
+		if deps := spec.Dependencies(); len(deps) > 0 {
+			p.gcs.DecObjectRefs(ctx, deps...)
 		}
 	}
 	return nil

@@ -294,6 +294,11 @@ type Runtime interface {
 	// WaitObjects blocks until at least k of the given objects are available
 	// anywhere in the cluster or the timeout expires, returning the ready set.
 	WaitObjects(ctx context.Context, ids []types.ObjectID, k int, timeoutMillis int64) ([]types.ObjectID, error)
+	// FreeObjects releases the caller's references on the objects. Objects
+	// whose reference count reaches zero are reclaimed cluster-wide (store
+	// copies deleted, GCS locations withdrawn). A no-op when ownership
+	// reference counting is disabled.
+	FreeObjects(ctx context.Context, ids ...types.ObjectID)
 	// NodeID identifies the node this runtime belongs to.
 	NodeID() types.NodeID
 }

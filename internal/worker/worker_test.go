@@ -69,6 +69,10 @@ func (r *testRuntime) WaitObjects(ctx context.Context, ids []types.ObjectID, k i
 	}
 }
 
+func (r *testRuntime) FreeObjects(ctx context.Context, ids ...types.ObjectID) {
+	r.pool.gcs.DecObjectRefs(ctx, ids...)
+}
+
 func (r *testRuntime) NodeID() types.NodeID { return r.node }
 
 type testEnv struct {

@@ -123,6 +123,24 @@ func Put[T any](c Caller, value T) (ObjectRef[T], error) {
 	return ObjectRef[T]{ID: id}, err
 }
 
+// Free releases the caller's ownership references on the given futures
+// before the program (or enclosing task) finishes. An object whose last
+// reference dies is reclaimed cluster-wide — store copies deleted, spill
+// files removed, locations withdrawn — so long-running drivers that are done
+// with a large intermediate result can return its memory immediately instead
+// of waiting for job exit. Freeing a reference the caller does not own (or
+// an inline value) is a no-op; a freed future must not be passed to Get or
+// to further task submissions.
+func Free[T any](c Caller, refs ...ObjectRef[T]) {
+	ids := make([]types.ObjectID, 0, len(refs))
+	for _, r := range refs {
+		if r.inline == nil && !r.ID.IsNil() {
+			ids = append(ids, r.ID)
+		}
+	}
+	c.CallContext().Free(ids...)
+}
+
 // Wait blocks until at least k of the futures are available or the timeout
 // expires, returning the ready and not-ready sets — the ray.wait of Table 1,
 // added so applications can react to whichever rollout finishes first.
