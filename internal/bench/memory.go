@@ -79,6 +79,7 @@ func LargerThanMemory(scale Scale) (*Table, error) {
 
 	// Best-effort persistence: running outside the repo checkout (e.g. an
 	// installed binary) just skips the file.
+	//lint:ignore errdrop benchmark result persistence is best-effort; the numbers were already printed to stdout
 	_ = Persist(Result{
 		Experiment: "larger_than_memory",
 		Config: map[string]any{

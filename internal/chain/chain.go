@@ -336,6 +336,7 @@ func (c *Chain) repair(ctx context.Context) error {
 		}
 		if d > 0 {
 			timer := time.NewTimer(d)
+			//lint:ignore mutexhold repair intentionally blocks config readers: no write may observe the chain mid-reconfiguration
 			select {
 			case <-ctx.Done():
 				timer.Stop()
@@ -357,6 +358,7 @@ func (c *Chain) repair(ctx context.Context) error {
 		snapshot := tail.Store().Snapshot()
 		if c.cfg.Network != nil && c.cfg.StateTransferBytesPerEntry > 0 {
 			size := int64(len(snapshot)) * c.cfg.StateTransferBytesPerEntry
+			//lint:ignore mutexhold state transfer must complete under configMu so the joining tail sees no writes it missed
 			if err := c.cfg.Network.Transfer(ctx, size, c.cfg.Network.Config().MaxParallelStreams); err != nil {
 				return err
 			}

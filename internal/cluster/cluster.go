@@ -110,6 +110,19 @@ type Cluster struct {
 	actorRoutes      atomic.Int64
 	reconstructedA   atomic.Int64
 	objectsReclaimed atomic.Int64
+
+	// pendingWithdraw holds object locations whose GCS withdrawal failed
+	// after the replica was already deleted from a store (reclamation and
+	// job-exit cleanup). A stale location points consumers at deleted data,
+	// so the heartbeat aggregator retries these until they commit.
+	withdrawMu      sync.Mutex
+	pendingWithdraw map[withdrawal]struct{}
+}
+
+// withdrawal identifies one (object, node) location entry awaiting removal.
+type withdrawal struct {
+	obj  types.ObjectID
+	node types.NodeID
 }
 
 // New builds a cluster (nodes are created but not started; call Start).
@@ -201,11 +214,13 @@ func (c *Cluster) heartbeatLoop(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
+			c.retryWithdrawals(ctx)
 			alive := c.AliveNodes()
 			updates := make([]gcs.HeartbeatUpdate, 0, len(alive))
 			for _, n := range alive {
 				updates = append(updates, n.LoadUpdate())
 			}
+			//lint:ignore errdrop periodic refresh: the next tick re-sends the full batch, so a transient commit failure self-heals
 			_ = c.gcs.HeartbeatBatch(ctx, updates)
 		}
 	}
@@ -228,6 +243,7 @@ func (c *Cluster) Shutdown() {
 			c.heartbeatCancel()
 			<-c.heartbeatDone
 		}
+		//lint:ignore errdrop Shutdown is idempotent; a Close error on an already-stopped store changes nothing
 		_ = c.gcs.Close()
 	})
 }
@@ -362,6 +378,7 @@ func (c *Cluster) placeTask(ctx context.Context, spec *task.Spec) error {
 		if n == nil || n.Dead() {
 			lastErr = fmt.Errorf("cluster: scheduled node %s unavailable: %w", target, types.ErrNodeDead)
 			// The GCS may not have caught up; mark and retry.
+			//lint:ignore errdrop best-effort hint before the retry loop re-schedules; heartbeat timeout is the authoritative detector
 			_ = c.gcs.MarkNodeDead(ctx, target)
 			continue
 		}
@@ -590,11 +607,13 @@ func (c *Cluster) doReconstructActor(ctx context.Context, id types.ActorID) erro
 		}
 		if dead, ok, gerr := c.gcs.GetActor(ctx, id); gerr == nil && ok {
 			dead.State = types.ActorDead
+			//lint:ignore errdrop best-effort tombstone; job GC sweeps terminated jobs' actors as the backstop
 			_ = c.gcs.PutActor(ctx, id, dead)
 		}
 		return fmt.Errorf("cluster: actor %s: %w", id, types.ErrJobTerminated)
 	}
 	c.reconstructedA.Add(1)
+	//lint:ignore errdrop the event log is advisory; reconstruction already succeeded
 	_ = c.gcs.AppendEvent(ctx, "actor_reconstructed", id.String())
 	return nil
 }
@@ -643,6 +662,7 @@ func (c *Cluster) StopJobActors(ctx context.Context, jobID types.JobID) int {
 	for _, actorID := range c.gcs.ActorsForJob(jobID) {
 		if entry, ok, err := c.gcs.GetActor(ctx, actorID); err == nil && ok && entry.State != types.ActorDead {
 			entry.State = types.ActorDead
+			//lint:ignore errdrop best-effort tombstone; StopActor below is what actually halts execution, and job GC re-sweeps
 			_ = c.gcs.PutActor(ctx, actorID, entry)
 		}
 		for _, nd := range c.AliveNodes() {
@@ -654,6 +674,59 @@ func (c *Cluster) StopJobActors(ctx context.Context, jobID types.JobID) int {
 	}
 	c.gcs.DropJobActorIndex(jobID)
 	return stopped
+}
+
+// noteFailedWithdrawal parks an object location whose GCS withdrawal failed
+// after the replica was deleted, for retry by the heartbeat aggregator.
+func (c *Cluster) noteFailedWithdrawal(obj types.ObjectID, nodeID types.NodeID) {
+	c.withdrawMu.Lock()
+	if c.pendingWithdraw == nil {
+		c.pendingWithdraw = make(map[withdrawal]struct{})
+	}
+	c.pendingWithdraw[withdrawal{obj: obj, node: nodeID}] = struct{}{}
+	c.withdrawMu.Unlock()
+}
+
+// retryWithdrawals re-attempts parked location withdrawals so a transient
+// GCS failure during reclamation cannot leave the object directory pointing
+// at deleted replicas forever. A withdrawal becomes stale — and is dropped —
+// if the node has meanwhile re-fetched the object: the location is valid
+// again and must stay.
+func (c *Cluster) retryWithdrawals(ctx context.Context) {
+	c.withdrawMu.Lock()
+	if len(c.pendingWithdraw) == 0 {
+		c.withdrawMu.Unlock()
+		return
+	}
+	pending := make([]withdrawal, 0, len(c.pendingWithdraw))
+	for w := range c.pendingWithdraw {
+		pending = append(pending, w)
+	}
+	c.withdrawMu.Unlock()
+
+	for _, w := range pending {
+		if nd := c.Node(w.node); nd != nil && !nd.Dead() && nd.Store().Contains(w.obj) {
+			c.clearWithdrawal(w)
+			continue
+		}
+		if err := c.gcs.RemoveObjectLocation(ctx, w.obj, w.node); err == nil {
+			c.clearWithdrawal(w)
+		}
+	}
+}
+
+func (c *Cluster) clearWithdrawal(w withdrawal) {
+	c.withdrawMu.Lock()
+	delete(c.pendingWithdraw, w)
+	c.withdrawMu.Unlock()
+}
+
+// PendingWithdrawals reports how many reclaimed-object location withdrawals
+// still await a successful GCS commit.
+func (c *Cluster) PendingWithdrawals() int {
+	c.withdrawMu.Lock()
+	defer c.withdrawMu.Unlock()
+	return len(c.pendingWithdraw)
 }
 
 // reclaimObject is the ownership ledger's reclaimer: an object's reference
@@ -676,7 +749,9 @@ func (c *Cluster) reclaimObject(ctx context.Context, id types.ObjectID) {
 		}
 		if nd.Store().Delete(id) {
 			c.objectsReclaimed.Add(1)
-			_ = c.gcs.RemoveObjectLocation(ctx, id, nodeID)
+			if err := c.gcs.RemoveObjectLocation(ctx, id, nodeID); err != nil {
+				c.noteFailedWithdrawal(id, nodeID)
+			}
 		}
 	}
 }
@@ -702,7 +777,9 @@ func (c *Cluster) ReleaseJobObjects(ctx context.Context, jobID types.JobID) int 
 				continue
 			}
 			if nd.Store().Delete(objID) {
-				_ = c.gcs.RemoveObjectLocation(ctx, objID, nodeID)
+				if err := c.gcs.RemoveObjectLocation(ctx, objID, nodeID); err != nil {
+					c.noteFailedWithdrawal(objID, nodeID)
+				}
 				released++
 			}
 		}

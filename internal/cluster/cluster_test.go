@@ -332,3 +332,69 @@ func TestClusterRunsTasksEndToEndBothControlPlanes(t *testing.T) {
 		})
 	}
 }
+
+// Regression test for failed location withdrawals during reclamation: a
+// withdrawal that could not commit to the GCS is parked and retried, not
+// dropped — otherwise the object directory would point at deleted replicas
+// forever and fetchers would hang on phantom locations.
+func TestWithdrawalRetry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	c := newTestCluster(t, cfg)
+	ctx := context.Background()
+	n := c.AliveNodes()[0]
+
+	// An object whose replica was deleted but whose location withdrawal
+	// failed: the location is still in the GCS, the store copy is gone.
+	obj := types.NewObjectID()
+	if err := c.GCS().AddObjectLocation(ctx, obj, n.ID(), 8, types.NewTaskID(), types.NilJobID); err != nil {
+		t.Fatal(err)
+	}
+	c.noteFailedWithdrawal(obj, n.ID())
+	if got := c.PendingWithdrawals(); got != 1 {
+		t.Fatalf("PendingWithdrawals = %d, want 1", got)
+	}
+
+	c.retryWithdrawals(ctx)
+
+	if got := c.PendingWithdrawals(); got != 0 {
+		t.Fatalf("PendingWithdrawals after retry = %d, want 0", got)
+	}
+	if entry, ok, err := c.GCS().GetObject(ctx, obj); err != nil {
+		t.Fatal(err)
+	} else if ok && len(entry.Locations) != 0 {
+		t.Fatalf("stale location survived retry: %v", entry.Locations)
+	}
+}
+
+// A parked withdrawal must be dropped — without touching the GCS — when the
+// node has meanwhile re-fetched the object: the location is valid again.
+func TestWithdrawalRetrySkipsRefetchedObject(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	c := newTestCluster(t, cfg)
+	ctx := context.Background()
+	n := c.AliveNodes()[0]
+
+	obj := types.NewObjectID()
+	if err := n.Store().Put(obj, []byte("payload"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GCS().AddObjectLocation(ctx, obj, n.ID(), 7, types.NewTaskID(), types.NilJobID); err != nil {
+		t.Fatal(err)
+	}
+	c.noteFailedWithdrawal(obj, n.ID())
+
+	c.retryWithdrawals(ctx)
+
+	if got := c.PendingWithdrawals(); got != 0 {
+		t.Fatalf("stale withdrawal not cleared: PendingWithdrawals = %d", got)
+	}
+	entry, ok, err := c.GCS().GetObject(ctx, obj)
+	if err != nil || !ok {
+		t.Fatalf("object entry missing: ok=%v err=%v", ok, err)
+	}
+	if len(entry.Locations) != 1 || entry.Locations[0] != n.ID() {
+		t.Fatalf("valid location withdrawn for resident object: %v", entry.Locations)
+	}
+}

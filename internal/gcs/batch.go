@@ -200,6 +200,7 @@ func (b *shardBatcher) flush(ctx context.Context) error {
 	snapshotSeq := b.seq
 	b.mu.Unlock()
 
+	//lint:ignore mutexhold flushMu orders snapshot commits: an older snapshot must never land after a newer one
 	err := b.chain.PutBatch(ctx, keys, values)
 	b.flushes.Add(1)
 

@@ -115,6 +115,13 @@ type Store struct {
 	flushedN  atomic.Int64
 	eventSeq  atomic.Uint64
 	flushedBy atomic.Int64
+	flushErrs atomic.Int64
+
+	// lastFlushErr holds the most recent background-flush failure.
+	// Threshold-driven flushes have no caller to return an error to, so the
+	// failure is surfaced here (and counted in Stats) instead of vanishing.
+	flushErrMu   sync.Mutex
+	lastFlushErr error
 
 	// refOnce/refLedger lazily build the ownership reference ledger
 	// (refs.go); lazy so zero-value Stores used in tests stay cheap.
@@ -407,9 +414,29 @@ func (s *Store) maybeFlush() {
 	if s.Bytes() < s.cfg.FlushThresholdBytes {
 		return
 	}
-	n, freed, _ := s.flushTail()
+	n, freed, err := s.flushTail()
 	s.flushedN.Add(int64(n))
 	s.flushedBy.Add(freed)
+	if err != nil {
+		s.noteFlushErr(err)
+	}
+}
+
+// noteFlushErr records a background-flush failure.
+func (s *Store) noteFlushErr(err error) {
+	s.flushErrs.Add(1)
+	s.flushErrMu.Lock()
+	s.lastFlushErr = err
+	s.flushErrMu.Unlock()
+}
+
+// FlushErr returns the most recent threshold-driven flush failure, or nil.
+// The entries of a failed flush stay resident (kv.Store.Flush is atomic on
+// failure), so the condition is recoverable: the next flush retries them.
+func (s *Store) FlushErr() error {
+	s.flushErrMu.Lock()
+	defer s.flushErrMu.Unlock()
+	return s.lastFlushErr
 }
 
 // FlushNow immediately flushes flushable entries (finished tasks and events)
@@ -477,8 +504,11 @@ type Stats struct {
 	Flushes        int64
 	FlushedEntries int64
 	FlushedBytes   int64
-	ResidentBytes  int64
-	ResidentKeys   int
+	// FlushErrors counts background (threshold-driven) flushes that failed;
+	// see Store.FlushErr for the most recent cause.
+	FlushErrors   int64
+	ResidentBytes int64
+	ResidentKeys  int
 	// BatchedWrites counts writes that went through the batching path.
 	BatchedWrites int64
 	// BatchCoalesced counts writes absorbed by an already-pending entry for
@@ -496,6 +526,7 @@ func (s *Store) Stats() Stats {
 		Flushes:        s.flushes.Load(),
 		FlushedEntries: s.flushedN.Load(),
 		FlushedBytes:   s.flushedBy.Load(),
+		FlushErrors:    s.flushErrs.Load(),
 		ResidentBytes:  s.Bytes(),
 		ResidentKeys:   s.Entries(),
 	}

@@ -3,6 +3,7 @@ package gcs
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -855,5 +856,53 @@ func TestBatchedFlushThresholdStillBoundsMemory(t *testing.T) {
 	}
 	if sink.Len() == 0 {
 		t.Fatal("flushed entries never reached the writer")
+	}
+}
+
+// errWriter fails every write, simulating a failed flush-storage device.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("flush device gone") }
+
+// Regression test: a threshold-driven flush that fails to write must be
+// surfaced through Stats().FlushErrors and FlushErr() rather than silently
+// dropped, and the flushable entries must stay resident so a later flush can
+// retry them.
+func TestBackgroundFlushFailureSurfaced(t *testing.T) {
+	s := New(Config{
+		Shards:              1,
+		ReplicationFactor:   1,
+		SyncWrites:          true,
+		FlushThresholdBytes: 512,
+		FlushWriter:         errWriter{},
+	})
+	ctx := context.Background()
+	var finished []types.TaskID
+	for i := 0; i < 50; i++ {
+		spec := &task.Spec{ID: types.NewTaskID(), Function: "noop", NumReturns: 1}
+		if err := s.AddTask(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.UpdateTaskStatus(ctx, spec.ID, types.TaskFinished, types.NilNodeID); err != nil {
+			t.Fatal(err)
+		}
+		finished = append(finished, spec.ID)
+	}
+	stats := s.Stats()
+	if stats.FlushErrors == 0 {
+		t.Fatal("flush failures not counted")
+	}
+	if err := s.FlushErr(); err == nil {
+		t.Fatal("FlushErr() nil after failed background flush")
+	}
+	if stats.FlushedEntries != 0 {
+		t.Fatalf("failed flushes reported %d flushed entries", stats.FlushedEntries)
+	}
+	// Every finished task must still be resident: the failed flush freed
+	// nothing, so lineage stays available for reconstruction.
+	for _, id := range finished {
+		if _, ok, err := s.GetTask(ctx, id); err != nil || !ok {
+			t.Fatalf("task %s lost by failed flush (ok=%v err=%v)", id, ok, err)
+		}
 	}
 }

@@ -381,6 +381,7 @@ func (s *Store) HeartbeatBatch(ctx context.Context, updates []HeartbeatUpdate) e
 			}
 			continue
 		}
+		//lint:ignore mutexhold hbMu must span the commit or a heartbeat read-modify-write can resurrect a node just marked dead
 		if err := s.shards[si].PutBatch(ctx, keys, values); err != nil {
 			return fmt.Errorf("gcs: heartbeat batch: %w", err)
 		}

@@ -130,6 +130,7 @@ func (m *Manager) Register(parent context.Context, opts Options, driver types.Dr
 		return types.NilJobID, nil, fmt.Errorf("job: %s killed during registration: %w", id, types.ErrJobTerminated)
 	}
 	m.registered.Add(1)
+	//lint:ignore errdrop the event log is advisory; registration already committed
 	_ = m.gcs.AppendEvent(parent, "job_registered", id.String())
 	return id, jobCtx, nil
 }
@@ -251,6 +252,7 @@ func (m *Manager) terminate(ctx context.Context, job types.JobID, state types.Jo
 		} else {
 			m.finished.Add(1)
 		}
+		//lint:ignore errdrop the event log is advisory; the terminal state transition already committed
 		_ = m.gcs.AppendEvent(ctx, kind, job.String())
 	}
 	return report, nil

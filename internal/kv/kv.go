@@ -153,20 +153,33 @@ func (s *Store) Restore(entries []Entry) {
 // number of entries flushed and the bytes freed. This is the mechanism behind
 // the paper's "GCS flushing" experiment: lineage for completed tasks is
 // spilled to durable storage so the in-memory footprint stays bounded.
+//
+// Flush is atomic with respect to failure: entries are dropped from memory
+// only after the writer (including the final buffer flush) has accepted every
+// byte. A write error therefore leaves the store unchanged — the entries stay
+// resident and the next flush retries them — instead of discarding data that
+// never became durable.
 func (s *Store) Flush(w io.Writer, match func(key string, value []byte) bool) (int, int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	bw := bufio.NewWriter(w)
-	var count int
-	var freed int64
+	var flushed []string
 	for k, v := range s.data {
 		if match != nil && !match(k, v) {
 			continue
 		}
 		if err := writeEntry(bw, k, v); err != nil {
-			return count, freed, fmt.Errorf("kv: flush: %w", err)
+			return 0, 0, fmt.Errorf("kv: flush: %w", err)
 		}
-		freed += int64(len(k)) + int64(len(v))
+		flushed = append(flushed, k)
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, 0, fmt.Errorf("kv: flush: %w", err)
+	}
+	var count int
+	var freed int64
+	for _, k := range flushed {
+		freed += int64(len(k)) + int64(len(s.data[k]))
 		delete(s.data, k)
 		count++
 	}
@@ -174,7 +187,7 @@ func (s *Store) Flush(w io.Writer, match func(key string, value []byte) bool) (i
 	if count > 0 {
 		s.version++
 	}
-	return count, freed, bw.Flush()
+	return count, freed, nil
 }
 
 // ReadFlushed reads entries previously written by Flush from r. It is used by

@@ -2,6 +2,7 @@ package kv
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -239,5 +240,58 @@ func TestStoreProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// failingWriter rejects every write, simulating a full or failed disk.
+type failingWriter struct{ writes int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, errors.New("disk full")
+}
+
+// Regression test: Flush must not drop entries from memory when the writer
+// fails. An earlier version deleted entries as they were buffered, so a
+// failure on the final buffer flush silently lost every entry that never
+// reached the writer.
+func TestFlushFailureLeavesStoreIntact(t *testing.T) {
+	s := NewStore()
+	s.Put("task/1", []byte("lineage-1"))
+	s.Put("task/2", []byte("lineage-2"))
+	wantBytes := s.Bytes()
+	wantVersion := s.Version()
+
+	fw := &failingWriter{}
+	n, freed, err := s.Flush(fw, nil)
+	if err == nil {
+		t.Fatal("expected flush error from failing writer")
+	}
+	if n != 0 || freed != 0 {
+		t.Fatalf("failed flush reported progress: n=%d freed=%d", n, freed)
+	}
+	if fw.writes == 0 {
+		t.Fatal("writer never invoked; failure path not exercised")
+	}
+	if s.Len() != 2 || s.Bytes() != wantBytes {
+		t.Fatalf("failed flush mutated store: len=%d bytes=%d (want 2, %d)", s.Len(), s.Bytes(), wantBytes)
+	}
+	if s.Version() != wantVersion {
+		t.Fatalf("failed flush bumped version: %d -> %d", wantVersion, s.Version())
+	}
+
+	// The condition is recoverable: retrying against a working writer flushes
+	// both entries and they read back intact.
+	var buf bytes.Buffer
+	n, _, err = s.Flush(&buf, nil)
+	if err != nil || n != 2 {
+		t.Fatalf("retry flush: n=%d err=%v", n, err)
+	}
+	entries, err := ReadFlushed(&buf)
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("read back: %d entries, err=%v", len(entries), err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("store not emptied after successful retry: %d keys", s.Len())
 	}
 }

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DefaultIDPackage is the package defining the typed identifiers.
+const DefaultIDPackage = "ray/internal/types"
+
+// IDConv flags explicit conversions between distinct typed identifiers
+// (e.g. ObjectID(taskID)). The whole point of the typed-ID design in
+// internal/types is that a TaskID can never silently become an ObjectID; a
+// direct conversion defeats it and almost always indicates a confused call
+// site. Derivations that genuinely map one ID space into another must go
+// through the UniqueID representation (or a named derivation function such
+// as types.ReturnObjectID), which this analyzer deliberately permits, or be
+// allowlisted by enclosing function name.
+type IDConv struct {
+	// IDPackage is the import path of the package defining the ID types.
+	IDPackage string
+	// Allow lists funcFullName patterns of functions allowed to convert
+	// between distinct ID types (sanctioned derivation helpers).
+	Allow []string
+}
+
+// NewIDConv returns the analyzer; nil cfg means the production ID package
+// with an empty allowlist.
+func NewIDConv(allow []string) *IDConv {
+	return &IDConv{IDPackage: DefaultIDPackage, Allow: allow}
+}
+
+func (a *IDConv) Name() string { return "idconv" }
+
+func (a *IDConv) Doc() string {
+	return "no explicit conversion between distinct typed identifiers (ObjectID(taskID)); derive through UniqueID or an allowlisted helper"
+}
+
+func (a *IDConv) Analyze(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.TargetPackages() {
+		for _, fb := range functionBodies(pkg) {
+			if fb.fn != nil && matchAny(funcFullName(fb.fn), a.Allow) {
+				continue
+			}
+			ast.Inspect(fb.body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok && n.Pos() != fb.body.Pos() {
+					return false // literals are separate funcBodies
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				tv, ok := pkg.Info.Types[call.Fun]
+				if !ok || !tv.IsType() {
+					return true
+				}
+				dst := a.idTypeName(tv.Type)
+				src := a.idTypeName(pkg.Info.TypeOf(call.Args[0]))
+				if dst == "" || src == "" || dst == src {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:   prog.Position(call.Pos()),
+					Check: a.Name(),
+					Message: fmt.Sprintf("conversion between distinct ID types %s(%s) defeats typed identifiers; derive through %s.UniqueID or an allowlisted helper",
+						dst, src, a.IDPackage),
+				})
+				return true
+			})
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// idTypeName returns the type's name if it is a typed identifier: a named
+// type declared in the ID package whose underlying type is the identifier
+// byte array. UniqueID itself returns "" — it is the sanctioned common
+// representation, so conversions through it are allowed by construction.
+func (a *IDConv) idTypeName(t types.Type) string {
+	named := namedOf(t)
+	if named == nil {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != a.IDPackage {
+		return ""
+	}
+	if obj.Name() == "UniqueID" {
+		return ""
+	}
+	arr, ok := named.Underlying().(*types.Array)
+	if !ok || arr.Len() != 16 {
+		return ""
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Uint8 {
+		return ""
+	}
+	return obj.Name()
+}

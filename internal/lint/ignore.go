@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// StaleIgnoreCheck is the meta check name for suppression directives that are
+// malformed or no longer suppress anything. It cannot itself be suppressed —
+// a stale directive is fixed by deleting it.
+const StaleIgnoreCheck = "staleignore"
+
+const ignorePrefix = "//lint:ignore"
+
+// IgnoreDirective is one parsed //lint:ignore <check> <reason> comment. The
+// directive suppresses diagnostics of the named check on its own line and on
+// the line immediately following (the usual placement: a comment line above
+// the offending statement, or a trailing comment on it).
+type IgnoreDirective struct {
+	Pos    token.Position
+	Check  string
+	Reason string
+	// used records whether the directive suppressed at least one diagnostic
+	// in this run; unused directives are reported as stale.
+	used bool
+}
+
+// CollectIgnores parses every //lint:ignore directive in the program's target
+// packages. Malformed directives (missing check name or reason) are returned
+// as staleignore diagnostics immediately — a suppression without a reason is
+// exactly the undocumented exception this mechanism exists to prevent.
+func CollectIgnores(prog *Program) ([]*IgnoreDirective, []Diagnostic) {
+	var dirs []*IgnoreDirective
+	var diags []Diagnostic
+	for _, pkg := range prog.TargetPackages() {
+		for _, file := range pkg.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Position(c.Pos())
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						diags = append(diags, Diagnostic{
+							Pos:     pos,
+							Check:   StaleIgnoreCheck,
+							Message: "malformed directive: want //lint:ignore <check> <reason>",
+						})
+						continue
+					}
+					dirs = append(dirs, &IgnoreDirective{
+						Pos:    pos,
+						Check:  fields[0],
+						Reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// ApplyIgnores filters diagnostics through the suppression directives. When
+// reportStale is true (the raylint driver, where every analyzer ran), each
+// directive that suppressed nothing yields a staleignore diagnostic — so a
+// fixed violation cannot leave its suppression behind to mask a future one.
+// Tests running a single analyzer pass reportStale=false.
+func ApplyIgnores(diags []Diagnostic, dirs []*IgnoreDirective, reportStale bool) []Diagnostic {
+	byFile := make(map[string][]*IgnoreDirective)
+	for _, d := range dirs {
+		byFile[d.Pos.Filename] = append(byFile[d.Pos.Filename], d)
+	}
+	var kept []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range byFile[diag.Pos.Filename] {
+			if d.Check != diag.Check {
+				continue
+			}
+			if d.Pos.Line == diag.Pos.Line || d.Pos.Line == diag.Pos.Line-1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+	if reportStale {
+		for _, d := range dirs {
+			if !d.used {
+				kept = append(kept, Diagnostic{
+					Pos:     d.Pos,
+					Check:   StaleIgnoreCheck,
+					Message: "directive suppresses no " + d.Check + " diagnostic; delete it",
+				})
+			}
+		}
+	}
+	return kept
+}

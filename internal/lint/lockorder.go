@@ -1,0 +1,441 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the program-wide lock-acquisition graph — an edge A→B
+// means some execution path acquires lock B while holding lock A, possibly
+// through a chain of function calls — and flags cycles, the static signature
+// of ABBA deadlocks. Locks are identified by owning type and field
+// ("ray/internal/gcs.Store.mu"), so any two instances of the same type
+// contribute to one node; same-lock self edges are skipped (two instances of
+// one type locked together is ubiquitous and ordered by address or role, not
+// by type).
+//
+// Calls through interfaces are resolved to every program type implementing
+// the interface: a lock reacquired through an interface method participates
+// in the graph exactly like a direct call.
+type LockOrder struct{}
+
+// NewLockOrder returns the analyzer.
+func NewLockOrder() *LockOrder { return &LockOrder{} }
+
+func (a *LockOrder) Name() string { return "lockorder" }
+
+func (a *LockOrder) Doc() string {
+	return "the cross-function lock-acquisition graph must be acyclic (no potential ABBA deadlock)"
+}
+
+// lockEdge records the first witness of an A→B acquisition order.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	fn       string // function containing the witness
+	via      string // callee chain note for indirect edges ("" for direct)
+}
+
+// funcFacts are the per-function results of the scan pass.
+type funcFacts struct {
+	name string
+	// acquired is the set of global locks the body acquires directly.
+	acquired map[string]token.Pos
+	// callees are the resolved outgoing calls (concrete and interface).
+	callees []*types.Func
+	// heldCalls are calls made while holding at least one global lock.
+	heldCalls []heldCall
+}
+
+type heldCall struct {
+	held   []string // global lock ids held at the call
+	callee *types.Func
+	pos    token.Pos
+}
+
+func (a *LockOrder) Analyze(prog *Program) []Diagnostic {
+	// Pass 1: scan every function body for direct acquisition edges, direct
+	// lock sets, and the call graph.
+	facts := make(map[*types.Func]*funcFacts)
+	var anon []*funcFacts // function literals: lock sets don't propagate, but direct edges count
+	var edges []lockEdge
+	addEdge := func(e lockEdge) { edges = append(edges, e) }
+
+	for _, pkg := range prog.Packages {
+		for _, fb := range functionBodies(pkg) {
+			fb := fb
+			ff := &funcFacts{name: fb.pkg.Path + "." + fb.name, acquired: map[string]token.Pos{}}
+			if fb.fn != nil {
+				facts[fb.fn] = ff
+			} else {
+				anon = append(anon, ff)
+			}
+			sc := &lockScanner{
+				pkg: pkg,
+				cb: lockCallbacks{
+					acquire: func(held []heldLock, lk heldLock) {
+						if lk.global == "" {
+							return
+						}
+						if _, ok := ff.acquired[lk.global]; !ok {
+							ff.acquired[lk.global] = lk.pos
+						}
+						for _, h := range held {
+							if h.global == "" || h.global == lk.global {
+								continue
+							}
+							addEdge(lockEdge{from: h.global, to: lk.global, pos: lk.pos, fn: ff.name})
+						}
+					},
+					call: func(held []heldLock, callee *types.Func, pos token.Pos) {
+						ff.callees = append(ff.callees, callee)
+						var globals []string
+						for _, h := range held {
+							if h.global != "" {
+								globals = append(globals, h.global)
+							}
+						}
+						if len(globals) > 0 {
+							ff.heldCalls = append(ff.heldCalls, heldCall{held: globals, callee: callee, pos: pos})
+						}
+					},
+				},
+			}
+			sc.scan(fb)
+		}
+	}
+
+	// Interface method resolution: map every interface method invoked
+	// anywhere to the concrete program methods that may implement it.
+	impls := a.interfaceImpls(prog, facts)
+	expand := func(fn *types.Func) []*types.Func {
+		if named := recvNamed(fn); named != nil {
+			if types.IsInterface(named.Underlying()) {
+				return impls[ifaceMethodKey(named, fn.Name())]
+			}
+		}
+		return []*types.Func{fn}
+	}
+
+	// Pass 2: compute, for each function, the set of global locks it may
+	// acquire transitively (fixpoint over the call graph; cycles converge
+	// because the sets only grow).
+	reach := make(map[*types.Func]map[string]bool)
+	for fn, ff := range facts {
+		set := make(map[string]bool, len(ff.acquired))
+		for g := range ff.acquired {
+			set[g] = true
+		}
+		reach[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, ff := range facts {
+			set := reach[fn]
+			for _, callee := range ff.callees {
+				for _, target := range expand(callee) {
+					for g := range reach[target] {
+						if !set[g] {
+							set[g] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: indirect edges — a call made while holding A contributes
+	// A→(every lock the callee may acquire).
+	addIndirect := func(ff *funcFacts) {
+		for _, hc := range ff.heldCalls {
+			for _, target := range expand(hc.callee) {
+				tf := facts[target]
+				for g := range reach[target] {
+					for _, h := range hc.held {
+						if h == g {
+							continue
+						}
+						via := funcFullName(target)
+						if tf != nil {
+							via = tf.name
+						}
+						addEdge(lockEdge{from: h, to: g, pos: hc.pos, fn: ff.name, via: via})
+					}
+				}
+			}
+		}
+	}
+	for _, ff := range facts {
+		addIndirect(ff)
+	}
+	for _, ff := range anon {
+		addIndirect(ff)
+	}
+
+	return a.reportCycles(prog, edges)
+}
+
+// interfaceImpls maps (interface, method) to the concrete methods of program
+// types implementing that interface.
+func (a *LockOrder) interfaceImpls(prog *Program, facts map[*types.Func]*funcFacts) map[string][]*types.Func {
+	// Gather the program's named types and named interfaces.
+	var concrete []*types.Named
+	var ifaces []*types.Named
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named.Underlying()) {
+				ifaces = append(ifaces, named)
+			} else {
+				concrete = append(concrete, named)
+			}
+		}
+	}
+	out := make(map[string][]*types.Func)
+	for _, iface := range ifaces {
+		it, ok := iface.Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, t := range concrete {
+			ptr := types.NewPointer(t)
+			if !types.Implements(t, it) && !types.Implements(ptr, it) {
+				continue
+			}
+			for i := 0; i < it.NumMethods(); i++ {
+				m := it.Method(i)
+				obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+				if fn, ok := obj.(*types.Func); ok {
+					if _, known := facts[fn]; known {
+						out[ifaceMethodKey(iface, m.Name())] = append(out[ifaceMethodKey(iface, m.Name())], fn)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func ifaceMethodKey(iface *types.Named, method string) string {
+	obj := iface.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name() + "." + method
+	}
+	return obj.Name() + "." + method
+}
+
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// reportCycles finds strongly connected components of the lock graph and
+// reports one diagnostic per cyclic component, anchored at the
+// lexicographically first witnessing edge so the report (and any suppression)
+// is stable across runs.
+func (a *LockOrder) reportCycles(prog *Program, edges []lockEdge) []Diagnostic {
+	// Deduplicate edges, keeping the first witness per (from, to).
+	adj := make(map[string]map[string]lockEdge)
+	nodes := map[string]bool{}
+	for _, e := range edges {
+		nodes[e.from], nodes[e.to] = true, true
+		m := adj[e.from]
+		if m == nil {
+			m = map[string]lockEdge{}
+			adj[e.from] = m
+		}
+		if old, ok := m[e.to]; !ok || witnessLess(prog, e, old) {
+			m[e.to] = e
+		}
+	}
+
+	sccs := stronglyConnected(nodes, adj)
+	var diags []Diagnostic
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		cycle := findCycle(scc[0], adj, inSCC)
+		if cycle == nil {
+			continue
+		}
+		var steps []string
+		var first *lockEdge
+		for i := 0; i < len(cycle); i++ {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			e := adj[from][to]
+			if first == nil {
+				e := e
+				first = &e
+			}
+			step := fmt.Sprintf("%s -> %s (%s at %s", shortLock(from), shortLock(to), e.fn, prog.Position(e.pos))
+			if e.via != "" {
+				step += " via " + e.via
+			}
+			step += ")"
+			steps = append(steps, step)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:     prog.Position(first.pos),
+			Check:   a.Name(),
+			Message: "lock order cycle (potential ABBA deadlock): " + strings.Join(steps, "; "),
+		})
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+func witnessLess(prog *Program, a, b lockEdge) bool {
+	pa, pb := prog.Position(a.pos), prog.Position(b.pos)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}
+
+// shortLock trims the module prefix for readable messages.
+func shortLock(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// findCycle returns a cycle through start inside the SCC, as a node list
+// (closing edge implied from last back to first).
+func findCycle(start string, adj map[string]map[string]lockEdge, inSCC map[string]bool) []string {
+	var path []string
+	onPath := map[string]bool{}
+	var dfs func(n string) []string
+	dfs = func(n string) []string {
+		path = append(path, n)
+		onPath[n] = true
+		next := make([]string, 0, len(adj[n]))
+		for to := range adj[n] {
+			if inSCC[to] {
+				next = append(next, to)
+			}
+		}
+		sort.Strings(next)
+		for _, to := range next {
+			if to == start && len(path) > 1 {
+				return append([]string(nil), path...)
+			}
+			if !onPath[to] {
+				if c := dfs(to); c != nil {
+					return c
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		delete(onPath, n)
+		return nil
+	}
+	return dfs(start)
+}
+
+// stronglyConnected is an iterative Tarjan SCC over the lock graph.
+func stronglyConnected(nodes map[string]bool, adj map[string]map[string]lockEdge) [][]string {
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	counter := 0
+
+	type frame struct {
+		node  string
+		succs []string
+		next  int
+	}
+	succsOf := func(n string) []string {
+		out := make([]string, 0, len(adj[n]))
+		for to := range adj[n] {
+			out = append(out, to)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for _, root := range names {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		work := []frame{{node: root, succs: succsOf(root)}}
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.next < len(f.succs) {
+				succ := f.succs[f.next]
+				f.next++
+				if _, seen := index[succ]; !seen {
+					index[succ], low[succ] = counter, counter
+					counter++
+					stack = append(stack, succ)
+					onStack[succ] = true
+					work = append(work, frame{node: succ, succs: succsOf(succ)})
+				} else if onStack[succ] {
+					if index[succ] < low[f.node] {
+						low[f.node] = index[succ]
+					}
+				}
+				continue
+			}
+			// Pop the frame; close the SCC if this is its root.
+			n := f.node
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := &work[len(work)-1]
+				if low[n] < low[parent.node] {
+					low[parent.node] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

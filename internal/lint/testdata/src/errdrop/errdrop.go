@@ -1,0 +1,34 @@
+// Package errdrop seeds violations for the errdrop analyzer golden test. The
+// test configures the must-check set to DB's methods and Persist.
+package errdrop
+
+type DB struct{ n int }
+
+func (d *DB) Flush() error { return nil }
+
+func (d *DB) Get() (int, error) { return d.n, nil }
+
+func Persist(d *DB) error { return d.Flush() }
+
+func dropsEverything(d *DB) {
+	_ = d.Flush()       // want `assignment to _ drops the error from`
+	v, _ := d.Get()     // want `assignment to _ drops the error from`
+	d.Flush()           // want `bare call statement drops the error from`
+	defer d.Flush()     // want `deferred call drops the error from`
+	go d.Flush()        // want `go statement drops the error from`
+	_, _ = v, d.Flush() // want `assignment to _ drops the error from`
+	_ = Persist(d)      // want `assignment to _ drops the error from`
+}
+
+func checksEverything(d *DB) error {
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	v, err := d.Get()
+	if err != nil {
+		return err
+	}
+	d.n = v
+	err = Persist(d)
+	return err
+}

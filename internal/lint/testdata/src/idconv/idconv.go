@@ -1,0 +1,30 @@
+// Package idconv seeds violations for the idconv analyzer golden test.
+package idconv
+
+import "ray/internal/types"
+
+// directConversion defeats the typed-ID design.
+func directConversion(t types.TaskID) types.ObjectID {
+	return types.ObjectID(t) // want `conversion between distinct ID types ObjectID(TaskID)`
+}
+
+// throughUniqueID is the sanctioned derivation path.
+func throughUniqueID(t types.TaskID) types.ObjectID {
+	return types.ObjectID(types.UniqueID(t))
+}
+
+// sameType conversions are identity, not cross-ID casts.
+func sameType(t types.TaskID) types.TaskID {
+	return types.TaskID(t)
+}
+
+// rawBytes conversions to or from the raw array are not cross-ID casts.
+func rawBytes(b [16]byte) types.NodeID {
+	return types.NodeID(b)
+}
+
+// allowlistedDerivation is permitted only when the test allowlists it; with
+// the default empty allowlist it is a violation like any other.
+func allowlistedDerivation(a types.ActorID) types.WorkerID {
+	return types.WorkerID(a)
+}

@@ -1,0 +1,32 @@
+// Package ignore exercises the //lint:ignore suppression mechanism: a
+// directive on the line above, a trailing directive, a stale directive that
+// suppresses nothing, and a malformed one. The test asserts on the final
+// diagnostic set directly.
+package ignore
+
+type DB struct{}
+
+func (d *DB) Flush() error { return nil }
+
+func suppressedAbove(d *DB) {
+	//lint:ignore errdrop shutdown path, the store is already closed
+	_ = d.Flush()
+}
+
+func suppressedTrailing(d *DB) {
+	_ = d.Flush() //lint:ignore errdrop best-effort cache warm, failure is benign
+}
+
+//lint:ignore errdrop nothing on this line drops an error
+func stale(d *DB) error {
+	return d.Flush()
+}
+
+//lint:ignore errdrop
+func malformed(d *DB) error {
+	return d.Flush()
+}
+
+func unsuppressed(d *DB) {
+	_ = d.Flush()
+}

@@ -1,0 +1,81 @@
+// Package lockorder seeds an ABBA pair (direct) and a second cycle closed
+// through a call chain and an interface method, for the lockorder golden
+// test. The test asserts on whole-cycle messages rather than line anchors,
+// so this file carries no want comments.
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+var (
+	ga a
+	gb b
+)
+
+// lockAB and lockBA are the textbook direct ABBA pair.
+func lockAB() {
+	ga.mu.Lock()
+	gb.mu.Lock()
+	gb.mu.Unlock()
+	ga.mu.Unlock()
+}
+
+func lockBA() {
+	gb.mu.Lock()
+	ga.mu.Lock()
+	ga.mu.Unlock()
+	gb.mu.Unlock()
+}
+
+// c/d form a second cycle with no direct double-acquire: one direction goes
+// through a helper function, the other through an interface method call.
+type c struct{ mu sync.Mutex }
+
+type d struct{ mu sync.Mutex }
+
+var (
+	gc c
+	gd d
+)
+
+func lockCThenCallD() {
+	gc.mu.Lock()
+	acquireD()
+	gc.mu.Unlock()
+}
+
+func acquireD() {
+	gd.mu.Lock()
+	gd.mu.Unlock()
+}
+
+type locker interface{ grab() }
+
+func (x *c) grab() {
+	x.mu.Lock()
+	x.mu.Unlock()
+}
+
+// lockDThenIface closes the cycle: the interface call resolves to (*c).grab,
+// which reacquires c's mutex while d's is held.
+func lockDThenIface(l locker) {
+	gd.mu.Lock()
+	l.grab()
+	gd.mu.Unlock()
+}
+
+// e is locked before a and after b — connected to the a/b SCC but on no
+// cycle itself, so it must not appear in any report.
+type e struct{ mu sync.Mutex }
+
+var ge e
+
+func lockEThenA() {
+	ge.mu.Lock()
+	ga.mu.Lock()
+	ga.mu.Unlock()
+	ge.mu.Unlock()
+}

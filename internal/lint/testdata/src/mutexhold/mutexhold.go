@@ -1,0 +1,153 @@
+// Package mutexhold seeds violations for the mutexhold analyzer golden test.
+// Lines marked `// want ...` must produce a diagnostic whose message contains
+// the backquoted substring; unmarked code is the corrected form and must stay
+// silent.
+package mutexhold
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+	rw  sync.RWMutex
+	c   *sync.Cond
+	ch  chan int
+}
+
+// sendUnderLock: channel send while the mutex is held.
+func (s *server) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+// recvUnderDeferredLock: a deferred unlock keeps the lock held to the end of
+// the function, so the receive blocks under it.
+func (s *server) recvUnderDeferredLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while holding s.mu`
+}
+
+// sleepAfterExplicitUnlock is clean: the explicit unlock releases the mutex
+// before the blocking call.
+func (s *server) sleepAfterExplicitUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// sleepUnderReadLock: an RWMutex read lock still blocks writers, and the
+// diagnostic marks it as a read lock.
+func (s *server) sleepUnderReadLock() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while holding s.rw (read)`
+}
+
+// sleepUnderWriteLock: same shape with the write lock.
+func (s *server) sleepUnderWriteLock() {
+	s.rw.Lock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while holding s.rw in`
+	s.rw.Unlock()
+}
+
+// selectNoDefault parks under the lock until a channel fires.
+func (s *server) selectNoDefault(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default while holding s.mu`
+	case <-done:
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// selectWithDefault polls and is clean.
+func (s *server) selectWithDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// condWaitIdiomatic holds exactly the Cond's own mutex: the required idiom,
+// not a violation.
+func (s *server) condWaitIdiomatic() {
+	s.mu.Lock()
+	for len(s.ch) == 0 {
+		s.c.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// condWaitExtraLock parks while holding an unrelated mutex too — every other
+// goroutine contending for aux stalls until the Cond is signalled.
+func (s *server) condWaitExtraLock() {
+	s.aux.Lock()
+	s.mu.Lock()
+	s.c.Wait() // want `call to sync.Cond.Wait while holding s.aux, s.mu`
+	s.mu.Unlock()
+	s.aux.Unlock()
+}
+
+// goroutineStartsLockFree: the literal runs in its own dynamic context, so
+// its send does not inherit the caller's lock.
+func (s *server) goroutineStartsLockFree() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// unlockInEveryBranch merges to lock-free before the receive.
+func (s *server) unlockInEveryBranch(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	<-s.ch
+}
+
+// earlyReturnGuard: the unlock-and-return path terminates, so only the
+// fall-through (still holding the lock) reaches the receive.
+func (s *server) earlyReturnGuard(b bool) {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return
+	}
+	<-s.ch // want `channel receive while holding s.mu`
+	s.mu.Unlock()
+}
+
+// tryLockNeverHolds: TryLock may fail, so the scanner does not model the
+// lock as held on either path.
+func (s *server) tryLockNeverHolds() {
+	if s.mu.TryLock() {
+		_ = len(s.ch)
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// embedded promotes sync.Mutex's methods; the lock identifies by the
+// embedded field.
+type embedded struct {
+	sync.Mutex
+	ch chan int
+}
+
+func (e *embedded) sendWhileEmbedded() {
+	e.Lock()
+	e.ch <- 1 // want `channel send while holding e.Mutex`
+	e.Unlock()
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves a call expression to the invoked *types.Func: a declared
+// function, a concrete method, or an interface method. It returns nil for
+// conversions, builtins, and calls through plain function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// funcFullName renders a *types.Func as "pkgpath.Name" for functions and
+// "pkgpath.Recv.Name" for methods (pointer receivers and type parameters are
+// stripped, so one pattern covers value and pointer methods). This is the
+// form the analyzers' configurable sets (blocking calls, must-check calls)
+// are written in.
+func funcFullName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				return obj.Pkg().Path() + "." + obj.Name() + "." + fn.Name()
+			}
+			return obj.Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// namedOf unwraps pointers and aliases to the underlying named (or interface-
+// defining) type, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named
+	}
+	return nil
+}
+
+// matchAny reports whether full matches one of the patterns. A pattern is an
+// exact full name or a prefix ending in "*" ("ray/internal/gcs.Store.*").
+func matchAny(full string, patterns []string) bool {
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "*"); ok {
+			if strings.HasPrefix(full, rest) {
+				return true
+			}
+		} else if full == p {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether the function's signature includes an error
+// result, returning the indexes of every error result.
+func errorResults(sig *types.Signature) []int {
+	var out []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}

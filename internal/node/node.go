@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -123,6 +124,13 @@ type Node struct {
 	dead    atomic.Bool
 	started atomic.Bool
 	submits atomic.Int64
+
+	// pendingWithdraw holds object locations this node failed to withdraw
+	// from the GCS after evicting the local copy. A stale location entry
+	// points consumers at data the node no longer holds, so failed
+	// withdrawals are retried on every heartbeat until they commit.
+	withdrawMu      sync.Mutex
+	pendingWithdraw map[types.ObjectID]struct{}
 }
 
 var nodeOrigin atomic.Uint64
@@ -174,8 +182,11 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 		SpillDir:      spillDir,
 		OnEvict: func(obj types.ObjectID, size int64) {
 			// Eviction removes this node from the object's location set so
-			// the directory never points at data we no longer hold.
-			_ = store.RemoveObjectLocation(context.Background(), obj, id)
+			// the directory never points at data we no longer hold. A failed
+			// withdrawal must not vanish: park it for the heartbeat retry.
+			if err := store.RemoveObjectLocation(context.Background(), obj, id); err != nil {
+				n.noteFailedWithdrawal(obj)
+			}
 		},
 	})
 	n.objects = objectmanager.New(objectmanager.Config{
@@ -287,7 +298,62 @@ func (n *Node) SendHeartbeat(ctx context.Context) error {
 	if n.dead.Load() {
 		return types.ErrNodeDead
 	}
+	n.retryWithdrawals(ctx)
 	return n.gcs.Heartbeat(ctx, n.LoadUpdate())
+}
+
+// noteFailedWithdrawal parks an object whose location could not be withdrawn
+// from the GCS when its local copy was evicted.
+func (n *Node) noteFailedWithdrawal(obj types.ObjectID) {
+	n.withdrawMu.Lock()
+	if n.pendingWithdraw == nil {
+		n.pendingWithdraw = make(map[types.ObjectID]struct{})
+	}
+	n.pendingWithdraw[obj] = struct{}{}
+	n.withdrawMu.Unlock()
+}
+
+// retryWithdrawals re-attempts parked location withdrawals. Runs on every
+// heartbeat so a transient GCS failure cannot leave the object directory
+// pointing at evicted data forever.
+func (n *Node) retryWithdrawals(ctx context.Context) {
+	n.withdrawMu.Lock()
+	if len(n.pendingWithdraw) == 0 {
+		n.withdrawMu.Unlock()
+		return
+	}
+	pending := make([]types.ObjectID, 0, len(n.pendingWithdraw))
+	for obj := range n.pendingWithdraw {
+		pending = append(pending, obj)
+	}
+	n.withdrawMu.Unlock()
+
+	for _, obj := range pending {
+		// The object may have been re-fetched since the eviction; a resident
+		// copy makes the parked withdrawal stale — the location is valid
+		// again and must stay.
+		if n.store.Contains(obj) {
+			n.clearWithdrawal(obj)
+			continue
+		}
+		if err := n.gcs.RemoveObjectLocation(ctx, obj, n.id); err == nil {
+			n.clearWithdrawal(obj)
+		}
+	}
+}
+
+func (n *Node) clearWithdrawal(obj types.ObjectID) {
+	n.withdrawMu.Lock()
+	delete(n.pendingWithdraw, obj)
+	n.withdrawMu.Unlock()
+}
+
+// PendingWithdrawals reports how many evicted-object location withdrawals
+// still await a successful GCS commit.
+func (n *Node) PendingWithdrawals() int {
+	n.withdrawMu.Lock()
+	defer n.withdrawMu.Unlock()
+	return len(n.pendingWithdraw)
 }
 
 func (n *Node) heartbeatLoop(ctx context.Context) {
@@ -327,9 +393,11 @@ func (n *Node) Kill(ctx context.Context) []types.ActorID {
 		return nil
 	}
 	n.Stop()
+	//lint:ignore errdrop Kill simulates abrupt node failure; the cluster's heartbeat timeout is the authoritative detector
 	_ = n.gcs.MarkNodeDead(ctx, n.id)
 	// Withdraw object locations.
 	for _, obj := range n.store.List() {
+		//lint:ignore errdrop a crashed node cannot guarantee withdrawals; consumers discover loss via fetch failure and reconstruct
 		_ = n.gcs.RemoveObjectLocation(ctx, obj, n.id)
 	}
 	n.store.DropAll()
@@ -339,9 +407,11 @@ func (n *Node) Kill(ctx context.Context) []types.ActorID {
 		n.local.NotifyActorStopped(actor)
 		if entry, ok, err := n.gcs.GetActor(ctx, actor); err == nil && ok {
 			entry.State = types.ActorReconstructing
+			//lint:ignore errdrop best-effort hint; the cluster re-marks lost actors when it processes the returned list
 			_ = n.gcs.PutActor(ctx, actor, entry)
 		}
 	}
+	//lint:ignore errdrop the event log is advisory; a dying node cannot guarantee its own obituary
 	_ = n.gcs.AppendEvent(ctx, "node_dead", n.id.String())
 	return lost
 }

@@ -1,0 +1,95 @@
+package node
+
+import (
+	"context"
+	"testing"
+
+	"ray/internal/gcs"
+	"ray/internal/netsim"
+	"ray/internal/objectstore"
+	"ray/internal/scheduler"
+	"ray/internal/task"
+	"ray/internal/types"
+	"ray/internal/worker"
+)
+
+type noopResolver struct{}
+
+func (noopResolver) ResolveStore(types.NodeID) (*objectstore.Store, bool) { return nil, false }
+
+type noopRouter struct{}
+
+func (noopRouter) ForwardTask(context.Context, *task.Spec) error    { return nil }
+func (noopRouter) RouteActorTask(context.Context, *task.Spec) error { return nil }
+
+var _ Router = noopRouter{}
+var _ scheduler.Forwarder = noopRouter{}
+
+func newTestNode(t *testing.T) (*Node, *gcs.Store) {
+	t.Helper()
+	store := gcs.New(gcs.Config{Shards: 1, ReplicationFactor: 1})
+	t.Cleanup(func() {
+		//lint:ignore errdrop test teardown of an in-memory store
+		_ = store.Close()
+	})
+	n := New(DefaultConfig(), store, netsim.New(netsim.InstantConfig()), worker.NewRegistry(), noopResolver{}, noopRouter{})
+	return n, store
+}
+
+// Regression test for eviction-time location withdrawals: a withdrawal the
+// GCS rejected must be parked and retried on the next heartbeat, not
+// dropped — a phantom location would make fetchers dial this node for an
+// object it no longer holds.
+func TestWithdrawalRetry(t *testing.T) {
+	n, store := newTestNode(t)
+	ctx := context.Background()
+
+	obj := types.NewObjectID()
+	if err := store.AddObjectLocation(ctx, obj, n.ID(), 4, types.NewTaskID(), types.NilJobID); err != nil {
+		t.Fatal(err)
+	}
+	n.noteFailedWithdrawal(obj)
+	if got := n.PendingWithdrawals(); got != 1 {
+		t.Fatalf("PendingWithdrawals = %d, want 1", got)
+	}
+
+	n.retryWithdrawals(ctx)
+
+	if got := n.PendingWithdrawals(); got != 0 {
+		t.Fatalf("PendingWithdrawals after retry = %d, want 0", got)
+	}
+	if entry, ok, err := store.GetObject(ctx, obj); err != nil {
+		t.Fatal(err)
+	} else if ok && len(entry.Locations) != 0 {
+		t.Fatalf("stale location survived retry: %v", entry.Locations)
+	}
+}
+
+// A parked withdrawal is stale once the object is resident again (re-fetched
+// after the eviction): the retry must drop it without touching the GCS.
+func TestWithdrawalRetrySkipsResidentObject(t *testing.T) {
+	n, store := newTestNode(t)
+	ctx := context.Background()
+
+	obj := types.NewObjectID()
+	if err := n.Store().Put(obj, []byte("payload"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddObjectLocation(ctx, obj, n.ID(), 7, types.NewTaskID(), types.NilJobID); err != nil {
+		t.Fatal(err)
+	}
+	n.noteFailedWithdrawal(obj)
+
+	n.retryWithdrawals(ctx)
+
+	if got := n.PendingWithdrawals(); got != 0 {
+		t.Fatalf("stale withdrawal not cleared: PendingWithdrawals = %d", got)
+	}
+	entry, ok, err := store.GetObject(ctx, obj)
+	if err != nil || !ok {
+		t.Fatalf("object entry missing: ok=%v err=%v", ok, err)
+	}
+	if len(entry.Locations) != 1 || entry.Locations[0] != n.ID() {
+		t.Fatalf("valid location withdrawn for resident object: %v", entry.Locations)
+	}
+}

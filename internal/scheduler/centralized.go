@@ -47,6 +47,7 @@ func (c *Centralized) Schedule(ctx context.Context, spec *task.Spec) (types.Node
 	defer c.mu.Unlock()
 	if c.DecisionLatency > 0 {
 		timer := time.NewTimer(c.DecisionLatency)
+		//lint:ignore mutexhold the centralized baseline serializes all decisions on one lock by design (Figure 7 comparison)
 		select {
 		case <-ctx.Done():
 			timer.Stop()

@@ -138,6 +138,10 @@ type Local struct {
 	forwarded      atomic.Int64
 	completed      atomic.Int64
 	failed         atomic.Int64
+	// failSinkErrs counts failures of the failure path itself: Fail could
+	// not store a task's error outputs, so consumers of those outputs may
+	// block until job teardown cleans up.
+	failSinkErrs atomic.Int64
 }
 
 // queuedTask pairs a task with the context it was submitted under.
@@ -413,6 +417,21 @@ func (l *Local) noteUnblocked() {
 	l.poolMu.Unlock()
 }
 
+// failTask records a task failure and stores its outputs as error objects so
+// consumers unblock. The failure path is most often taken exactly when the
+// submission context is already dead (the job was killed, the submitter gave
+// up) — which is when the error outputs MUST still commit, or consumers of
+// the task's returns hang until job teardown. The write therefore runs
+// detached from the context's cancellation (its values, e.g. the lineage-
+// replay marker, are preserved). A failure of the failure path itself is
+// counted in Stats.FailSinkErrors.
+func (l *Local) failTask(ctx context.Context, spec *task.Spec, cause error) {
+	l.failed.Add(1)
+	if err := l.runner.Fail(context.WithoutCancel(ctx), spec, cause); err != nil {
+		l.failSinkErrs.Add(1)
+	}
+}
+
 // runTask drives one task through dependency resolution, resource
 // acquisition, execution, and completion accounting.
 func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
@@ -428,8 +447,7 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 	//    killed, or its submitter gave up) must not execute; its outputs are
 	//    stored as error objects so any consumer unblocks.
 	if err := ctx.Err(); err != nil {
-		l.failed.Add(1)
-		_ = l.runner.Fail(ctx, spec, err)
+		l.failTask(ctx, spec, err)
 		return
 	}
 
@@ -438,8 +456,7 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 	//    dependencies are pulled concurrently (bounded by PullFanOut) so
 	//    their transfers overlap.
 	if err := l.pullDependencies(ctx, spec.Dependencies()); err != nil {
-		l.failed.Add(1)
-		_ = l.runner.Fail(ctx, spec, err)
+		l.failTask(ctx, spec, err)
 		return
 	}
 
@@ -455,14 +472,12 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 			draining := l.draining
 			l.mu.Unlock()
 			if draining || ctx.Err() != nil {
-				l.failed.Add(1)
-				_ = l.runner.Fail(ctx, spec, types.ErrNodeDead)
+				l.failTask(ctx, spec, types.ErrNodeDead)
 				return
 			}
 			l.forwarded.Add(1)
 			if err := l.forward.ForwardTask(ctx, spec); err != nil {
-				l.failed.Add(1)
-				_ = l.runner.Fail(ctx, spec, err)
+				l.failTask(ctx, spec, err)
 			}
 			return
 		}
@@ -522,8 +537,7 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 	}
 	l.observeDuration(elapsed)
 	if err != nil {
-		l.failed.Add(1)
-		_ = l.runner.Fail(ctx, spec, err)
+		l.failTask(ctx, spec, err)
 		return
 	}
 	l.completed.Add(1)
@@ -649,7 +663,10 @@ type LocalStats struct {
 	// Purged counts queued tasks dropped by job-exit cleanup (also included
 	// in Failed).
 	Purged int64
-	Queued int
+	// FailSinkErrors counts tasks whose error outputs could not be stored
+	// when they failed (the failure path itself failed).
+	FailSinkErrors int64
+	Queued         int
 	// SlotWorkers is the number of live slot-pool worker goroutines
 	// (including blocked ones); zero under DirectDispatch.
 	SlotWorkers int
@@ -672,6 +689,7 @@ func (l *Local) Stats() LocalStats {
 		Completed:        l.completed.Load(),
 		Failed:           l.failed.Load(),
 		Purged:           l.purged.Load(),
+		FailSinkErrors:   l.failSinkErrs.Load(),
 		Queued:           queued,
 		SlotWorkers:      workers,
 		SlotQueueLen:     slotQueue,

@@ -857,3 +857,76 @@ func TestConcurrentPullFailureFailsTask(t *testing.T) {
 		t.Fatal("task with unavailable input must not run")
 	}
 }
+
+// failSinkRunner records the context its Fail method observes, can block
+// Run until released, and can be made to fail the failure path itself.
+type failSinkRunner struct {
+	fakeRunner
+	gate        chan struct{} // when non-nil, Run blocks until closed
+	failCalls   atomic.Int32
+	failCtxDead atomic.Bool
+	failErr     error
+}
+
+func (f *failSinkRunner) Run(ctx context.Context, spec *task.Spec) error {
+	if f.gate != nil {
+		<-f.gate
+	}
+	return f.fakeRunner.Run(ctx, spec)
+}
+
+func (f *failSinkRunner) Fail(ctx context.Context, spec *task.Spec, cause error) error {
+	f.failCalls.Add(1)
+	if ctx.Err() != nil {
+		f.failCtxDead.Store(true)
+	}
+	return f.failErr
+}
+
+// Regression test: the failure path runs exactly when the submission context
+// is already dead (killed job, abandoned submitter) — which is when the error
+// outputs MUST still commit or consumers hang. Fail must therefore receive a
+// context detached from the submission context's cancellation, and the
+// failure must be counted in Stats.Failed.
+func TestFailPathSurvivesCanceledContext(t *testing.T) {
+	runner := &failSinkRunner{gate: make(chan struct{})}
+	l := newLocal(LocalConfig{WorkerSlots: 1, SpilloverThreshold: 100}, runner, &fakePuller{}, &fakeForwarder{})
+	// Occupy the only worker slot so the second task queues.
+	if err := l.Submit(context.Background(), simpleSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := l.Submit(ctx, simpleSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the submission context while the task is queued, then let the
+	// worker reach it: runTask must fail it, and Fail must see a live
+	// context despite the cancellation.
+	cancel()
+	close(runner.gate)
+	waitFor(t, func() bool { return runner.failCalls.Load() == 1 }, "Fail invoked")
+	if runner.failCtxDead.Load() {
+		t.Fatal("Fail received a canceled context; error outputs would never commit")
+	}
+	if got := l.Stats().Failed; got != 1 {
+		t.Fatalf("Failed = %d, want 1", got)
+	}
+	if got := l.Stats().FailSinkErrors; got != 0 {
+		t.Fatalf("FailSinkErrors = %d, want 0", got)
+	}
+}
+
+// Regression test: an error storing a failed task's error outputs is counted
+// in Stats.FailSinkErrors instead of being discarded with _ =.
+func TestFailSinkErrorsCounted(t *testing.T) {
+	runner := &failSinkRunner{failErr: errors.New("gcs unreachable")}
+	runner.err = errors.New("task exploded")
+	l := newLocal(LocalConfig{SpilloverThreshold: 100}, runner, &fakePuller{}, &fakeForwarder{})
+	if err := l.Submit(context.Background(), simpleSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return l.Stats().FailSinkErrors == 1 }, "fail-sink error counted")
+	if got := l.Stats().Failed; got != 1 {
+		t.Fatalf("Failed = %d, want 1", got)
+	}
+}

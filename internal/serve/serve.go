@@ -117,6 +117,7 @@ func (p *policyServer) evaluate(batch [][]float64) [][]float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.delay > 0 {
+		//lint:ignore mutexhold the sleep models a single model replica; REST requests must serialize like the actor for a fair comparison
 		time.Sleep(p.delay)
 	}
 	actions := make([][]float64, len(batch))

@@ -1,0 +1,163 @@
+// Package leakcheck detects goroutines that outlive the code under test,
+// using only the standard library. The runtime under test is full of
+// background loops — heartbeat senders, batch flushers, slot workers, object
+// transfer streams — and every one of them must stop when its owner is shut
+// down. A test that passes while leaking a loop hides exactly the lifecycle
+// bug this repo's Shutdown/Stop paths exist to prevent.
+//
+// Two entry points:
+//
+//   - Check(t) snapshots the live goroutines and registers a cleanup that
+//     fails the test if new ones survive it.
+//   - Main(m) wraps a package's TestMain, failing the whole run if goroutines
+//     created by the tests survive the final test's cleanup.
+//
+// Detection is by goroutine ID against the snapshot, with a settle loop:
+// goroutines legitimately take a moment to observe a closed channel or a
+// cancelled context, so the checker polls until the leak set is empty or a
+// deadline passes. Known-benign runtime and testing goroutines are filtered
+// by stack content.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// settleTimeout bounds how long a check waits for goroutines to exit before
+// declaring them leaked. Shutdown paths in this repo are prompt; five seconds
+// is far beyond any legitimate teardown.
+const settleTimeout = 5 * time.Second
+
+// TB is the subset of *testing.T and *testing.B the checker needs.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the current goroutines and, at test cleanup, fails the
+// test if goroutines created during the test are still running. Call it
+// first in the test so its cleanup runs last (cleanups run LIFO).
+func Check(t TB) {
+	t.Helper()
+	base := snapshot()
+	t.Cleanup(func() {
+		if leaked := settle(base); len(leaked) > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+				len(leaked), strings.Join(leaked, "\n\n"))
+		}
+	})
+}
+
+// Main wraps testing.M.Run with a package-level leak check: it snapshots
+// before any test runs and verifies after the last test that nothing
+// survived. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+func Main(m interface{ Run() int }) int {
+	base := snapshot()
+	code := m.Run()
+	if leaked := settle(base); len(leaked) > 0 {
+		fmt.Printf("leakcheck: %d goroutine(s) leaked past the test run:\n\n%s\n",
+			len(leaked), strings.Join(leaked, "\n\n"))
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// settle polls until no new goroutines remain or the timeout expires, then
+// returns the stacks of the survivors.
+func settle(base map[string]bool) []string {
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		leaked := leakedSince(base)
+		if len(leaked) == 0 || time.Now().After(deadline) {
+			return leaked
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func leakedSince(base map[string]bool) []string {
+	var leaked []string
+	for id, stack := range snapshotStacks() {
+		if base[id] || benign(stack) {
+			continue
+		}
+		leaked = append(leaked, stack)
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// snapshot returns the IDs of all currently live goroutines.
+func snapshot() map[string]bool {
+	ids := make(map[string]bool)
+	for id := range snapshotStacks() {
+		ids[id] = true
+	}
+	return ids
+}
+
+// snapshotStacks returns id -> full stack for every live goroutine.
+func snapshotStacks() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	stacks := make(map[string]string)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if id := goroutineID(g); id != "" {
+			stacks[id] = g
+		}
+	}
+	return stacks
+}
+
+// goroutineID extracts the numeric ID from a "goroutine N [state]:" header.
+func goroutineID(stack string) string {
+	if !strings.HasPrefix(stack, "goroutine ") {
+		return ""
+	}
+	rest := stack[len("goroutine "):]
+	if sp := strings.IndexByte(rest, ' '); sp > 0 {
+		return rest[:sp]
+	}
+	return ""
+}
+
+// benign reports whether a goroutine belongs to the runtime or the testing
+// framework rather than the code under test.
+func benign(stack string) bool {
+	for _, marker := range []string{
+		"testing.(*T).Run",         // test runner waiting on a subtest
+		"testing.(*M).startAlarm",  // per-test timeout timer
+		"testing.runTests",         // top-level test driver
+		"runtime.gc",               // collector helpers
+		"runtime.ReadTrace",        // execution tracer
+		"os/signal.signal_recv",    // signal handling loop
+		"leakcheck.snapshotStacks", // the checker itself
+		"created by runtime.gc",    // GC background workers
+		"runtime.forcegchelper",    // periodic GC goroutine
+		"runtime.bgsweep",          // background sweeper
+		"runtime.bgscavenge",       // background scavenger
+		"runtime.runfinq",          // finalizer goroutine
+		"time.goFunc",              // fired timer running a callback
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}

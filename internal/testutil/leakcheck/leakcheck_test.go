@@ -1,0 +1,100 @@
+package leakcheck
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(Main(m))
+}
+
+// recorder captures Errorf calls so the checker can be tested without
+// failing the real test.
+type recorder struct {
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recorder) Helper() {}
+
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestNoLeakPasses(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	r.runCleanups()
+	if len(r.errors) != 0 {
+		t.Fatalf("clean test reported leaks: %v", r.errors)
+	}
+}
+
+func TestGoroutineThatExitsDuringSettleIsNotALeak(t *testing.T) {
+	r := &recorder{}
+	Check(r)
+	// Still running when cleanup starts, but exits well inside the settle
+	// window — the poll loop must absorb it.
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	r.runCleanups()
+	if len(r.errors) != 0 {
+		t.Fatalf("settling goroutine reported as leak: %v", r.errors)
+	}
+}
+
+func TestLeakDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the settle timeout")
+	}
+	r := &recorder{}
+	Check(r)
+	stop := make(chan struct{})
+	go func() { <-stop }() // outlives the checker's settle window
+	r.runCleanups()
+	close(stop)
+	if len(r.errors) == 0 {
+		t.Fatal("leaked goroutine not reported")
+	}
+	if !strings.Contains(r.errors[0], "leakcheck") {
+		t.Fatalf("unexpected error format: %q", r.errors[0])
+	}
+}
+
+func TestGoroutineIDParsing(t *testing.T) {
+	if id := goroutineID("goroutine 42 [running]:\nmain.main()"); id != "42" {
+		t.Fatalf("goroutineID = %q, want 42", id)
+	}
+	if id := goroutineID("not a header"); id != "" {
+		t.Fatalf("goroutineID on junk = %q, want empty", id)
+	}
+}
+
+func TestSnapshotSeesSelf(t *testing.T) {
+	stacks := snapshotStacks()
+	if len(stacks) == 0 {
+		t.Fatal("snapshot empty")
+	}
+	found := false
+	for _, s := range stacks {
+		if strings.Contains(s, "TestSnapshotSeesSelf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing the current goroutine")
+	}
+}
