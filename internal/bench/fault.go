@@ -17,7 +17,7 @@ import (
 // racing a method execution.
 type benchCounter struct {
 	mu    sync.Mutex
-	value int
+	value int //guard:by mu
 }
 
 // Checkpoint implements worker.Checkpointable.
@@ -31,6 +31,7 @@ func (c *benchCounter) Checkpoint() ([]byte, error) {
 func (c *benchCounter) Restore(data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:ignore guardedby Decode writes through the pointer synchronously while mu is held; the alias does not outlive the call
 	return codec.Decode(data, &c.value)
 }
 

@@ -223,7 +223,8 @@ func ThroughputBatched(scale Scale) (*Table, error) {
 		Description: "empty-task throughput with lineage recording: batched GCS+scheduler hot path vs synchronous baseline",
 		Columns:     []string{"mode", "tasks", "tasks/sec", "speedup vs unbatched"},
 	}
-	var base float64
+	var base, primary float64
+	var rows []map[string]any
 	for _, batched := range []bool{false, true} {
 		throughput, total, err := throughputRun(throughputBatchedConfig(nodes, batched), tasksPerNode)
 		if err != nil {
@@ -232,11 +233,34 @@ func ThroughputBatched(scale Scale) (*Table, error) {
 		mode := "unbatched"
 		if batched {
 			mode = "batched"
+			primary = throughput
 		} else {
 			base = throughput
 		}
 		table.AddRow(mode, fmt.Sprintf("%d", total), f(throughput), f(throughput/base))
+		rows = append(rows, map[string]any{
+			"mode":                 mode,
+			"tasks":                total,
+			"tasks_per_sec":        throughput,
+			"speedup_vs_unbatched": throughput / base,
+		})
 	}
+	// Best-effort persistence: running outside the repo checkout (e.g. an
+	// installed binary) just skips the file.
+	//lint:ignore errdrop benchmark result persistence is best-effort; the numbers were already printed to stdout
+	_ = Persist(Result{
+		Experiment: "throughput_batched",
+		Config: map[string]any{
+			"nodes":          nodes,
+			"cpus_per_node":  4,
+			"gcs_shards":     8,
+			"tasks_per_node": tasksPerNode,
+			"record_lineage": true,
+		},
+		Throughput:     primary,
+		ThroughputUnit: "tasks/s",
+		Rows:           rows,
+	})
 	return table, nil
 }
 

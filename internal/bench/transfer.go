@@ -30,19 +30,49 @@ func TransferPipelining(scale Scale) (*Table, error) {
 		Columns:     []string{"mode", "object size", "tasks", "mean task (ms)", "speedup vs blocking"},
 	}
 	var base time.Duration
+	var primaryMBps float64
+	var rows []map[string]any
 	for _, blocking := range []bool{true, false} {
 		mean, err := transferRun(blocking, objectSize, tasks)
 		if err != nil {
 			return nil, err
 		}
 		mode := "pipelined"
+		// Each task moves both of its inputs across the simulated network, so
+		// the effective transfer rate is 2*objectSize per mean task latency.
+		mbps := float64(2*objectSize) / (1 << 20) / mean.Seconds()
 		if blocking {
 			mode = "blocking"
 			base = mean
+		} else {
+			primaryMBps = mbps
 		}
 		table.AddRow(mode, byteSize(objectSize), fmt.Sprintf("%d", tasks),
 			ms(mean), f(float64(base)/float64(mean)))
+		rows = append(rows, map[string]any{
+			"mode":                mode,
+			"object_size":         objectSize,
+			"tasks":               tasks,
+			"mean_task_millis":    float64(mean.Microseconds()) / 1000,
+			"transfer_mbps":       mbps,
+			"speedup_vs_blocking": float64(base) / float64(mean),
+		})
 	}
+	// Best-effort persistence: running outside the repo checkout (e.g. an
+	// installed binary) just skips the file.
+	//lint:ignore errdrop benchmark result persistence is best-effort; the numbers were already printed to stdout
+	_ = Persist(Result{
+		Experiment: "transfer_pipelining",
+		Config: map[string]any{
+			"nodes":           3,
+			"object_size":     objectSize,
+			"tasks":           tasks,
+			"inputs_per_task": 2,
+		},
+		Throughput:     primaryMBps,
+		ThroughputUnit: "MB/s",
+		Rows:           rows,
+	})
 	return table, nil
 }
 

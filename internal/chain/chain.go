@@ -97,7 +97,7 @@ func DefaultConfig() Config {
 
 // Chain is a chain-replicated key-value store.
 type Chain struct {
-	cfg Config
+	cfg Config //guard:init
 
 	// writeMu serializes writes: each GCS shard is single-threaded, exactly
 	// like the Redis instance per shard in the paper's implementation.
@@ -105,7 +105,7 @@ type Chain struct {
 
 	// configMu guards the replica list (the chain configuration).
 	configMu sync.RWMutex
-	replicas []*Replica
+	replicas []*Replica //guard:by configMu.R
 
 	// nextID numbers replicas created by the factory.
 	nextID atomic.Uint64

@@ -94,12 +94,12 @@ type Cluster struct {
 	dispatch *dispatcher
 
 	mu    sync.RWMutex
-	nodes map[types.NodeID]*node.Node
-	order []types.NodeID
+	nodes map[types.NodeID]*node.Node //guard:by mu.R
+	order []types.NodeID              //guard:by mu.R
 
 	// actor reconstruction dedup
 	reconMu       sync.Mutex
-	reconInflight map[types.ActorID]chan error
+	reconInflight map[types.ActorID]chan error //guard:by reconMu
 
 	// coalesced heartbeat aggregator lifecycle.
 	heartbeatCancel context.CancelFunc
@@ -116,7 +116,7 @@ type Cluster struct {
 	// job-exit cleanup). A stale location points consumers at deleted data,
 	// so the heartbeat aggregator retries these until they commit.
 	withdrawMu      sync.Mutex
-	pendingWithdraw map[withdrawal]struct{}
+	pendingWithdraw map[withdrawal]struct{} //guard:by withdrawMu
 }
 
 // withdrawal identifies one (object, node) location entry awaiting removal.
@@ -190,7 +190,9 @@ func (c *Cluster) Start(ctx context.Context) error {
 		}
 	}
 	if !c.cfg.PerNodeHeartbeats && c.heartbeatDone == nil {
-		hbCtx, cancel := context.WithCancel(context.Background())
+		// The aggregator outlives Start's caller (Shutdown cancels it), so
+		// detach cancellation but keep the caller's context values.
+		hbCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 		c.heartbeatCancel = cancel
 		c.heartbeatDone = make(chan struct{})
 		go c.heartbeatLoop(hbCtx)

@@ -31,8 +31,8 @@ type dispatcher struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	q       *job.FairQueue[*forwardTicket]
-	stopped bool
+	q       *job.FairQueue[*forwardTicket] //guard:by mu
+	stopped bool                           //guard:by mu
 
 	dispatched atomic.Int64
 	purged     atomic.Int64

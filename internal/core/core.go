@@ -154,8 +154,8 @@ func DefaultConfig() Config {
 
 // Runtime owns a running cluster and its function registry.
 type Runtime struct {
-	cfg     Config
-	cluster *cluster.Cluster
+	cfg     Config           //guard:init
+	cluster *cluster.Cluster //guard:init
 	drivers atomic.Int64
 	// regMu serializes read-modify-write updates of GCS function entries
 	// (RegisterActorMethod appends per-method records to its class entry).

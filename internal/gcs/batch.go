@@ -30,32 +30,32 @@ import (
 // (Config.SyncWrites=true) is kept as the explicit ablation knob the
 // benchmarks compare against.
 type shardBatcher struct {
-	chain         *chain.Chain
-	flushInterval time.Duration
-	maxEntries    int
+	chain         *chain.Chain  //guard:init
+	flushInterval time.Duration //guard:init
+	maxEntries    int           //guard:init
 	// onCommit runs after each successful chain commit; the Store hooks its
 	// memory-flush policy (Config.FlushThresholdBytes) in here, since the
 	// batched put path returns before any chain state grows.
-	onCommit func()
+	onCommit func() //guard:init
 
 	mu      sync.Mutex
-	pending map[string]*pendingWrite
-	order   []string // keys awaiting their first flush since last enqueue
-	seq     uint64
-	closed  bool
+	pending map[string]*pendingWrite //guard:by mu
+	order   []string                 //guard:by mu — keys awaiting their first flush since last enqueue
+	seq     uint64                   //guard:by mu
+	closed  bool                     //guard:by mu
 	// committedSeq is the highest sequence number S such that every write
 	// with seq <= S has been chain-committed (or superseded by a committed
 	// newer write to the same key). Commit futures resolve against it.
-	committedSeq uint64
+	committedSeq uint64 //guard:by mu
 	// waiters are unresolved commit futures, ordered by sequence number.
-	waiters []ackWaiter
+	waiters []ackWaiter //guard:by mu
 
 	// flushMu serializes flush commits so an older snapshot can never land
 	// after a newer one for the same key.
 	flushMu sync.Mutex
 
 	errMu   sync.Mutex
-	lastErr error
+	lastErr error //guard:by errMu
 
 	kick chan struct{}
 	stop chan struct{}
@@ -167,6 +167,7 @@ func (b *shardBatcher) loop() {
 		case <-timer.C:
 		case <-b.kick:
 		}
+		//lint:ignore ctxflow the background flusher is detached by design; its lifetime is the stop channel, and flush errors land in lastErr
 		b.flush(context.Background())
 		timer.Reset(b.flushInterval)
 	}
@@ -275,6 +276,8 @@ func (b *shardBatcher) commitFuture() *CommitFuture {
 // resolveWaitersLocked resolves every waiter whose sequence is covered by
 // committedSeq (or all of them when err is non-nil, at close). Caller holds
 // b.mu.
+//
+//guard:holds mu
 func (b *shardBatcher) resolveWaitersLocked(err error) {
 	kept := b.waiters[:0]
 	for _, w := range b.waiters {
@@ -316,6 +319,7 @@ func (b *shardBatcher) close() error {
 	b.mu.Unlock()
 	close(b.stop)
 	<-b.done
+	//lint:ignore ctxflow close follows the ctx-less io.Closer contract; the final drain must run to completion regardless of caller cancellation
 	derr := b.drain(context.Background())
 	// Whatever drain could not commit will never commit; release any commit
 	// futures still waiting so their holders observe the failure rather than

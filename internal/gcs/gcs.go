@@ -67,14 +67,14 @@ func DefaultConfig() Config {
 
 // Store is the Global Control Store.
 type Store struct {
-	cfg    Config
-	shards []*chain.Chain
+	cfg    Config         //guard:init
+	shards []*chain.Chain //guard:init
 	// batchers is non-nil (one per shard) unless cfg.SyncWrites is set.
-	batchers []*shardBatcher
+	batchers []*shardBatcher //guard:init
 
 	// pub-sub registry: key -> subscriber channels.
 	subMu sync.Mutex
-	subs  map[string][]chan []byte
+	subs  map[string][]chan []byte //guard:by subMu
 
 	// nodeIDs indexes the membership table so Nodes() — which the global
 	// scheduler reads on every placement decision — costs O(nodes) point
@@ -82,13 +82,13 @@ type Store struct {
 	// entries would otherwise make scheduling cost grow with tasks ever
 	// submitted). The chain remains the source of truth for entry contents.
 	nodeMu  sync.RWMutex
-	nodeIDs []types.NodeID
+	nodeIDs []types.NodeID //guard:by nodeMu.R
 
 	// jobIDs indexes the job table so Jobs() costs O(jobs) point reads, and
 	// jobMu serializes job-entry read-modify-writes (state transitions racing
 	// against concurrent weight or heartbeat refreshes).
 	jobIDMu sync.RWMutex
-	jobIDs  []types.JobID
+	jobIDs  []types.JobID //guard:by jobIDMu.R
 	jobMu   sync.Mutex
 
 	// objByJob and actorsByJob index ownership so job-exit cleanup reads
@@ -96,9 +96,9 @@ type Store struct {
 	// are added when a table write names an owning job and dropped
 	// wholesale when the job's resources are released.
 	objIdxMu    sync.Mutex
-	objByJob    map[types.JobID]map[types.ObjectID]struct{}
+	objByJob    map[types.JobID]map[types.ObjectID]struct{} //guard:by objIdxMu
 	actorIdxMu  sync.Mutex
-	actorsByJob map[types.JobID]map[types.ActorID]struct{}
+	actorsByJob map[types.JobID]map[types.ActorID]struct{} //guard:by actorIdxMu
 
 	// hbMu serializes membership read-modify-writes (Heartbeat,
 	// HeartbeatBatch, MarkNodeDead) so a heartbeat that read a node as alive
@@ -121,7 +121,7 @@ type Store struct {
 	// Threshold-driven flushes have no caller to return an error to, so the
 	// failure is surfaced here (and counted in Stats) instead of vanishing.
 	flushErrMu   sync.Mutex
-	lastFlushErr error
+	lastFlushErr error //guard:by flushErrMu
 
 	// refOnce/refLedger lazily build the ownership reference ledger
 	// (refs.go); lazy so zero-value Stores used in tests stay cheap.
@@ -442,7 +442,7 @@ func (s *Store) FlushErr() error {
 // FlushNow immediately flushes flushable entries (finished tasks and events)
 // from every shard to the configured writer. It returns the number of entries
 // flushed and the bytes freed.
-func (s *Store) FlushNow() (int, int64, error) {
+func (s *Store) FlushNow(ctx context.Context) (int, int64, error) {
 	// Commit pending batched writes first so an explicit flush covers
 	// everything written so far, not just what the background flusher has
 	// already chain-committed. The threshold-driven path (maybeFlush) calls
@@ -451,7 +451,7 @@ func (s *Store) FlushNow() (int, int64, error) {
 	// taken only after Sync returns — its onCommit hooks take the same lock
 	// — and serializes this flush with maybeFlush so two flushes cannot
 	// interleave different shards' entries mid-stream into one FlushWriter.
-	if err := s.Sync(context.Background()); err != nil {
+	if err := s.Sync(ctx); err != nil {
 		return 0, 0, err
 	}
 	s.flushMu.Lock()

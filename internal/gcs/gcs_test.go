@@ -15,12 +15,15 @@ import (
 	"ray/internal/types"
 )
 
-func newTestStore() *Store {
-	return New(Config{Shards: 4, ReplicationFactor: 2})
+func newTestStore(t *testing.T) *Store {
+	t.Helper()
+	s := New(Config{Shards: 4, ReplicationFactor: 2})
+	t.Cleanup(func() { _ = s.Close() })
+	return s
 }
 
 func TestObjectTable(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	obj := types.NewObjectID()
 	n1, n2 := types.NewNodeID(), types.NewNodeID()
@@ -63,7 +66,7 @@ func TestObjectTable(t *testing.T) {
 }
 
 func TestObjectSubscription(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	obj := types.NewObjectID()
 	ch, cancel := s.SubscribeObject(obj)
@@ -93,7 +96,7 @@ func TestObjectSubscription(t *testing.T) {
 }
 
 func TestSubscriptionOnlyMatchingKey(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	obj, other := types.NewObjectID(), types.NewObjectID()
 	ch, cancel := s.SubscribeObject(obj)
@@ -111,7 +114,7 @@ func TestSubscriptionOnlyMatchingKey(t *testing.T) {
 }
 
 func TestTaskTable(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	spec := &task.Spec{
 		ID:         types.NewTaskID(),
@@ -149,7 +152,7 @@ func TestTaskTable(t *testing.T) {
 }
 
 func TestActorTable(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	actor := types.NewActorID()
 	entry := &ActorEntry{
@@ -186,7 +189,7 @@ func TestActorTable(t *testing.T) {
 }
 
 func TestFunctionTable(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	if err := s.RegisterFunction(ctx, &FunctionEntry{Name: "add", Doc: "adds two values", NumReturns: 1}); err != nil {
 		t.Fatal(err)
@@ -229,7 +232,7 @@ func TestFunctionTable(t *testing.T) {
 }
 
 func TestNodeTableAndHeartbeats(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	var ids []types.NodeID
 	for i := 0; i < 5; i++ {
@@ -289,7 +292,7 @@ func TestNodeTableAndHeartbeats(t *testing.T) {
 }
 
 func TestEventLog(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	for i := 0; i < 10; i++ {
 		if err := s.AppendEvent(ctx, "test", fmt.Sprintf("event %d", i)); err != nil {
@@ -353,6 +356,7 @@ func TestFlushingBoundsMemory(t *testing.T) {
 
 func TestFlushKeepsLiveState(t *testing.T) {
 	s := New(Config{Shards: 2, ReplicationFactor: 1})
+	defer s.Close()
 	ctx := context.Background()
 	// A pending task, an object, an actor, a node: none may be flushed.
 	spec := &task.Spec{ID: types.NewTaskID(), Function: "live", NumReturns: 1}
@@ -379,7 +383,7 @@ func TestFlushKeepsLiveState(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	n, _, err := s.FlushNow()
+	n, _, err := s.FlushNow(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,6 +406,7 @@ func TestFlushKeepsLiveState(t *testing.T) {
 
 func TestGCSSurvivesShardReplicaFailure(t *testing.T) {
 	s := New(Config{Shards: 2, ReplicationFactor: 2})
+	defer s.Close()
 	ctx := context.Background()
 	obj := types.NewObjectID()
 	node := types.NewNodeID()
@@ -422,7 +427,7 @@ func TestGCSSurvivesShardReplicaFailure(t *testing.T) {
 }
 
 func TestConcurrentMixedOperations(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -777,7 +782,7 @@ func TestBatchedConcurrentMixedOperations(t *testing.T) {
 }
 
 func TestHeartbeatBatchNeverResurrectsDeadNode(t *testing.T) {
-	s := newTestStore()
+	s := newTestStore(t)
 	ctx := context.Background()
 	id := types.NewNodeID()
 	err := s.RegisterNode(ctx, &NodeEntry{

@@ -12,6 +12,7 @@ import (
 // job table, including first-terminal-state-wins semantics.
 func TestJobTableLifecycle(t *testing.T) {
 	s := New(Config{Shards: 2, ReplicationFactor: 1, SyncWrites: true})
+	defer s.Close()
 	ctx := context.Background()
 
 	jobA := types.NewJobID()
@@ -97,6 +98,7 @@ func TestJobEntryRoundTrip(t *testing.T) {
 // through the codec.
 func TestObjectEntryJobOwner(t *testing.T) {
 	s := New(Config{Shards: 2, ReplicationFactor: 1, SyncWrites: true})
+	defer s.Close()
 	ctx := context.Background()
 	obj := types.NewObjectID()
 	job := types.NewJobID()
@@ -170,6 +172,7 @@ func TestCommitFutureResolvesOnFlush(t *testing.T) {
 // store, or batched store after a drain) is resolved immediately.
 func TestCommitFutureAlreadyDurable(t *testing.T) {
 	sync := New(Config{Shards: 1, ReplicationFactor: 1, SyncWrites: true})
+	defer sync.Close()
 	select {
 	case <-sync.CommitFutureKey("fn").Done():
 	default:

@@ -26,8 +26,8 @@ import (
 
 type refLedger struct {
 	mu        sync.Mutex
-	counts    map[types.ObjectID]int64
-	reclaimer func(ctx context.Context, id types.ObjectID)
+	counts    map[types.ObjectID]int64                     //guard:by mu
+	reclaimer func(ctx context.Context, id types.ObjectID) //guard:by mu
 }
 
 func (s *Store) refs() *refLedger {

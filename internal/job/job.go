@@ -78,7 +78,7 @@ type Manager struct {
 	// invoked with mu released, so hook implementations may freely call
 	// back into Alive/Weight.
 	mu   sync.RWMutex
-	live map[types.JobID]*liveJob
+	live map[types.JobID]*liveJob //guard:by mu.R
 
 	registered atomic.Int64
 	finished   atomic.Int64

@@ -25,11 +25,11 @@ type Entry struct {
 // Store is an in-memory key-value store safe for concurrent use.
 type Store struct {
 	mu    sync.RWMutex
-	data  map[string][]byte
-	bytes int64 // approximate resident size of keys + values
+	data  map[string][]byte //guard:by mu.R
+	bytes int64             //guard:by mu.R — approximate resident size of keys + values
 	// version increments on every mutation; chain replication uses it to
 	// order state transfers against concurrent writes.
-	version uint64
+	version uint64 //guard:by mu.R
 }
 
 // NewStore returns an empty store.

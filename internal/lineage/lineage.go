@@ -28,7 +28,7 @@ type Reconstructor struct {
 	submit ResubmitFunc
 
 	mu       sync.Mutex
-	inflight map[types.ObjectID]chan error
+	inflight map[types.ObjectID]chan error //guard:by mu
 
 	reconstructedTasks   atomic.Int64
 	reconstructedObjects atomic.Int64
@@ -37,7 +37,7 @@ type Reconstructor struct {
 	// isolation tests (and debugging tools) read: reconstruction for job A
 	// must never replay job B's tasks.
 	byJobMu sync.Mutex
-	byJob   map[types.JobID]int64
+	byJob   map[types.JobID]int64 //guard:by byJobMu
 
 	// maxDepth bounds recursive reconstruction to catch lineage cycles that
 	// would indicate GCS corruption.

@@ -211,3 +211,100 @@ func TestIgnoreDirectives(t *testing.T) {
 		t.Errorf("reportStale=false should leave only the surviving errdrop finding, got %v", quiet)
 	}
 }
+
+func TestGuardedByGolden(t *testing.T) {
+	prog := loadTestPkg(t, "guardedby")
+	checkGolden(t, prog, NewGuardedBy().Analyze(prog))
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	prog := loadTestPkg(t, "ctxflow")
+	pkgs := []string{"ray/internal/lint/testdata/src/ctxflow"}
+	checkGolden(t, prog, NewCtxFlow(pkgs, nil, nil).Analyze(prog))
+}
+
+// TestGuardedByMalformedDirectives validates every rejected directive form:
+// the diagnostics land on the directive comments themselves, so this is a
+// message-substring test rather than a golden one.
+func TestGuardedByMalformedDirectives(t *testing.T) {
+	prog := loadTestPkg(t, "guardedbybad")
+	diags := NewGuardedBy().Analyze(prog)
+	wants := []string{
+		"struct malformed has mutex field(s) mu, e but no //guard: annotations",
+		"malformed directive: want //guard:by <lockfield>",
+		"is not a sync.Mutex or sync.RWMutex field",
+		"the .R (read-lock-sufficient) form needs a sync.RWMutex",
+		"unknown directive //guard:wat",
+		"mutex field e is a guard, not a guarded field",
+		"//guard:holds belongs on a method declaration, not a struct field",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("want %d directive diagnostics, got %d: %v", len(wants), len(diags), diags)
+	}
+	for i, want := range wants {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("diagnostic %d: want substring %q, got: %s", i, want, diags[i])
+		}
+	}
+}
+
+// TestSuggestGuards drives the inference mode over seeded access patterns:
+// full-coverage fields earn concrete proposals (with .R when read-locked
+// accesses were observed), an all-atomic field earns //guard:atomic, and a
+// field with one bare site earns a near-miss naming that site.
+func TestSuggestGuards(t *testing.T) {
+	prog := loadTestPkg(t, "guardedbysuggest")
+	byField := map[string]Suggestion{}
+	for _, s := range SuggestGuards(prog) {
+		byField[s.Field] = s
+	}
+	cases := map[string]struct {
+		directive string
+		note      string
+	}{
+		"m":     {directive: "//guard:by mu.R"},
+		"n":     {directive: "//guard:by mu"},
+		"hits":  {directive: "//guard:atomic"},
+		"leaky": {directive: "", note: "bare at"},
+	}
+	for field, want := range cases {
+		s, ok := byField[field]
+		if !ok {
+			t.Errorf("no suggestion for field %s (got %v)", field, byField)
+			continue
+		}
+		if s.Directive != want.directive {
+			t.Errorf("field %s: want directive %q, got %q (%s)", field, want.directive, s.Directive, s)
+		}
+		if want.note != "" && !strings.Contains(s.Note, want.note) {
+			t.Errorf("field %s: note should contain %q, got: %s", field, want.note, s.Note)
+		}
+	}
+	if s := byField["leaky"]; !strings.Contains(s.Note, "guardedbysuggest.go:46") {
+		t.Errorf("near-miss for leaky should cite the bare site line 46, got: %s", s.Note)
+	}
+}
+
+// TestIgnoreEdgeCases exercises suppression placements the basic ignore test
+// does not: a directive inside a struct field list (suppressing a field-level
+// guardedby directive diagnostic), a directive above a statement spanning
+// several lines, and two directives for different checks whose diagnostics
+// share one statement line.
+func TestIgnoreEdgeCases(t *testing.T) {
+	prog := loadTestPkg(t, "ignore2")
+	var diags []Diagnostic
+	diags = append(diags, NewMutexHold(nil).Analyze(prog)...)
+	diags = append(diags, NewGuardedBy().Analyze(prog)...)
+	if len(diags) != 4 {
+		t.Fatalf("want 4 seeded diagnostics before suppression, got %d: %v", len(diags), diags)
+	}
+
+	ignores, malformed := CollectIgnores(prog)
+	if len(malformed) != 0 {
+		t.Fatalf("no directive in ignore2 is malformed, got %v", malformed)
+	}
+	final := ApplyIgnores(diags, ignores, true)
+	if len(final) != 0 {
+		t.Errorf("every seeded diagnostic should be suppressed and no directive stale, got %v", final)
+	}
+}

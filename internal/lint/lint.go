@@ -43,9 +43,9 @@ type Analyzer interface {
 	Analyze(prog *Program) []Diagnostic
 }
 
-// DefaultAnalyzers returns the five project analyzers with their production
-// configuration (the blocking sets, must-check sets, and ID package tuned to
-// this repository).
+// DefaultAnalyzers returns the seven project analyzers with their production
+// configuration (the blocking sets, must-check sets, ctxflow package set,
+// and ID package tuned to this repository).
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewMutexHold(nil),
@@ -53,6 +53,8 @@ func DefaultAnalyzers() []Analyzer {
 		NewIDConv(nil),
 		NewCodecSync(),
 		NewErrDrop(nil),
+		NewGuardedBy(),
+		NewCtxFlow(nil, nil, nil),
 	}
 }
 

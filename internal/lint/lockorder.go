@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
@@ -90,7 +91,7 @@ func (a *LockOrder) Analyze(prog *Program) []Diagnostic {
 							addEdge(lockEdge{from: h.global, to: lk.global, pos: lk.pos, fn: ff.name})
 						}
 					},
-					call: func(held []heldLock, callee *types.Func, pos token.Pos) {
+					call: func(held []heldLock, callee *types.Func, call *ast.CallExpr) {
 						ff.callees = append(ff.callees, callee)
 						var globals []string
 						for _, h := range held {
@@ -99,7 +100,7 @@ func (a *LockOrder) Analyze(prog *Program) []Diagnostic {
 							}
 						}
 						if len(globals) > 0 {
-							ff.heldCalls = append(ff.heldCalls, heldCall{held: globals, callee: callee, pos: pos})
+							ff.heldCalls = append(ff.heldCalls, heldCall{held: globals, callee: callee, pos: call.Lparen})
 						}
 					},
 				},

@@ -89,6 +89,41 @@ func intersectStates(states []lockState) lockState {
 	return out
 }
 
+// accessKind classifies how a struct field is touched at an access site.
+type accessKind int
+
+const (
+	// accessRead is a plain read of the field's value.
+	accessRead accessKind = iota
+	// accessWrite is an assignment, compound assignment, ++/--, or a
+	// mutation through an index expression (s.m[k] = v mutates s.m).
+	accessWrite
+	// accessAddr is the field's address being taken outside a sync/atomic
+	// call — an alias that escapes the scanner's lock tracking.
+	accessAddr
+	// accessAtomic is the field's address passed directly to a sync/atomic
+	// function (atomic.AddInt64(&s.n, 1)).
+	accessAtomic
+	// accessReturn is the field returned from the enclosing function; for
+	// reference types the caller now aliases guarded state.
+	accessReturn
+)
+
+func (k accessKind) String() string {
+	switch k {
+	case accessWrite:
+		return "write"
+	case accessAddr:
+		return "address-of"
+	case accessAtomic:
+		return "atomic access"
+	case accessReturn:
+		return "return"
+	default:
+		return "read"
+	}
+}
+
 // lockCallbacks are the analyzer hooks driven by the scanner.
 type lockCallbacks struct {
 	// blocked fires for a potentially blocking operation (channel send or
@@ -100,13 +135,17 @@ type lockCallbacks struct {
 	acquire func(held []heldLock, lk heldLock)
 	// call fires for every resolved function or method call, with the locks
 	// held at that moment (possibly none).
-	call func(held []heldLock, callee *types.Func, pos token.Pos)
+	call func(held []heldLock, callee *types.Func, call *ast.CallExpr)
 	// isBlockingCall lets the analyzer classify calls as blocking (the
 	// configurable blocking set), given the locks held at the call. May be
 	// nil. Receiving the held set lets the analyzer treat sync.Cond.Wait —
 	// which requires exactly its own mutex held — as blocking only when
 	// additional locks are held.
 	isBlockingCall func(callee *types.Func, held []heldLock) bool
+	// access fires for every struct-field selector evaluated, with the locks
+	// held at that moment. The guardedby analyzer and the -suggest-guards
+	// inference consume these events.
+	access func(held []heldLock, sel *ast.SelectorExpr, kind accessKind)
 }
 
 // lockScanner performs an approximate abstract interpretation of one function
@@ -122,7 +161,10 @@ type lockScanner struct {
 }
 
 func (s *lockScanner) scan(fb funcBody) {
-	state := lockState{}
+	// //guard:holds annotations declare locks the caller must hold; the body
+	// is scanned with them pre-acquired. The guardedby analyzer checks the
+	// caller side of the contract at every call site.
+	state := seedHolds(s.pkg, fb)
 	s.scanBlock(fb.body.List, state)
 }
 
@@ -162,7 +204,7 @@ func (s *lockScanner) scanStmt(st ast.Stmt, state lockState) bool {
 			s.scanExpr(e, state)
 		}
 		for _, e := range st.Lhs {
-			s.scanExpr(e, state)
+			s.scanWriteTarget(e, state)
 		}
 	case *ast.DeclStmt:
 		if gd, ok := st.Decl.(*ast.GenDecl); ok {
@@ -175,9 +217,14 @@ func (s *lockScanner) scanStmt(st ast.Stmt, state lockState) bool {
 			}
 		}
 	case *ast.IncDecStmt:
-		s.scanExpr(st.X, state)
+		s.scanWriteTarget(st.X, state)
 	case *ast.ReturnStmt:
 		for _, e := range st.Results {
+			if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && s.fieldSelection(sel) != nil {
+				s.fireAccess(state, sel, accessReturn)
+				s.scanExpr(sel.X, state)
+				continue
+			}
 			s.scanExpr(e, state)
 		}
 		return true
@@ -241,25 +288,102 @@ func (s *lockScanner) scanIf(st *ast.IfStmt, state lockState) bool {
 	}
 	s.scanExpr(st.Cond, state)
 	thenState := state.clone()
+	elseEntry := state.clone()
+	// `if s.mu.TryLock() { ... }` holds the lock on the then-path only;
+	// `if !s.mu.TryLock() { return }` holds it on the else/fall-through path.
+	if lk, ok := s.tryLockCond(st.Cond, false); ok {
+		thenState[lk.key] = lk
+		if s.cb.acquire != nil {
+			s.cb.acquire(state.held(), lk)
+		}
+	} else if lk, ok := s.tryLockCond(st.Cond, true); ok {
+		elseEntry[lk.key] = lk
+		if s.cb.acquire != nil {
+			s.cb.acquire(state.held(), lk)
+		}
+	}
 	thenTerm := s.scanBlock(st.Body.List, thenState)
 	var exits []lockState
 	if !thenTerm {
 		exits = append(exits, thenState)
 	}
 	if st.Else != nil {
-		elseState := state.clone()
-		if !s.scanStmt(st.Else, elseState) {
-			exits = append(exits, elseState)
+		if !s.scanStmt(st.Else, elseEntry) {
+			exits = append(exits, elseEntry)
 		}
 	} else {
-		// No else: the condition-false path falls through unchanged.
-		exits = append(exits, state.clone())
+		// No else: the condition-false path falls through unchanged (with the
+		// negated-TryLock acquisition, if any).
+		exits = append(exits, elseEntry)
 	}
 	if len(exits) == 0 {
 		return true
 	}
 	state.replace(intersectStates(exits))
 	return false
+}
+
+// tryLockCond recognizes a TryLock/TryRLock call used directly as an if
+// condition, optionally under a leading negation.
+func (s *lockScanner) tryLockCond(cond ast.Expr, negated bool) (heldLock, bool) {
+	e := ast.Unparen(cond)
+	if negated {
+		ue, ok := e.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.NOT {
+			return heldLock{}, false
+		}
+		e = ast.Unparen(ue.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return heldLock{}, false
+	}
+	lk, op, ok := s.lockOp(call)
+	if !ok || (op != "TryLock" && op != "TryRLock") {
+		return heldLock{}, false
+	}
+	return lk, true
+}
+
+// scanWriteTarget scans an assignment's left-hand side: the outermost field
+// selector is a write (an index expression mutates the indexed container, so
+// `s.m[k] = v` writes s.m), dereferences read the pointer, and nested
+// expressions are scanned normally.
+func (s *lockScanner) scanWriteTarget(e ast.Expr, state lockState) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s.fieldSelection(x) != nil {
+			s.fireAccess(state, x, accessWrite)
+			s.scanExpr(x.X, state)
+			return
+		}
+		s.scanExpr(e, state)
+	case *ast.IndexExpr:
+		s.scanExpr(x.Index, state)
+		s.scanWriteTarget(x.X, state)
+	case *ast.StarExpr:
+		s.scanExpr(x.X, state)
+	default:
+		s.scanExpr(e, state)
+	}
+}
+
+// fieldSelection resolves sel to the struct field it reads, or nil when the
+// selector is a method, package member, or unresolved.
+func (s *lockScanner) fieldSelection(sel *ast.SelectorExpr) *types.Var {
+	selection, ok := s.pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := selection.Obj().(*types.Var)
+	return v
+}
+
+func (s *lockScanner) fireAccess(state lockState, sel *ast.SelectorExpr, kind accessKind) {
+	if s.cb.access != nil && s.fieldSelection(sel) != nil {
+		s.cb.access(state.held(), sel, kind)
+	}
 }
 
 // scanCases handles switch/type-switch clause bodies. When the statement has
@@ -366,22 +490,31 @@ func (s *lockScanner) scanDefer(st *ast.DeferStmt, state lockState) {
 	// are scanned as independent functions.
 }
 
-// scanExpr walks an expression for channel receives and calls, skipping
-// function literal bodies.
+// scanExpr walks an expression for channel receives, calls, and struct-field
+// accesses, skipping function literal bodies.
 func (s *lockScanner) scanExpr(expr ast.Expr, state lockState) {
 	ast.Inspect(expr, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			return false
+		case *ast.SelectorExpr:
+			s.fireAccess(state, n, accessRead)
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW && len(state) > 0 && s.cb.blocked != nil {
 				s.cb.blocked(state.held(), n.OpPos, "channel receive")
 			}
+			if n.Op == token.AND {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && s.fieldSelection(sel) != nil {
+					s.fireAccess(state, sel, accessAddr)
+					s.scanExpr(sel.X, state)
+					return false
+				}
+			}
 		case *ast.CallExpr:
 			if _, _, ok := s.lockOp(n); ok {
 				// TryLock or a lock call in expression position: no state
-				// change (TryLock may fail; modeling it held would flag the
-				// failure path too).
+				// change (TryLock may fail; the if-condition form is modeled
+				// in scanIf).
 				return true
 			}
 			callee := calleeOf(s.pkg.Info, n)
@@ -389,12 +522,28 @@ func (s *lockScanner) scanExpr(expr ast.Expr, state lockState) {
 				return true
 			}
 			if s.cb.call != nil {
-				s.cb.call(state.held(), callee, n.Lparen)
+				s.cb.call(state.held(), callee, n)
 			}
 			if len(state) > 0 && s.cb.blocked != nil && s.cb.isBlockingCall != nil {
 				if held := state.held(); s.cb.isBlockingCall(callee, held) {
 					s.cb.blocked(held, n.Lparen, "call to "+funcFullName(callee))
 				}
+			}
+			// &s.f handed to a sync/atomic function is the blessed access
+			// path for //guard:atomic fields; classify those operands
+			// distinctly from a plain escaping address-of.
+			if callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic" {
+				for _, arg := range n.Args {
+					if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						if sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr); ok && s.fieldSelection(sel) != nil {
+							s.fireAccess(state, sel, accessAtomic)
+							s.scanExpr(sel.X, state)
+							continue
+						}
+					}
+					s.scanExpr(arg, state)
+				}
+				return false
 			}
 		}
 		return true

@@ -1,0 +1,91 @@
+// Package ctxflow seeds violations for the ctxflow analyzer golden test.
+// Lines marked `// want ...` must produce a diagnostic whose message contains
+// the backquoted substring; unmarked code is the corrected form and must stay
+// silent.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+type Server struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// Recv blocks on a channel receive without accepting a context.
+func (s *Server) Recv() int { // want `exported (*Server).Recv blocks (channel receive) but accepts no context.Context`
+	return <-s.ch
+}
+
+// RecvCtx is the corrected form: the context parameter is accepted (whether
+// the body selects on it is the author's judgment, not the analyzer's).
+func (s *Server) RecvCtx(ctx context.Context) (int, error) {
+	select {
+	case v := <-s.ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Send blocks on a channel send.
+func (s *Server) Send(v int) { // want `exported (*Server).Send blocks (channel send) but accepts no context.Context`
+	s.ch <- v
+}
+
+// WaitReady blocks in a select without a default case.
+func (s *Server) WaitReady() { // want `exported (*Server).WaitReady blocks (select without default) but accepts no context.Context`
+	select {
+	case <-s.done:
+	case <-time.After(time.Second):
+	}
+}
+
+// Poll is non-blocking: the select has a default case.
+func (s *Server) Poll() (int, bool) {
+	select {
+	case v := <-s.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Sleepy blocks via a call in the configured blocking set.
+func Sleepy() { // want `exported Sleepy blocks (call to time.Sleep) but accepts no context.Context`
+	time.Sleep(time.Millisecond)
+}
+
+// Discarding accepts a context but throws it away.
+func (s *Server) Discarding(_ context.Context) int { // want `discards its context.Context parameter`
+	return <-s.ch
+}
+
+// Close may block without a context: lifecycle teardown is exempt by name.
+func (s *Server) Close() error {
+	<-s.done
+	return nil
+}
+
+// Spawn only blocks inside a function literal, which runs in its own
+// goroutine context: the enclosing declaration is not flagged.
+func (s *Server) Spawn() {
+	go func() {
+		s.ch <- 1
+	}()
+}
+
+// unexportedRecv blocks but is not part of the exported API surface.
+func (s *Server) unexportedRecv() int {
+	return <-s.ch
+}
+
+// Detach mints a root context in library code.
+func Detach(s *Server) {
+	ctx := context.Background() // want `context.Background in library code`
+	_ = ctx
+	todo := context.TODO() // want `context.TODO in library code`
+	_ = todo
+}

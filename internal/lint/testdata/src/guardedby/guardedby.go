@@ -1,0 +1,226 @@
+// Package guardedby seeds violations for the guardedby analyzer golden test.
+// Lines marked `// want ...` must produce a diagnostic whose message contains
+// the backquoted substring; unmarked code is the corrected form and must stay
+// silent.
+package guardedby
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter exercises the basic //guard:by form: every access needs the write
+// lock held.
+type counter struct {
+	mu sync.Mutex
+	n  int //guard:by mu
+}
+
+func (c *counter) incLocked() {
+	c.mu.Lock()
+	c.n++ // locked: silent
+	c.mu.Unlock()
+}
+
+func (c *counter) incBare() {
+	c.n++ // want `write to c.n without c.mu held`
+}
+
+func (c *counter) readBare() int {
+	return c.n // want `read of c.n without c.mu held`
+}
+
+func (c *counter) readDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n // deferred unlock holds to function end: silent
+}
+
+// escape: taking the field's address hands out an unguarded alias.
+func (c *counter) addr() *int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &c.n // want `address of c.n taken`
+}
+
+// goroutine bodies start with no locks held, even when the launcher holds mu.
+func (c *counter) goUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write to c.n without c.mu held`
+	}()
+}
+
+// tryLock: the then-branch of a successful TryLock holds the mutex.
+func (c *counter) tryInc() {
+	if c.mu.TryLock() {
+		c.n++ // TryLock succeeded on this path: silent
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) tryIncNegated() {
+	if !c.mu.TryLock() {
+		return
+	}
+	c.n++ // the fall-through of a !TryLock early return holds the lock: silent
+	c.mu.Unlock()
+}
+
+// newCounter: composite-literal locals are pre-publication, so initializing
+// writes need no lock.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // fresh local: silent
+	return c
+}
+
+// table exercises the read-lock-sufficient form: reads are fine under RLock
+// (or the write lock), writes need the write lock.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int //guard:by mu.R
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k] // read under RLock: silent
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v // write under the write lock: silent
+	t.mu.Unlock()
+}
+
+func (t *table) putUnderRead(k string, v int) {
+	t.mu.RLock()
+	t.m[k] = v // want `write to t.m with only t.mu.RLock() held`
+	t.mu.RUnlock()
+}
+
+func (t *table) getBare(k string) int {
+	return t.m[k] // want `read of t.m without t.mu held`
+}
+
+// returning a reference-typed field leaks the map beyond the lock.
+func (t *table) leak() map[string]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m // want `t.m (guarded by mu) returned`
+}
+
+// strict exercises a write-lock-only field on an RWMutex: reads under RLock
+// are insufficient without the .R marker.
+type strict struct {
+	mu sync.RWMutex
+	n  int //guard:by mu
+}
+
+func (s *strict) readUnderRead() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n // want `read of s.n under s.mu.RLock(), but //guard:by mu requires the write lock`
+}
+
+// atomics exercises //guard:atomic: sync/atomic calls and atomic.X method
+// receivers are fine, plain accesses are not.
+type atomics struct {
+	n int64        //guard:atomic
+	v atomic.Int64 //guard:atomic
+}
+
+func (a *atomics) ok() int64 {
+	atomic.AddInt64(&a.n, 1) // sync/atomic call: silent
+	a.v.Add(1)               // atomic.Int64 method: silent
+	return atomic.LoadInt64(&a.n)
+}
+
+func (a *atomics) plainRead() int64 {
+	return a.n // want `non-atomic return of //guard:atomic field a.n`
+}
+
+func (a *atomics) plainWrite() {
+	a.n = 0 // want `non-atomic write of //guard:atomic field a.n`
+}
+
+// config exercises //guard:init: set once before sharing, then read-only.
+type config struct {
+	mu   sync.Mutex
+	name string //guard:init
+	hits int    //guard:by mu
+}
+
+func newConfig(name string) *config {
+	c := &config{}
+	c.name = name // constructor-like function: silent
+	return c
+}
+
+func (c *config) title() string {
+	return c.name // reads never need the lock: silent
+}
+
+func (c *config) rename(name string) {
+	c.name = name // want `write of //guard:init field c.name outside construction`
+}
+
+// locked helpers: //guard:holds seeds the callee's lock state and is enforced
+// at every call site.
+type store struct {
+	mu   sync.Mutex
+	data map[string]int //guard:by mu
+}
+
+// evictLocked mutates data; its contract is that the caller holds mu.
+//
+//guard:holds mu
+func (s *store) evictLocked(k string) {
+	delete(s.data, k) // contract says mu is held: silent
+}
+
+func (s *store) evict(k string) {
+	s.mu.Lock()
+	s.evictLocked(k) // call with mu held: silent
+	s.mu.Unlock()
+}
+
+func (s *store) evictBare(k string) {
+	s.evictLocked(k) // want `call to evictLocked requires s.mu held`
+}
+
+// rstore exercises the read-mode holds contract.
+type rstore struct {
+	mu   sync.RWMutex
+	data map[string]int //guard:by mu.R
+}
+
+//guard:holds mu.R
+func (r *rstore) lookupLocked(k string) int {
+	return r.data[k]
+}
+
+func (r *rstore) lookup(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lookupLocked(k) // read lock satisfies a .R holds contract: silent
+}
+
+func (r *rstore) lookupBare(k string) int {
+	return r.lookupLocked(k) // want `call to lookupLocked requires r.mu held`
+}
+
+// uncovered has a mutex and guardable fields but no annotations at all: the
+// coverage check demands at least one //guard: directive.
+type uncovered struct { // want `struct uncovered has mutex field(s) mu but no //guard: annotations`
+	mu   sync.Mutex
+	data map[string]int
+}
+
+func (u *uncovered) touch() {
+	u.mu.Lock()
+	u.data["x"] = 1
+	u.mu.Unlock()
+}

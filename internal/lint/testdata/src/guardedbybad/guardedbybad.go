@@ -1,0 +1,23 @@
+// Package guardedbybad seeds malformed //guard: directives for the guardedby
+// analyzer's directive-validation unit test (the diagnostics land on the
+// directive comments themselves, so they cannot carry same-line want
+// comments).
+package guardedbybad
+
+import "sync"
+
+type malformed struct {
+	mu sync.Mutex
+	a  int        //guard:by
+	b  int        //guard:by nosuchlock
+	c  int        //guard:by mu.R
+	d  int        //guard:wat
+	e  sync.Mutex //guard:by mu
+	f  int        //guard:holds mu
+}
+
+func (m *malformed) use() {
+	m.mu.Lock()
+	m.a, m.b, m.c, m.d, m.f = 1, 2, 3, 4, 5
+	m.mu.Unlock()
+}

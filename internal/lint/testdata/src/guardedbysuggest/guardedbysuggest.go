@@ -1,0 +1,47 @@
+// Package guardedbysuggest seeds access patterns for the SuggestGuards
+// inference unit test: full-coverage fields earn concrete //guard:by
+// proposals, a mostly-covered field earns a near-miss listing its bare
+// sites, and an all-atomic field earns //guard:atomic.
+package guardedbysuggest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type cache struct {
+	mu sync.RWMutex
+	// m: every access under mu, some read-locked -> //guard:by mu.R.
+	m map[string]int
+	// n: every access under mu, all write-locked -> //guard:by mu.
+	n int
+	// leaky: one access escapes the lock -> near-miss.
+	leaky int
+	// hits: only sync/atomic accesses -> //guard:atomic.
+	hits int64
+}
+
+func (c *cache) get(k string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[k]
+}
+
+func (c *cache) put(k string, v int) {
+	c.mu.Lock()
+	c.m[k] = v
+	c.n++
+	c.leaky++
+	c.mu.Unlock()
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *cache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *cache) peek() int {
+	return c.leaky // the bare site the near-miss must list
+}

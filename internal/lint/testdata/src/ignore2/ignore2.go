@@ -1,0 +1,42 @@
+// Package ignore2 seeds suppression-placement edge cases for the staleignore
+// unit test: a directive inside a struct's field list, a directive above a
+// statement spanning several lines, and two directives for different checks
+// landing on the same statement line.
+package ignore2
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+	// A directive inside a field list suppresses a diagnostic on the next
+	// field line — here a malformed //guard directive.
+	//lint:ignore guardedby demonstrating suppression of a field-level directive diagnostic
+	//guard:by nosuchlock
+	a int
+
+	mu2 sync.Mutex
+	n   int //guard:by mu2
+	ch  chan int
+}
+
+// multiLine: the directive sits above a statement that spans three lines; the
+// diagnostic lands on the statement's first line, which is exactly the
+// directive's following line.
+func (s *server) multiLine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore mutexhold the send is seeded to prove directives cover multi-line statements
+	s.ch <- func() int {
+		return 1
+	}()
+}
+
+// sameLine: one statement line carries a mutexhold violation (channel send
+// under mu) and a guardedby violation (read of n without mu2). Two directives
+// for the two different checks — one above, one trailing — suppress both.
+func (s *server) sameLine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore mutexhold seeded send-under-lock for the two-directives-one-line case
+	s.ch <- s.n //lint:ignore guardedby seeded bare read for the two-directives-one-line case
+}

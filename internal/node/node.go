@@ -130,7 +130,7 @@ type Node struct {
 	// points consumers at data the node no longer holds, so failed
 	// withdrawals are retried on every heartbeat until they commit.
 	withdrawMu      sync.Mutex
-	pendingWithdraw map[types.ObjectID]struct{}
+	pendingWithdraw map[types.ObjectID]struct{} //guard:by withdrawMu
 }
 
 var nodeOrigin atomic.Uint64

@@ -95,8 +95,8 @@ type Manager struct {
 	// re-fetching from chunk 0. Only the current pull originator (single-
 	// flight via inflight) touches a parked assembly.
 	mu       sync.Mutex
-	inflight map[types.ObjectID]chan error
-	partial  map[types.ObjectID]*assembly
+	inflight map[types.ObjectID]chan error //guard:by mu
+	partial  map[types.ObjectID]*assembly  //guard:by mu
 
 	pulls          atomic.Int64
 	bytesPulled    atomic.Int64

@@ -60,6 +60,7 @@ func newTestEnv(t *testing.T, n int, cfg Config) *testEnv {
 		gcs:     gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1}),
 		cluster: newFakeCluster(),
 	}
+	t.Cleanup(func() { _ = env.gcs.Close() })
 	net := netsim.New(netsim.InstantConfig())
 	for i := 0; i < n; i++ {
 		id := types.NewNodeID()
@@ -488,6 +489,7 @@ func TestCancelledWaiterStillFails(t *testing.T) {
 // blind to a resident replica.
 func TestCancelledChunkedPullResumesWithoutRefetch(t *testing.T) {
 	g := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer g.Close()
 	cluster := newFakeCluster()
 	// Slow enough that a pull can be cancelled mid-transfer: one stream,
 	// ~20ms per 32 KiB window.
@@ -552,6 +554,7 @@ func TestCancelledChunkedPullResumesWithoutRefetch(t *testing.T) {
 func TestEvictThenRepullLocationConsistency(t *testing.T) {
 	ctx := context.Background()
 	gstore := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer gstore.Close()
 	cluster := newFakeCluster()
 	nodeID := types.NewNodeID()
 	objA := types.NewObjectID()

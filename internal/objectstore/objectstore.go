@@ -85,23 +85,23 @@ func DefaultConfig() Config {
 
 // Store is a single node's object store. It is safe for concurrent use.
 type Store struct {
-	cfg Config
+	cfg Config //guard:init
 
 	mu      sync.Mutex
-	objects map[types.ObjectID]*entry
-	lru     *list.List // front = most recently used
-	used    int64
-	waiters map[types.ObjectID][]chan struct{}
+	objects map[types.ObjectID]*entry          //guard:by mu
+	lru     *list.List                         //guard:by mu — front = most recently used
+	used    int64                              //guard:by mu
+	waiters map[types.ObjectID][]chan struct{} //guard:by mu
 	// evictNotify tracks in-flight eviction callbacks per object so that a
 	// re-put of the same object can wait for the eviction's GCS location
 	// removal to land before registering the fresh location (the evict/re-put
 	// ordering guarantee behind WaitEvictions).
-	evictNotify map[types.ObjectID][]chan struct{}
+	evictNotify map[types.ObjectID][]chan struct{} //guard:by mu
 	// spilled tracks primary copies moved to disk; spilledBytes sums their
 	// payload sizes. Guarded by mu (file I/O happens outside the lock; the
 	// record's data field bridges reads racing an in-flight write).
-	spilled      map[types.ObjectID]*spillRecord
-	spilledBytes int64
+	spilled      map[types.ObjectID]*spillRecord //guard:by mu
+	spilledBytes int64                           //guard:by mu
 	spillDirOnce sync.Once
 	spillDirErr  error
 
@@ -352,6 +352,8 @@ type evictedObject struct {
 // releasing the lock: each eviction is registered in evictNotify before the
 // object leaves the map, so any later re-put of the same object observes the
 // pending notification and can wait for it.
+//
+//guard:holds mu
 func (s *Store) evictForLocked(size int64) ([]evictedObject, []*spillRecord, error) {
 	var evicted []evictedObject
 	var toSpill []*spillRecord
@@ -587,6 +589,7 @@ func (s *Store) WaitEvictions(ctx context.Context, id types.ObjectID) error {
 	return nil
 }
 
+//guard:holds mu
 func (s *Store) removeLocked(id types.ObjectID, e *entry) {
 	s.lru.Remove(e.element)
 	delete(s.objects, id)

@@ -22,9 +22,9 @@ type Centralized struct {
 	DecisionLatency time.Duration
 
 	mu        sync.Mutex
-	nodes     []types.NodeID
-	queueLens map[types.NodeID]int
-	next      int
+	nodes     []types.NodeID       //guard:by mu
+	queueLens map[types.NodeID]int //guard:by mu
+	next      int                  //guard:by mu
 
 	decisions atomic.Int64
 }

@@ -58,8 +58,8 @@ type Global struct {
 	gcs *gcs.Store
 
 	mu           sync.Mutex
-	avgTaskMs    float64 // exponentially averaged task execution time
-	avgBandwidth float64 // exponentially averaged transfer bandwidth
+	avgTaskMs    float64 //guard:by mu — exponentially averaged task execution time
+	avgBandwidth float64 //guard:by mu — exponentially averaged transfer bandwidth
 
 	decisions atomic.Int64
 }

@@ -95,7 +95,7 @@ type LocalConfig struct {
 // first (bottom-up scheduling); only overload or infeasible resource demands
 // cause forwarding to the global scheduler.
 type Local struct {
-	cfg     LocalConfig
+	cfg     LocalConfig //guard:init
 	runner  TaskRunner
 	puller  DependencyPuller
 	forward Forwarder
@@ -105,15 +105,15 @@ type Local struct {
 	// queued counts tasks accepted locally that have not finished;
 	// queuedByJob breaks the same count down per job so the spillover test
 	// can charge a backlog to the job that built it.
-	queued      int
-	queuedByJob map[types.JobID]int
+	queued      int                 //guard:by mu
+	queuedByJob map[types.JobID]int //guard:by mu
 	// actorHold tracks resources held by live actors created on this node.
-	actorHold map[types.ActorID]resources.Request
+	actorHold map[types.ActorID]resources.Request //guard:by mu
 	// avgTaskMs is the exponentially averaged execution time of recent tasks.
-	avgTaskMs float64
+	avgTaskMs float64 //guard:by mu
 	// draining refuses new work when the node is shutting down or has been
 	// killed by failure injection.
-	draining bool
+	draining bool //guard:by mu
 
 	// Slot pool state (used unless cfg.DirectDispatch). Guarded by poolMu,
 	// which is separate from mu so slot bookkeeping never contends with the
@@ -121,18 +121,18 @@ type Local struct {
 	poolMu sync.Mutex
 	// fairQ is the per-job deficit-round-robin queue of accepted tasks
 	// awaiting a slot (the default). Guarded by poolMu.
-	fairQ *job.FairQueue[queuedTask]
+	fairQ *job.FairQueue[queuedTask] //guard:by poolMu
 	// taskQ is the shared FIFO used under cfg.FIFOScheduling; qHead indexes
 	// the next task so dequeue is O(1) without reallocating.
-	taskQ []queuedTask
-	qHead int
+	taskQ []queuedTask //guard:by poolMu
+	qHead int          //guard:by poolMu
 	// purged counts queued tasks dropped by job-exit cleanup.
 	purged atomic.Int64
 	// slotWorkers counts live worker goroutines, including blocked ones;
 	// slotBlocked counts the subset currently parked in user code (Get/Wait)
 	// that have lent their slot out.
-	slotWorkers int
-	slotBlocked int
+	slotWorkers int //guard:by poolMu
+	slotBlocked int //guard:by poolMu
 
 	scheduledLocal atomic.Int64
 	forwarded      atomic.Int64
@@ -183,6 +183,8 @@ func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forwa
 // --- Slot queue (guarded by poolMu) ------------------------------------------
 
 // queueLenLocked returns how many accepted tasks await a slot.
+//
+//guard:holds poolMu
 func (l *Local) queueLenLocked() int {
 	if l.fairQ != nil {
 		return l.fairQ.Len()
@@ -191,6 +193,8 @@ func (l *Local) queueLenLocked() int {
 }
 
 // enqueueLocked adds an accepted task to the slot queue.
+//
+//guard:holds poolMu
 func (l *Local) enqueueLocked(qt queuedTask) {
 	if l.fairQ != nil {
 		l.fairQ.Push(qt.spec.Job, qt)
@@ -201,6 +205,8 @@ func (l *Local) enqueueLocked(qt queuedTask) {
 
 // dequeueLocked removes the next task to dispatch: deficit round robin
 // across jobs by default, FIFO under FIFOScheduling.
+//
+//guard:holds poolMu
 func (l *Local) dequeueLocked() (queuedTask, bool) {
 	if l.fairQ != nil {
 		return l.fairQ.Pop()
@@ -370,6 +376,8 @@ func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 
 // spawnWorkerLocked starts a slot worker when there is queued work and a free
 // slot (a blocked worker's slot counts as free). Called with poolMu held.
+//
+//guard:holds poolMu
 func (l *Local) spawnWorkerLocked() {
 	if l.queueLenLocked() > 0 && l.slotWorkers-l.slotBlocked < l.cfg.WorkerSlots {
 		l.slotWorkers++
@@ -597,6 +605,8 @@ func (l *Local) acquireWithDeadline(spec *task.Spec, deadline time.Duration) boo
 
 // decJobQueuedLocked settles a job's share of the queued count, dropping the
 // map entry at zero so finished jobs do not accumulate. Called with mu held.
+//
+//guard:holds mu
 func (l *Local) decJobQueuedLocked(jobID types.JobID, n int) {
 	if c := l.queuedByJob[jobID] - n; c > 0 {
 		l.queuedByJob[jobID] = c

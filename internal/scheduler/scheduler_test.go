@@ -403,6 +403,7 @@ func registerNode(t *testing.T, store *gcs.Store, cpus, gpus float64, queue int,
 
 func TestGlobalPicksLeastLoadedNode(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer store.Close()
 	busy := registerNode(t, store, 8, 0, 100, 10)
 	idle := registerNode(t, store, 8, 0, 1, 10)
 	g := NewGlobal(DefaultGlobalConfig(), store)
@@ -420,6 +421,7 @@ func TestGlobalPicksLeastLoadedNode(t *testing.T) {
 
 func TestGlobalAvoidsMemoryPressuredNodes(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer store.Close()
 	registerMemNode := func(queue int, used, capacity int64) types.NodeID {
 		id := types.NewNodeID()
 		total := map[string]float64{resources.CPU: 8}
@@ -456,6 +458,7 @@ func TestGlobalAvoidsMemoryPressuredNodes(t *testing.T) {
 	}
 	// When every node is pressured, scheduling still succeeds (best effort).
 	allBad := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer allBad.Close()
 	store = allBad
 	only := registerMemNode(3, 99, 100)
 	g2 := NewGlobal(DefaultGlobalConfig(), allBad)
@@ -466,6 +469,7 @@ func TestGlobalAvoidsMemoryPressuredNodes(t *testing.T) {
 
 func TestGlobalRespectsResourceConstraints(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer store.Close()
 	registerNode(t, store, 8, 0, 0, 1) // CPU-only, idle
 	gpuNode := registerNode(t, store, 8, 4, 50, 1)
 	g := NewGlobal(DefaultGlobalConfig(), store)
@@ -487,6 +491,7 @@ func TestGlobalRespectsResourceConstraints(t *testing.T) {
 
 func TestGlobalLocalityAwarePlacement(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer store.Close()
 	holder := registerNode(t, store, 8, 0, 3, 5)
 	other := registerNode(t, store, 8, 0, 0, 5)
 	// A 100 MB object lives on the busier node.
@@ -518,6 +523,7 @@ func TestGlobalLocalityAwarePlacement(t *testing.T) {
 
 func TestGlobalNoNodes(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 1, ReplicationFactor: 1})
+	defer store.Close()
 	g := NewGlobal(DefaultGlobalConfig(), store)
 	if _, err := g.Schedule(context.Background(), simpleSpec(1)); !errors.Is(err, types.ErrNoResources) {
 		t.Fatalf("expected ErrNoResources, got %v", err)
@@ -526,6 +532,7 @@ func TestGlobalNoNodes(t *testing.T) {
 
 func TestGlobalSkipsDeadNodes(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 2, ReplicationFactor: 1})
+	defer store.Close()
 	dead := registerNode(t, store, 64, 0, 0, 1)
 	alive := registerNode(t, store, 2, 0, 10, 1)
 	if err := store.MarkNodeDead(context.Background(), dead); err != nil {
@@ -543,6 +550,7 @@ func TestGlobalSkipsDeadNodes(t *testing.T) {
 
 func TestGlobalInjectedLatency(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 1, ReplicationFactor: 1})
+	defer store.Close()
 	registerNode(t, store, 8, 0, 0, 1)
 	g := NewGlobal(GlobalConfig{LocalityAware: true, InjectedLatency: 20 * time.Millisecond}, store)
 	start := time.Now()
@@ -561,6 +569,7 @@ func TestGlobalInjectedLatency(t *testing.T) {
 
 func TestGlobalExponentialAveraging(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 1, ReplicationFactor: 1})
+	defer store.Close()
 	g := NewGlobal(GlobalConfig{LocalityAware: true, EMAAlpha: 0.5, BandwidthBytesPerSec: 1e9}, store)
 	g.ObserveTaskDuration(100 * time.Millisecond)
 	g.ObserveTaskDuration(100 * time.Millisecond)
@@ -582,6 +591,7 @@ func TestGlobalExponentialAveraging(t *testing.T) {
 
 func TestPoolRoundRobin(t *testing.T) {
 	store := gcs.New(gcs.Config{Shards: 1, ReplicationFactor: 1})
+	defer store.Close()
 	registerNode(t, store, 8, 0, 0, 1)
 	p := NewPool(3, DefaultGlobalConfig(), store)
 	if len(p.Replicas()) != 3 {

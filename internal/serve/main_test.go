@@ -1,0 +1,15 @@
+package serve
+
+import (
+	"os"
+	"testing"
+
+	"ray/internal/testutil/leakcheck"
+)
+
+// TestMain gates the whole package on goroutine hygiene: every background
+// goroutine the tests start must be stopped by the owning Close/Stop/
+// Shutdown path before the run ends.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

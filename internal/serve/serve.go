@@ -95,10 +95,10 @@ type ModelConfig struct {
 // policyServer is the Ray actor that evaluates the policy.
 type policyServer struct {
 	mu      sync.Mutex
-	policy  *rl.MLPPolicy
-	obsSize int
-	delay   time.Duration
-	served  int
+	policy  *rl.MLPPolicy //guard:by mu
+	obsSize int           //guard:init
+	delay   time.Duration //guard:by mu
+	served  int           //guard:by mu
 }
 
 // fit pads or truncates a state to the policy's input size, so clients can

@@ -12,32 +12,32 @@ import (
 // bookkeeping that enforces serial, per-handle-ordered method execution
 // (the stateful edges of the computation graph).
 type actorProcess struct {
-	id       types.ActorID
-	class    string
-	creation types.TaskID
+	id       types.ActorID //guard:init
+	class    string        //guard:init
+	creation types.TaskID  //guard:init
 	// job is the job that created the actor: method dispatch resolves the
 	// class through the job's namespace, and job-exit cleanup finds the
 	// job's actors by it.
-	job types.JobID
+	job types.JobID //guard:init
 	// instance is the actor's private state, as returned by the class's
 	// constructor; the class's method table dispatches against it through
 	// the registry.
-	instance any
+	instance any //guard:init
 	// registry resolves the class's method table at dispatch time.
-	registry *Registry
+	registry *Registry //guard:init
 
 	mu   sync.Mutex
 	cond *sync.Cond
 	// executed records the task IDs of methods this instance has run, used to
 	// honour the stateful-edge ordering of each handle's call chain.
-	executed map[types.TaskID]bool
+	executed map[types.TaskID]bool //guard:by mu
 	// baseCounter is the actor counter the instance started from: 0 for a
 	// fresh actor, or the checkpoint counter after a restore.
-	baseCounter int64
+	baseCounter int64 //guard:by mu
 	// executedCount is the number of methods run by this instance.
-	executedCount int64
+	executedCount int64 //guard:by mu
 	// dead marks an actor that has been stopped; queued methods fail.
-	dead bool
+	dead bool //guard:by mu
 }
 
 func newActorProcess(id types.ActorID, class string, creation types.TaskID, job types.JobID, instance any, registry *Registry) *actorProcess {
@@ -56,6 +56,8 @@ func newActorProcess(id types.ActorID, class string, creation types.TaskID, job 
 
 // canRunLocked reports whether a method task's stateful-edge predecessor has
 // been satisfied. Caller holds p.mu.
+//
+//guard:holds mu
 func (p *actorProcess) canRunLocked(spec *task.Spec) bool {
 	if spec.PreviousActorTask == p.creation || spec.PreviousActorTask.IsNil() {
 		return true

@@ -64,7 +64,7 @@ type TaskContext struct {
 	// task contexts are auto-released when the task finishes; a driver's
 	// context is released by job-exit cleanup. Free releases entries early.
 	createdMu sync.Mutex
-	created   []types.ObjectID
+	created   []types.ObjectID //guard:by createdMu
 }
 
 // NewTaskContext builds a context for a task execution. The node runtime
@@ -343,9 +343,9 @@ type ActorHandle struct {
 	Class string
 
 	mu       sync.Mutex
-	counter  int64
-	lastTask types.TaskID
-	creation types.TaskID
+	counter  int64        //guard:by mu
+	lastTask types.TaskID //guard:by mu
+	creation types.TaskID //guard:init
 }
 
 // handleExport is the serializable form of an actor handle, used when a

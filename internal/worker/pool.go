@@ -43,10 +43,10 @@ type Pool struct {
 	// the Runtime interface using this pool, so the dependency is cyclic at
 	// runtime but not at package level).
 	runtimeMu sync.RWMutex
-	runtime   Runtime
+	runtime   Runtime //guard:by runtimeMu.R
 
 	actorsMu sync.RWMutex
-	actors   map[types.ActorID]*actorProcess
+	actors   map[types.ActorID]*actorProcess //guard:by actorsMu.R
 
 	tasksRun   atomic.Int64
 	methodsRun atomic.Int64

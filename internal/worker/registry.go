@@ -77,8 +77,8 @@ type actorClass struct {
 // cluster-wide one, so two drivers registering the same name never collide.
 type Registry struct {
 	mu        sync.RWMutex
-	functions map[string]Function
-	actors    map[string]*actorClass
+	functions map[string]Function    //guard:by mu.R
+	actors    map[string]*actorClass //guard:by mu.R
 }
 
 // QualifiedName returns the registry key of a job-scoped definition. The hex
@@ -188,7 +188,9 @@ func (r *Registry) ActorClassFor(job types.JobID, name string) (StateConstructor
 }
 
 // lookupClassLocked resolves a class through the job then global namespace.
-// Caller holds r.mu.
+// Caller holds r.mu (the read lock suffices: resolution only reads).
+//
+//guard:holds mu.R
 func (r *Registry) lookupClassLocked(job types.JobID, name string) (*actorClass, error) {
 	if !job.IsNil() {
 		if c, ok := r.actors[QualifiedName(job, name)]; ok {
