@@ -10,9 +10,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"os"
 	"time"
 
 	"ray/internal/codec"
+	"ray/internal/telemetry"
 	"ray/ray"
 )
 
@@ -30,6 +34,11 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for spill-to-disk of primary object copies under memory pressure (empty = spilling disabled)")
 	noRefcount := flag.Bool("no-refcount", false, "disable ownership reference counting (objects released only by job-exit GC or eviction, the ablation baseline)")
 	storeBytes := flag.Int64("store-bytes", 0, "object store capacity per node in bytes (0 = 1 GiB)")
+	noTelemetry := flag.Bool("no-telemetry", false, "disable the metrics registry and task-lifecycle tracer (the telemetry_overhead ablation baseline)")
+	timeline := flag.String("timeline", "", "write the run's task-lifecycle spans as Chrome trace-event JSON to this file (open in chrome://tracing or Perfetto)")
+	traceSample := flag.Int("trace-sample", 1, "trace one task lifecycle in every N (rounded up to a power of two); the demo defaults to full capture, the library default is 16")
+	httpAddr := flag.String("http", "", "serve /metrics, /statusz, /timeline and /debug/pprof/* on this address (e.g. 127.0.0.1:8077; empty = off)")
+	linger := flag.Duration("linger", 0, "keep the process (and the -http endpoint) alive this long after the run, for scraping")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -47,11 +56,37 @@ func main() {
 	cfg.SpillDir = *spillDir
 	cfg.DisableRefCounting = *noRefcount
 	cfg.ObjectStoreBytes = *storeBytes
+	cfg.DisableTelemetry = *noTelemetry
+	cfg.TraceSampleEvery = *traceSample
 	rt, err := ray.Init(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer rt.Shutdown()
+
+	if *httpAddr != "" {
+		cl := rt.Cluster()
+		handler := telemetry.NewHandler(telemetry.HandlerConfig{
+			Metrics:   cl.Metrics(),
+			Reporters: cl.Reporters,
+			Spans: func(ctx context.Context) ([]telemetry.Span, error) {
+				if err := cl.FlushTelemetry(ctx); err != nil {
+					return nil, err
+				}
+				return cl.GCS().Spans(ctx)
+			},
+		})
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry listening on http://%s (/metrics /statusz /timeline /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, handler); err != nil {
+				log.Printf("telemetry server: %v", err)
+			}
+		}()
+	}
 
 	work, err := ray.Register1(rt, "work", "burns a few milliseconds and returns its input + 1",
 		func(tc *ray.Context, x int) (int, error) {
@@ -150,6 +185,42 @@ func main() {
 			fmt.Printf("  [%s] %s %s\n", time.Unix(0, e.UnixNano).Format("15:04:05.000"), e.Kind, e.Message)
 		}
 	}
+
+	if *timeline != "" {
+		if err := writeTimeline(ctx, rt, *timeline); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *linger > 0 {
+		fmt.Printf("lingering %v before shutdown...\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// writeTimeline flushes buffered spans into the GCS span table, reads the
+// whole table back, and renders it as Chrome trace-event JSON.
+func writeTimeline(ctx context.Context, rt *ray.Runtime, path string) error {
+	cl := rt.Cluster()
+	if err := cl.FlushTelemetry(ctx); err != nil {
+		return fmt.Errorf("flush telemetry: %w", err)
+	}
+	spans, err := cl.GCS().Spans(ctx)
+	if err != nil {
+		return fmt.Errorf("read span table: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d spans to %s\n", len(spans), path)
+	return nil
 }
 
 // counter is a checkpointable counter; its single method lives on the class's

@@ -537,6 +537,7 @@ func Registry() map[string]func(Scale) (*Table, error) {
 		"fig8a":               Fig8aLocality,
 		"fig8b":               Fig8bScalability,
 		"throughput_batched":  ThroughputBatched,
+		"telemetry_overhead":  TelemetryOverhead,
 		"transfer_pipelining": TransferPipelining,
 		"multi_driver":        MultiDriver,
 		"larger_than_memory":  LargerThanMemory,

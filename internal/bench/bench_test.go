@@ -64,6 +64,33 @@ func TestThroughputBatchedBeatsBaseline(t *testing.T) {
 	t.Fatalf("batched hot path never beat the baseline (last ratio %.2fx)", lastRatio)
 }
 
+// TestTelemetryOverheadWithinBound is the acceptance check for default-on
+// telemetry: with the metrics registry and task-lifecycle tracer enabled,
+// empty-task throughput must stay within 5% of the fully disabled baseline.
+// Retries absorb scheduler noise on loaded CI machines.
+func TestTelemetryOverheadWithinBound(t *testing.T) {
+	const attempts = 3
+	var lastRatio float64
+	for attempt := 1; attempt <= attempts; attempt++ {
+		table, err := TelemetryOverhead(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(table.Rows) != 2 {
+			t.Fatalf("expected disabled+enabled rows, got %v", table.Rows)
+		}
+		disabled := parseCell(t, table.Rows[0][2])
+		enabled := parseCell(t, table.Rows[1][2])
+		lastRatio = enabled / disabled
+		if lastRatio >= 0.95 {
+			t.Logf("enabled %.0f tasks/sec vs disabled %.0f (%.2fx)", enabled, disabled, lastRatio)
+			return
+		}
+		t.Logf("attempt %d: enabled/disabled %.2f < 0.95, retrying", attempt, lastRatio)
+	}
+	t.Fatalf("telemetry overhead exceeded 5%% (last enabled/disabled ratio %.2f)", lastRatio)
+}
+
 // TestTransferPipeliningBeatsBlocking is the acceptance check for the
 // chunked, pipelined transfer path: at Quick scale, chunked pulls with
 // overlapped multi-input fetching must beat the blocking single-transfer

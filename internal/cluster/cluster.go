@@ -21,6 +21,7 @@ import (
 	"ray/internal/objectstore"
 	"ray/internal/scheduler"
 	"ray/internal/task"
+	"ray/internal/telemetry"
 	"ray/internal/types"
 	"ray/internal/worker"
 )
@@ -62,6 +63,19 @@ type Config struct {
 	// DispatchWorkers is the number of fair-share forward dispatch workers
 	// (0 = 16). Ignored under FIFOScheduling.
 	DispatchWorkers int
+	// DisableTelemetry turns off metric registration and span recording —
+	// the telemetry_overhead ablation baseline. By default the cluster
+	// creates a metrics registry and an enabled tracer and threads them into
+	// the GCS and every node; the heartbeat aggregator flushes buffered
+	// spans into the GCS span table each tick.
+	DisableTelemetry bool
+	// TracerCapacity bounds the in-memory span buffer between flushes
+	// (0 = telemetry.DefaultTracerCapacity).
+	TracerCapacity int
+	// TraceSampleEvery traces one task lifecycle in every n (rounded up to a
+	// power of two; 0 = 16, 1 = every task). Sampling is what keeps tracing
+	// cheap enough to default on; full capture is a timeline-demo setting.
+	TraceSampleEvery int
 }
 
 // NodeLabel is the custom resource name that pins work to the i-th node when
@@ -106,6 +120,15 @@ type Cluster struct {
 	heartbeatDone   chan struct{}
 	shutdownOnce    sync.Once
 
+	// Telemetry: nil when Config.DisableTelemetry (every consumer of these
+	// handles is nil-safe).
+	metrics *telemetry.Registry //guard:init
+	tracer  *telemetry.Tracer   //guard:init
+	// flushCtx carries Start's context values (detached from cancellation)
+	// so Shutdown's final span flush has a context to write under.
+	flushCtxMu sync.Mutex
+	flushCtx   context.Context //guard:by flushCtxMu
+
 	forwards         atomic.Int64
 	actorRoutes      atomic.Int64
 	reconstructedA   atomic.Int64
@@ -139,6 +162,17 @@ func New(cfg Config) *Cluster {
 	if cfg.DispatchWorkers < 1 {
 		cfg.DispatchWorkers = 16
 	}
+	var metrics *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if !cfg.DisableTelemetry {
+		metrics = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(cfg.TracerCapacity)
+		if cfg.TraceSampleEvery == 0 {
+			cfg.TraceSampleEvery = 16
+		}
+		tracer.SetSampleEvery(cfg.TraceSampleEvery)
+	}
+	cfg.GCS.Metrics = metrics
 	c := &Cluster{
 		cfg:           cfg,
 		gcs:           gcs.New(cfg.GCS),
@@ -146,6 +180,8 @@ func New(cfg Config) *Cluster {
 		registry:      worker.NewRegistry(),
 		nodes:         make(map[types.NodeID]*node.Node),
 		reconInflight: make(map[types.ActorID]chan error),
+		metrics:       metrics,
+		tracer:        tracer,
 	}
 	c.globals = scheduler.NewPool(cfg.GlobalSchedulers, cfg.Scheduling, c.gcs)
 	c.gcs.SetReclaimer(c.reclaimObject)
@@ -156,6 +192,8 @@ func New(cfg Config) *Cluster {
 	c.cfg.Node.CoalescedHeartbeats = !cfg.PerNodeHeartbeats
 	c.cfg.Node.FIFOScheduling = cfg.FIFOScheduling
 	c.cfg.Node.JobWeight = c.jobs.Weight
+	c.cfg.Node.Metrics = metrics
+	c.cfg.Node.Tracer = tracer
 	for i := 0; i < cfg.Nodes; i++ {
 		ncfg := c.cfg.Node
 		if cfg.LabelNodes {
@@ -184,6 +222,11 @@ func (c *Cluster) addNodeLocked(cfg node.Config) *node.Node {
 // per node, or a single cluster-level aggregator when heartbeats are
 // coalesced.
 func (c *Cluster) Start(ctx context.Context) error {
+	c.flushCtxMu.Lock()
+	if c.flushCtx == nil {
+		c.flushCtx = context.WithoutCancel(ctx)
+	}
+	c.flushCtxMu.Unlock()
 	for _, n := range c.NodeList() {
 		if err := n.Start(ctx); err != nil {
 			return err
@@ -224,6 +267,9 @@ func (c *Cluster) heartbeatLoop(ctx context.Context) {
 			}
 			//lint:ignore errdrop periodic refresh: the next tick re-sends the full batch, so a transient commit failure self-heals
 			_ = c.gcs.HeartbeatBatch(ctx, updates)
+			// Spans are diagnostics; a failed flush drops the batch and the
+			// next tick carries on.
+			_ = c.tracer.Flush(ctx, c.gcs)
 		}
 	}
 }
@@ -245,6 +291,15 @@ func (c *Cluster) Shutdown() {
 			c.heartbeatCancel()
 			<-c.heartbeatDone
 		}
+		c.flushCtxMu.Lock()
+		flushCtx := c.flushCtx
+		c.flushCtxMu.Unlock()
+		if flushCtx != nil {
+			// Final span flush so a post-shutdown timeline export sees the
+			// tail of the run.
+			// Spans are diagnostics; losing the final batch is acceptable.
+			_ = c.tracer.Flush(flushCtx, c.gcs)
+		}
 		//lint:ignore errdrop Shutdown is idempotent; a Close error on an already-stopped store changes nothing
 		_ = c.gcs.Close()
 	})
@@ -252,6 +307,19 @@ func (c *Cluster) Shutdown() {
 
 // GCS returns the cluster's Global Control Store.
 func (c *Cluster) GCS() *gcs.Store { return c.gcs }
+
+// Metrics returns the cluster's metrics registry (nil when telemetry is
+// disabled; metric constructors on a nil registry still work).
+func (c *Cluster) Metrics() *telemetry.Registry { return c.metrics }
+
+// Tracer returns the cluster's span tracer (nil when telemetry is disabled).
+func (c *Cluster) Tracer() *telemetry.Tracer { return c.tracer }
+
+// FlushTelemetry drains buffered spans into the GCS span table so exports
+// and /timeline observe everything recorded so far.
+func (c *Cluster) FlushTelemetry(ctx context.Context) error {
+	return c.tracer.Flush(ctx, c.gcs)
+}
 
 // Network returns the simulated data plane.
 func (c *Cluster) Network() *netsim.Network { return c.network }
@@ -802,6 +870,23 @@ type Stats struct {
 	// ObjectsReclaimed counts store copies deleted by ownership-rooted
 	// reference counting (refcount reached zero before job exit).
 	ObjectsReclaimed int64
+}
+
+// StatsName implements telemetry.Reporter.
+func (c *Cluster) StatsName() string { return "cluster" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (c *Cluster) StatsSnapshot() any { return c.Stats() }
+
+// Reporters enumerates every Stats-bearing subsystem in the cluster — the
+// cluster itself, the GCS, the job manager, and each node's subsystems —
+// as telemetry.Reporters for /statusz and generic tests.
+func (c *Cluster) Reporters() []telemetry.Reporter {
+	out := []telemetry.Reporter{c, c.gcs, c.jobs}
+	for _, n := range c.NodeList() {
+		out = append(out, n.Reporters()...)
+	}
+	return out
 }
 
 // Stats returns a snapshot of cluster counters.

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ray/internal/telemetry"
+)
+
+// Every subsystem snapshot must stay JSON-serializable or /statusz silently
+// degrades to an empty 200 (the handler treats writer errors as a vanished
+// client). This caught map[ActorID]int64 keys once already.
+func TestStatuszAllReportersSerializable(t *testing.T) {
+	c := newTestCluster(t, Config{Nodes: 2})
+	var sb strings.Builder
+	if err := telemetry.WriteStatusz(&sb, c.Reporters()); err != nil {
+		t.Fatalf("WriteStatusz: %v", err)
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("statusz output is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"cluster", "gcs", "jobs"} {
+		if _, ok := out[key]; !ok {
+			t.Errorf("statusz missing %q section", key)
+		}
+	}
+	var perNode int
+	for name := range out {
+		if strings.Contains(name, "/scheduler") {
+			perNode++
+		}
+	}
+	if perNode != 2 {
+		t.Errorf("per-node scheduler sections = %d, want 2", perNode)
+	}
+}

@@ -124,6 +124,18 @@ type Config struct {
 	LabelNodes bool
 	// CustomResourcesPerNode adds extra named resources to every node.
 	CustomResourcesPerNode map[string]float64
+	// DisableTelemetry turns off the metrics registry and the task-lifecycle
+	// tracer (the telemetry_overhead ablation baseline). Telemetry defaults
+	// on: the overhead benchmark keeps it within a few percent of disabled
+	// throughput.
+	DisableTelemetry bool
+	// TraceSampleEvery traces one task lifecycle in every n (rounded up to a
+	// power of two). 0 selects the default of 16 — cheap enough that tracing
+	// stays on in production; set 1 to capture every task (timeline demos).
+	TraceSampleEvery int
+	// TracerCapacity bounds the in-memory span buffer between GCS flushes
+	// (0 = telemetry default).
+	TracerCapacity int
 }
 
 // NodeLabel is the custom resource that pins work to the i-th node when the
@@ -203,6 +215,9 @@ func Init(ctx context.Context, cfg Config) (*Runtime, error) {
 		},
 		Network:          cfg.Network,
 		GlobalSchedulers: cfg.GlobalSchedulers,
+		DisableTelemetry: cfg.DisableTelemetry,
+		TraceSampleEvery: cfg.TraceSampleEvery,
+		TracerCapacity:   cfg.TracerCapacity,
 		Scheduling: scheduler.GlobalConfig{
 			LocalityAware:        cfg.LocalityAware,
 			BandwidthBytesPerSec: cfg.Network.BandwidthBytesPerSec,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ray/internal/chain"
+	"ray/internal/telemetry"
 )
 
 // shardBatcher is the batching write path for one GCS shard. Instead of one
@@ -64,6 +65,12 @@ type shardBatcher struct {
 	enqueued  atomic.Int64
 	coalesced atomic.Int64
 	flushes   atomic.Int64
+
+	// Flush observability (always non-nil; a nil registry hands back
+	// detached metrics).
+	flushEntries *telemetry.Histogram //guard:init
+	flushSeconds *telemetry.Histogram //guard:init
+	flushErrors  *telemetry.Counter   //guard:init
 }
 
 // ackWaiter is one commit future awaiting durability of all writes up to seq.
@@ -81,7 +88,7 @@ type pendingWrite struct {
 	queued bool
 }
 
-func newShardBatcher(ch *chain.Chain, flushInterval time.Duration, maxEntries int, onCommit func()) *shardBatcher {
+func newShardBatcher(ch *chain.Chain, flushInterval time.Duration, maxEntries int, onCommit func(), metrics *telemetry.Registry) *shardBatcher {
 	b := &shardBatcher{
 		chain:         ch,
 		flushInterval: flushInterval,
@@ -91,6 +98,12 @@ func newShardBatcher(ch *chain.Chain, flushInterval time.Duration, maxEntries in
 		kick:          make(chan struct{}, 1),
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
+		flushEntries: metrics.Histogram("ray_gcs_batch_flush_entries",
+			"Distinct keys committed per GCS batch flush.", telemetry.DefSizeBuckets),
+		flushSeconds: metrics.Histogram("ray_gcs_batch_flush_seconds",
+			"Wall time of each GCS batch chain commit.", telemetry.DefLatencyBuckets),
+		flushErrors: metrics.Counter("ray_gcs_batch_flush_errors_total",
+			"GCS batch chain commits that failed."),
 	}
 	go b.loop()
 	return b
@@ -201,9 +214,15 @@ func (b *shardBatcher) flush(ctx context.Context) error {
 	snapshotSeq := b.seq
 	b.mu.Unlock()
 
+	flushStart := time.Now()
 	//lint:ignore mutexhold flushMu orders snapshot commits: an older snapshot must never land after a newer one
 	err := b.chain.PutBatch(ctx, keys, values)
 	b.flushes.Add(1)
+	b.flushEntries.Observe(float64(len(keys)))
+	b.flushSeconds.Observe(time.Since(flushStart).Seconds())
+	if err != nil {
+		b.flushErrors.Inc()
+	}
 
 	b.mu.Lock()
 	if err == nil {

@@ -22,6 +22,7 @@ import (
 
 	"ray/internal/chain"
 	"ray/internal/netsim"
+	"ray/internal/telemetry"
 	"ray/internal/types"
 )
 
@@ -58,6 +59,9 @@ type Config struct {
 	// DisableRefCounting turns the ownership reference ledger (refs.go) into
 	// a no-op, restoring wait-until-job-GC object lifetimes. Ablation knob.
 	DisableRefCounting bool
+	// Metrics receives GCS batch-flush instrumentation. A nil registry
+	// still works: metric handles degrade to detached counters.
+	Metrics *telemetry.Registry
 }
 
 // DefaultConfig returns a small in-process GCS: 4 shards, 2-way replication.
@@ -114,6 +118,7 @@ type Store struct {
 	flushes   atomic.Int64
 	flushedN  atomic.Int64
 	eventSeq  atomic.Uint64
+	spanSeq   atomic.Uint64
 	flushedBy atomic.Int64
 	flushErrs atomic.Int64
 
@@ -163,7 +168,7 @@ func New(cfg Config) *Store {
 		ch.SetOnApply(s.publish)
 		s.shards = append(s.shards, ch)
 		if !cfg.SyncWrites {
-			s.batchers = append(s.batchers, newShardBatcher(ch, cfg.BatchFlushInterval, cfg.BatchMaxEntries, s.maybeFlush))
+			s.batchers = append(s.batchers, newShardBatcher(ch, cfg.BatchFlushInterval, cfg.BatchMaxEntries, s.maybeFlush, cfg.Metrics))
 		}
 	}
 	return s
@@ -484,7 +489,7 @@ func (s *Store) flushTail() (int, int64, error) {
 // pending/running tasks, node membership and function definitions must stay
 // resident.
 func flushableKey(key string, value []byte) bool {
-	if hasPrefix(key, keyPrefixEvent) {
+	if hasPrefix(key, keyPrefixEvent) || hasPrefix(key, keyPrefixSpan) {
 		return true
 	}
 	if hasPrefix(key, keyPrefixTask) {
@@ -548,4 +553,11 @@ const (
 	keyPrefixHeartbeat = "hb/"
 	keyPrefixEvent     = "event/"
 	keyPrefixJob       = "jobtbl/"
+	keyPrefixSpan      = "span/"
 )
+
+// StatsName implements telemetry.Reporter.
+func (s *Store) StatsName() string { return "gcs" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (s *Store) StatsSnapshot() any { return s.Stats() }

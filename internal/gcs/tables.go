@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ray/internal/task"
+	"ray/internal/telemetry"
 	"ray/internal/types"
 )
 
@@ -627,6 +628,51 @@ func (s *Store) Events(ctx context.Context) ([]*Event, error) {
 				return nil, err
 			}
 			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// --- Span table ------------------------------------------------------------------
+
+// AppendSpans persists a batch of task-lifecycle spans into the span table,
+// assigning each its global sequence number. The span table is another
+// "added benefit" of routing all control state through the GCS: the task
+// timeline is an ordinary queryable, flushable table. Implements
+// telemetry.SpanSink.
+func (s *Store) AppendSpans(ctx context.Context, spans []telemetry.Span) error {
+	if len(spans) == 0 {
+		return nil
+	}
+	// The whole flush batch lands under one key: spans arrive thousands at a
+	// time from the tracer, and one control-plane write per heartbeat keeps
+	// span persistence invisible next to the per-task event traffic.
+	for i := range spans {
+		spans[i].Seq = s.spanSeq.Add(1)
+	}
+	key := fmt.Sprintf("%s%020d", keyPrefixSpan, spans[0].Seq)
+	return s.put(ctx, s.shardForKey(key), key, telemetry.MarshalSpans(spans))
+}
+
+// Spans returns every span still resident in memory, ordered by sequence
+// number. Flushed spans are excluded (they live in the flush log).
+func (s *Store) Spans(ctx context.Context) ([]telemetry.Span, error) {
+	var out []telemetry.Span
+	for si := range s.shards {
+		for _, key := range s.shardKeys(si, keyPrefixSpan) {
+			raw, ok, err := s.get(ctx, si, key)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			batch, err := telemetry.UnmarshalSpans(raw)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, batch...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })

@@ -290,3 +290,9 @@ func (m *Manager) Stats() Stats {
 		Live:       live,
 	}
 }
+
+// StatsName implements telemetry.Reporter.
+func (m *Manager) StatsName() string { return "jobs" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (m *Manager) StatsSnapshot() any { return m.Stats() }

@@ -227,3 +227,9 @@ func (r *Reconstructor) waitForObject(ctx context.Context, id types.ObjectID) er
 func IsReconstructable(err error) bool {
 	return errors.Is(err, types.ErrObjectLost)
 }
+
+// StatsName implements telemetry.Reporter (namespaced per node by callers).
+func (r *Reconstructor) StatsName() string { return "lineage" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (r *Reconstructor) StatsSnapshot() any { return r.Stats() }

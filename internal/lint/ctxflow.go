@@ -17,6 +17,7 @@ var DefaultCtxFlowPackages = []string{
 	"ray/internal/scheduler",
 	"ray/internal/objectmanager",
 	"ray/internal/gcs",
+	"ray/internal/telemetry",
 }
 
 // DefaultCtxFlowExempt are exported method names allowed to block without a

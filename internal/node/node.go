@@ -22,6 +22,7 @@ import (
 	"ray/internal/resources"
 	"ray/internal/scheduler"
 	"ray/internal/task"
+	"ray/internal/telemetry"
 	"ray/internal/types"
 	"ray/internal/worker"
 )
@@ -95,6 +96,13 @@ type Config struct {
 	// JobWeight maps jobs to fair-share weights for the slot queue (nil
 	// means every job weighs 1); wired by the cluster from its job manager.
 	JobWeight func(types.JobID) int
+	// Metrics receives hot-path instrumentation for this node's scheduler
+	// and object manager. A nil registry still works: handles degrade to
+	// detached metrics.
+	Metrics *telemetry.Registry
+	// Tracer records task-lifecycle and transfer spans on this node; nil
+	// disables span recording.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns a 4-CPU node with defaults suitable for tests.
@@ -105,6 +113,7 @@ func DefaultConfig() Config {
 // Node is one simulated machine in the cluster.
 type Node struct {
 	id      types.NodeID
+	idStr   string // id.String(), formatted once for span labels
 	cfg     Config
 	gcs     *gcs.Store
 	network *netsim.Network
@@ -163,6 +172,7 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 	}
 	n := &Node{
 		id:      id,
+		idStr:   id.String(),
 		cfg:     cfg,
 		gcs:     store,
 		network: network,
@@ -194,11 +204,14 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 		ChunkBytes:        cfg.ChunkBytes,
 		PipelineDepth:     cfg.PipelineDepth,
 		BlockingTransfers: cfg.BlockingTransfers,
+		Metrics:           cfg.Metrics,
+		Tracer:            cfg.Tracer,
 	}, id, n.store, store, network, peers)
 	n.workers = worker.NewPool(worker.PoolConfig{
 		NodeID:             id,
 		CheckpointInterval: cfg.CheckpointInterval,
 		RecordLineage:      cfg.RecordLineage,
+		Tracer:             cfg.Tracer,
 	}, registry, n.objects, store, ids)
 	n.workers.SetRuntime(n)
 	n.reconstructor = lineage.New(store, func(ctx context.Context, entry *gcs.TaskEntry) error {
@@ -214,6 +227,8 @@ func New(cfg Config, store *gcs.Store, network *netsim.Network, registry *worker
 		SerialPulls:        cfg.BlockingTransfers,
 		FIFOScheduling:     cfg.FIFOScheduling,
 		JobWeight:          cfg.JobWeight,
+		Metrics:            cfg.Metrics,
+		Tracer:             cfg.Tracer,
 	}, n.workers, n, n.router)
 	return n
 }
@@ -429,6 +444,13 @@ func (n *Node) SubmitSpec(ctx context.Context, spec *task.Spec) error {
 		return fmt.Errorf("node %s: %w", n.id, types.ErrNodeDead)
 	}
 	n.submits.Add(1)
+	if cfg := n.cfg; cfg.Tracer.Sampled(spec.ID[15]) {
+		cfg.Tracer.Record(telemetry.Span{
+			Task: spec.ID.String(), Name: spec.Function, Phase: telemetry.PhaseSubmit,
+			Node: n.idStr, Job: spec.Job.String(),
+			StartUnixNano: time.Now().UnixNano(),
+		})
+	}
 	returns := spec.Returns()
 	deps := spec.Dependencies()
 	n.gcs.IncObjectRefs(1, returns...)
@@ -597,5 +619,26 @@ func (n *Node) Stats() Stats {
 		Objects:   n.store.Stats(),
 		Transfers: n.objects.Stats(),
 		Lineage:   n.reconstructor.Stats(),
+	}
+}
+
+// StatsName implements telemetry.Reporter.
+func (n *Node) StatsName() string { return n.id.String() }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (n *Node) StatsSnapshot() any { return n.Stats() }
+
+// Reporters enumerates this node and its subsystems as telemetry.Reporters,
+// each namespaced under the node's ID so a multi-node /statusz stays
+// collision-free.
+func (n *Node) Reporters() []telemetry.Reporter {
+	prefix := n.id.String() + "/"
+	return []telemetry.Reporter{
+		n,
+		telemetry.Prefixed(prefix, n.local),
+		telemetry.Prefixed(prefix, n.workers),
+		telemetry.Prefixed(prefix, n.store),
+		telemetry.Prefixed(prefix, n.objects),
+		telemetry.Prefixed(prefix, n.reconstructor),
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"ray/internal/netsim"
 	"ray/internal/objectstore"
 	"ray/internal/parallel"
+	"ray/internal/telemetry"
 	"ray/internal/types"
 )
 
@@ -68,6 +69,12 @@ type Config struct {
 	// the object table before giving up (the lineage layer then decides
 	// whether to reconstruct). Zero means wait until the context is done.
 	PullTimeout time.Duration
+	// Metrics receives transfer instrumentation (bytes pulled, pull latency,
+	// pipeline occupancy). A nil registry still works: handles degrade to
+	// detached metrics.
+	Metrics *telemetry.Registry
+	// Tracer records object-transfer spans; nil disables span recording.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultChunkBytes is the chunk granularity used when Config.ChunkBytes is
@@ -97,6 +104,13 @@ type Manager struct {
 	mu       sync.Mutex
 	inflight map[types.ObjectID]chan error //guard:by mu
 	partial  map[types.ObjectID]*assembly  //guard:by mu
+
+	// Telemetry handles, always non-nil (a nil registry hands back detached
+	// metrics) — see Config.Metrics/Tracer.
+	xferBytes   *telemetry.Counter   //guard:init
+	pullLatency *telemetry.Histogram //guard:init
+	inflightWin *telemetry.Gauge     //guard:init
+	tracer      *telemetry.Tracer    //guard:init
 
 	pulls          atomic.Int64
 	bytesPulled    atomic.Int64
@@ -140,6 +154,13 @@ func New(cfg Config, nodeID types.NodeID, local *objectstore.Store, store *gcs.S
 		peers:    peers,
 		inflight: make(map[types.ObjectID]chan error),
 		partial:  make(map[types.ObjectID]*assembly),
+		tracer:   cfg.Tracer,
+		xferBytes: cfg.Metrics.Counter("ray_objectmanager_transfer_bytes_total",
+			"Object payload bytes pulled from remote replicas."),
+		pullLatency: cfg.Metrics.Histogram("ray_objectmanager_pull_seconds",
+			"Wall time of successful remote object transfers.", telemetry.DefLatencyBuckets),
+		inflightWin: cfg.Metrics.Gauge("ray_objectmanager_pipeline_windows_inflight",
+			"Chunk windows currently in flight across all pipelined pulls."),
 	}
 }
 
@@ -359,8 +380,12 @@ func (m *Manager) fetchWhole(ctx context.Context, id types.ObjectID, entry *gcs.
 		if err := m.local.Put(id, obj.Data, obj.IsError); err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		m.bytesPulled.Add(obj.Size())
-		m.transferNanos.Add(time.Since(start).Nanoseconds())
+		m.transferNanos.Add(elapsed.Nanoseconds())
+		m.xferBytes.Add(obj.Size())
+		m.pullLatency.Observe(elapsed.Seconds())
+		m.recordTransfer(id, src, start, elapsed, obj.Size())
 		return m.registerLocation(ctx, id, obj.Size(), entry.Creator, entry.Job)
 	}
 	if lastErr == nil {
@@ -424,6 +449,8 @@ func (m *Manager) fetchChunked(ctx context.Context, id types.ObjectID, entry *gc
 	start := time.Now()
 	err = parallel.ForEach(ctx, workers, len(todo), func(fetchCtx context.Context, i int) error {
 		w := todo[i]
+		m.inflightWin.Inc()
+		defer m.inflightWin.Dec()
 		if err := m.fetchWindow(fetchCtx, id, a.pending.Data(), a.windowBytes, w, sources); err != nil {
 			return err
 		}
@@ -452,9 +479,13 @@ func (m *Manager) fetchChunked(ctx context.Context, id types.ObjectID, entry *gc
 		return err
 	}
 	a.pending.Commit()
+	elapsed := time.Since(start)
 	m.bytesPulled.Add(size)
 	m.chunkedPulls.Add(1)
-	m.transferNanos.Add(time.Since(start).Nanoseconds())
+	m.transferNanos.Add(elapsed.Nanoseconds())
+	m.xferBytes.Add(size)
+	m.pullLatency.Observe(elapsed.Seconds())
+	m.recordTransfer(id, sources[0], start, elapsed, size)
 	return m.registerLocation(ctx, id, size, entry.Creator, entry.Job)
 }
 
@@ -555,6 +586,20 @@ func (m *Manager) fetchWindow(ctx context.Context, id types.ObjectID, buf []byte
 	return lastErr
 }
 
+// recordTransfer emits the transfer span for a completed pull, attributed
+// to the pulling node (src rides along in the span name's source field via
+// Task).
+func (m *Manager) recordTransfer(id types.ObjectID, src types.NodeID, start time.Time, elapsed time.Duration, size int64) {
+	if !m.tracer.Sampled(id[15]) {
+		return
+	}
+	m.tracer.Record(telemetry.Span{
+		Task: id.String() + "<-" + src.String(), Name: id.String(), Phase: telemetry.PhaseTransfer,
+		Node: m.nodeID.String(), StartUnixNano: start.UnixNano(),
+		DurationNanos: elapsed.Nanoseconds(), Bytes: size,
+	})
+}
+
 // Stats is a snapshot of transfer counters.
 type Stats struct {
 	Pulls         int64
@@ -583,3 +628,9 @@ func (m *Manager) Stats() Stats {
 		ResumedWindows: m.resumedWindows.Load(),
 	}
 }
+
+// StatsName implements telemetry.Reporter (namespaced per node by callers).
+func (m *Manager) StatsName() string { return "objectmanager" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (m *Manager) StatsSnapshot() any { return m.Stats() }

@@ -852,3 +852,9 @@ func (s *Store) Stats() Stats {
 		SpilledCount:  spilledCount,
 	}
 }
+
+// StatsName implements telemetry.Reporter (namespaced per node by callers).
+func (s *Store) StatsName() string { return "objectstore" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (s *Store) StatsSnapshot() any { return s.Stats() }

@@ -12,6 +12,7 @@ import (
 	"ray/internal/parallel"
 	"ray/internal/resources"
 	"ray/internal/task"
+	"ray/internal/telemetry"
 	"ray/internal/types"
 )
 
@@ -89,6 +90,13 @@ type LocalConfig struct {
 	// queue is a per-job deficit-round-robin multi-queue: each backlogged
 	// job receives dispatch slots in proportion to its weight.
 	FIFOScheduling bool
+	// Metrics receives dispatch-path instrumentation (queue depth, spill
+	// decisions, submit→dispatch latency, slot occupancy). A nil registry
+	// still works: handles degrade to detached metrics.
+	Metrics *telemetry.Registry
+	// Tracer records per-task lifecycle spans (queue/dispatch/exec); nil
+	// disables span recording.
+	Tracer *telemetry.Tracer
 }
 
 // Local is one node's local scheduler. Tasks submitted on the node come here
@@ -134,6 +142,15 @@ type Local struct {
 	slotWorkers int //guard:by poolMu
 	slotBlocked int //guard:by poolMu
 
+	// Telemetry handles, always non-nil (a nil registry hands back detached
+	// metrics) — see LocalConfig.Metrics/Tracer.
+	queueDepth   *telemetry.Gauge     //guard:init
+	slotsBusy    *telemetry.Gauge     //guard:init
+	spills       *telemetry.Counter   //guard:init
+	dispatchWait *telemetry.Histogram //guard:init
+	tracer       *telemetry.Tracer    //guard:init
+	nodeStr      string               //guard:init — NodeID.String(), formatted once for span labels
+
 	scheduledLocal atomic.Int64
 	forwarded      atomic.Int64
 	completed      atomic.Int64
@@ -144,10 +161,12 @@ type Local struct {
 	failSinkErrs atomic.Int64
 }
 
-// queuedTask pairs a task with the context it was submitted under.
+// queuedTask pairs a task with the context it was submitted under and the
+// instant the scheduler accepted it (the start of its queue span).
 type queuedTask struct {
-	ctx  context.Context
-	spec *task.Spec
+	ctx        context.Context
+	spec       *task.Spec
+	acceptedAt time.Time
 }
 
 // NewLocal creates a local scheduler.
@@ -172,6 +191,16 @@ func NewLocal(cfg LocalConfig, runner TaskRunner, puller DependencyPuller, forwa
 		actorHold:   make(map[types.ActorID]resources.Request),
 		queuedByJob: make(map[types.JobID]int),
 		avgTaskMs:   1,
+		tracer:      cfg.Tracer,
+		nodeStr:     cfg.NodeID.String(),
+		queueDepth: cfg.Metrics.Gauge("ray_scheduler_queue_depth",
+			"Tasks accepted locally that have not finished."),
+		slotsBusy: cfg.Metrics.Gauge("ray_scheduler_slots_busy",
+			"Slot-pool workers currently driving (not blocked in) a task."),
+		spills: cfg.Metrics.Counter("ray_scheduler_spilled_total",
+			"Tasks forwarded to the global scheduler (overload, infeasible, or resource timeout)."),
+		dispatchWait: cfg.Metrics.Histogram("ray_scheduler_dispatch_wait_seconds",
+			"Latency from local accept to dispatch (start of dependency resolution).", telemetry.DefLatencyBuckets),
 	}
 	if !cfg.FIFOScheduling {
 		l.fairQ = job.NewFairQueue[queuedTask](cfg.JobWeight)
@@ -308,6 +337,7 @@ func (l *Local) Submit(ctx context.Context, spec *task.Spec) error {
 	l.mu.Unlock()
 	if draining || overloaded || infeasible || busyCreation {
 		l.forwarded.Add(1)
+		l.spills.Inc()
 		return l.forward.ForwardTask(ctx, spec)
 	}
 	return l.accept(ctx, spec)
@@ -363,12 +393,14 @@ func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 	l.queuedByJob[spec.Job]++
 	l.mu.Unlock()
 	l.scheduledLocal.Add(1)
+	l.queueDepth.Inc()
+	acceptedAt := time.Now()
 	if l.cfg.DirectDispatch {
-		go l.runTask(ctx, spec)
+		go l.runTask(ctx, spec, acceptedAt)
 		return nil
 	}
 	l.poolMu.Lock()
-	l.enqueueLocked(queuedTask{ctx: ctx, spec: spec})
+	l.enqueueLocked(queuedTask{ctx: ctx, spec: spec, acceptedAt: acceptedAt})
 	l.spawnWorkerLocked()
 	l.poolMu.Unlock()
 	return nil
@@ -381,6 +413,7 @@ func (l *Local) accept(ctx context.Context, spec *task.Spec) error {
 func (l *Local) spawnWorkerLocked() {
 	if l.queueLenLocked() > 0 && l.slotWorkers-l.slotBlocked < l.cfg.WorkerSlots {
 		l.slotWorkers++
+		l.slotsBusy.Set(int64(l.slotWorkers - l.slotBlocked))
 		go l.slotWorker()
 	}
 }
@@ -393,17 +426,19 @@ func (l *Local) slotWorker() {
 		l.poolMu.Lock()
 		if l.slotWorkers-l.slotBlocked > l.cfg.WorkerSlots {
 			l.slotWorkers--
+			l.slotsBusy.Set(int64(l.slotWorkers - l.slotBlocked))
 			l.poolMu.Unlock()
 			return
 		}
 		qt, ok := l.dequeueLocked()
 		if !ok {
 			l.slotWorkers--
+			l.slotsBusy.Set(int64(l.slotWorkers - l.slotBlocked))
 			l.poolMu.Unlock()
 			return
 		}
 		l.poolMu.Unlock()
-		l.runTask(qt.ctx, qt.spec)
+		l.runTask(qt.ctx, qt.spec, qt.acceptedAt)
 	}
 }
 
@@ -413,6 +448,7 @@ func (l *Local) slotWorker() {
 func (l *Local) noteBlocked() {
 	l.poolMu.Lock()
 	l.slotBlocked++
+	l.slotsBusy.Set(int64(l.slotWorkers - l.slotBlocked))
 	l.spawnWorkerLocked()
 	l.poolMu.Unlock()
 }
@@ -422,6 +458,7 @@ func (l *Local) noteBlocked() {
 func (l *Local) noteUnblocked() {
 	l.poolMu.Lock()
 	l.slotBlocked--
+	l.slotsBusy.Set(int64(l.slotWorkers - l.slotBlocked))
 	l.poolMu.Unlock()
 }
 
@@ -441,15 +478,36 @@ func (l *Local) failTask(ctx context.Context, spec *task.Spec, cause error) {
 }
 
 // runTask drives one task through dependency resolution, resource
-// acquisition, execution, and completion accounting.
-func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
+// acquisition, execution, and completion accounting. acceptedAt is the
+// instant accept() admitted the task: its distance to now is the queue
+// wait, which feeds the dispatch-wait histogram and the task's queue span.
+func (l *Local) runTask(ctx context.Context, spec *task.Spec, acceptedAt time.Time) {
 	defer func() {
 		l.mu.Lock()
 		l.queued--
 		l.decJobQueuedLocked(spec.Job, 1)
 		l.mu.Unlock()
 		l.cond.Broadcast()
+		l.queueDepth.Dec()
 	}()
+
+	dispatchStart := time.Now()
+	l.dispatchWait.Observe(dispatchStart.Sub(acceptedAt).Seconds())
+	// The task's queue/dispatch/exec spans are accumulated here and handed to
+	// the tracer in one batch at exit — one tracer critical section per task,
+	// with the ID strings formatted once. Early-return paths (cancelled,
+	// failed, forwarded) flush whatever phases completed.
+	var spans []telemetry.Span
+	var traceTask, traceNode, traceJob string
+	if l.tracer.Sampled(spec.ID[15]) {
+		traceTask, traceNode, traceJob = spec.ID.String(), l.nodeStr, spec.Job.String()
+		spans = append(make([]telemetry.Span, 0, 3), telemetry.Span{
+			Task: traceTask, Name: spec.Function, Phase: telemetry.PhaseQueue,
+			Node: traceNode, Job: traceJob,
+			StartUnixNano: acceptedAt.UnixNano(), DurationNanos: dispatchStart.Sub(acceptedAt).Nanoseconds(),
+		})
+		defer func() { l.tracer.RecordBatch(spans) }()
+	}
 
 	// 0. A task whose submission context died while it queued (its job was
 	//    killed, or its submitter gave up) must not execute; its outputs are
@@ -484,6 +542,7 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 				return
 			}
 			l.forwarded.Add(1)
+			l.spills.Inc()
 			if err := l.forward.ForwardTask(ctx, spec); err != nil {
 				l.failTask(ctx, spec, err)
 			}
@@ -532,8 +591,24 @@ func (l *Local) runTask(ctx context.Context, spec *task.Spec) {
 		})
 	}
 	start := time.Now()
+	if spans != nil {
+		// The dispatch span covers dependency pulls, the spill decision, and
+		// resource acquisition — everything between dequeue and execution.
+		spans = append(spans, telemetry.Span{
+			Task: traceTask, Name: spec.Function, Phase: telemetry.PhaseDispatch,
+			Node: traceNode, Job: traceJob,
+			StartUnixNano: dispatchStart.UnixNano(), DurationNanos: start.Sub(dispatchStart).Nanoseconds(),
+		})
+	}
 	err := l.runner.Run(runCtx, spec)
 	elapsed := time.Since(start)
+	if spans != nil {
+		spans = append(spans, telemetry.Span{
+			Task: traceTask, Name: spec.Function, Phase: telemetry.PhaseExec,
+			Node: traceNode, Job: traceJob,
+			StartUnixNano: start.UnixNano(), DurationNanos: elapsed.Nanoseconds(),
+		})
+	}
 
 	// 4. Release resources (unless they belong to a live actor) and update
 	//    the duration average used in heartbeats.
@@ -722,3 +797,9 @@ func (l *Local) PendingForJob(jobID types.JobID) int {
 	}
 	return n
 }
+
+// StatsName implements telemetry.Reporter (namespaced per node by callers).
+func (l *Local) StatsName() string { return "scheduler" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (l *Local) StatsSnapshot() any { return l.Stats() }

@@ -21,6 +21,7 @@ import (
 
 	"ray/internal/core"
 	"ray/internal/rl"
+	"ray/internal/telemetry"
 	"ray/internal/worker"
 	"ray/ray"
 )
@@ -38,27 +39,59 @@ const policyServerName = "serve.PolicyServer"
 var (
 	handlesOnce       sync.Once
 	policyServerClass ray.Class1[policyServer, ModelConfig]
-	predictMethod     ray.ClassMethod1[policyServer, [][]float64, [][]float64]
+	predictMethod     ray.ClassMethod1[policyServer, predictBatch, [][]float64]
 	servedMethod      ray.ClassMethod0[policyServer, int]
 )
+
+// The serving metrics registry of the most recently Registered runtime.
+// NewRayServer snapshots it into the server it builds; a nil registry (no
+// telemetry, or NewRayServer before Register) degrades to detached metrics.
+var (
+	metricsMu     sync.Mutex
+	serveRegistry *telemetry.Registry //guard:by metricsMu
+)
+
+// predictBatch is the wire form of one predict request: the states plus the
+// caller's submit timestamp, which lets the server separate time spent
+// queued behind other requests (the actor serializes evaluations) from time
+// spent in the handler itself — the split ROADMAP item 2's queue-depth
+// autoscaler keys on.
+type predictBatch struct {
+	SubmitUnixNano int64
+	States         [][]float64
+}
 
 // Register publishes the policy-server actor class and its method table with
 // the runtime. Call once per runtime before NewRayServer.
 func Register(rt *core.Runtime) error {
+	reg := rt.Cluster().Metrics()
+	metricsMu.Lock()
+	serveRegistry = reg
+	metricsMu.Unlock()
 	class, err := ray.RegisterActorClass1(rt, policyServerName, "embedded policy serving actor",
 		func(ctx *ray.Context, cfg ModelConfig) (*policyServer, error) {
 			return &policyServer{
 				policy:  rl.NewMLPPolicy(cfg.ObsSize, cfg.ActionSize, cfg.Hidden, cfg.Seed),
 				obsSize: cfg.ObsSize,
 				delay:   cfg.EvalDelay,
+				queueWait: reg.Histogram("ray_serve_queue_wait_seconds",
+					"Time a predict request waited between client submit and handler start.", telemetry.DefLatencyBuckets),
+				handler: reg.Histogram("ray_serve_handler_seconds",
+					"Time the policy handler spent evaluating a predict batch.", telemetry.DefLatencyBuckets),
 			}, nil
 		})
 	if err != nil {
 		return err
 	}
 	predict, err := ray.ActorMethod1(class, "predict",
-		func(ctx *ray.Context, p *policyServer, batch [][]float64) ([][]float64, error) {
-			return p.evaluate(batch), nil
+		func(ctx *ray.Context, p *policyServer, req predictBatch) ([][]float64, error) {
+			start := time.Now()
+			if req.SubmitUnixNano > 0 {
+				p.queueWait.Observe(start.Sub(time.Unix(0, req.SubmitUnixNano)).Seconds())
+			}
+			actions := p.evaluate(req.States)
+			p.handler.Observe(time.Since(start).Seconds())
+			return actions, nil
 		})
 	if err != nil {
 		return err
@@ -99,6 +132,11 @@ type policyServer struct {
 	obsSize int           //guard:init
 	delay   time.Duration //guard:by mu
 	served  int           //guard:by mu
+
+	// Request latency split, recorded by the predict method: queue wait
+	// (client submit → handler start) vs handler time (evaluate only).
+	queueWait *telemetry.Histogram //guard:init
+	handler   *telemetry.Histogram //guard:init
 }
 
 // fit pads or truncates a state to the policy's input size, so clients can
@@ -130,9 +168,10 @@ func (p *policyServer) evaluate(batch [][]float64) [][]float64 {
 
 // RayServer serves a policy from an actor reachable through the object store.
 type RayServer struct {
-	actor   *ray.ActorOf[policyServer]
-	predict ray.MethodHandle1[[][]float64, [][]float64]
-	served  ray.MethodHandle0[int]
+	actor    *ray.ActorOf[policyServer]
+	predict  ray.MethodHandle1[predictBatch, [][]float64]
+	served   ray.MethodHandle0[int]
+	requests *telemetry.Histogram //guard:init — end-to-end request latency
 }
 
 // NewRayServer creates the serving actor (Register must have run on the
@@ -142,20 +181,30 @@ func NewRayServer(ctx *worker.TaskContext, cfg ModelConfig) (*RayServer, error) 
 	if err != nil {
 		return nil, err
 	}
+	metricsMu.Lock()
+	reg := serveRegistry
+	metricsMu.Unlock()
 	return &RayServer{
 		actor:   actor,
 		predict: predictMethod.Bind(actor),
 		served:  servedMethod.Bind(actor),
+		requests: reg.Histogram("ray_serve_request_seconds",
+			"End-to-end predict latency: submit through result read.", telemetry.DefLatencyBuckets),
 	}, nil
 }
 
 // Predict evaluates a batch of states and returns the actions.
 func (s *RayServer) Predict(ctx *worker.TaskContext, states [][]float64) ([][]float64, error) {
-	ref, err := s.predict.Remote(ctx, states)
+	start := time.Now()
+	ref, err := s.predict.Remote(ctx, predictBatch{SubmitUnixNano: start.UnixNano(), States: states})
 	if err != nil {
 		return nil, err
 	}
-	return ray.Get(ctx, ref)
+	out, err := ray.Get(ctx, ref)
+	if err == nil {
+		s.requests.Observe(time.Since(start).Seconds())
+	}
+	return out, err
 }
 
 // Served returns the number of states the actor has evaluated.

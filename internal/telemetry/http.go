@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerConfig wires the exposition endpoints to live cluster state. All
+// callbacks are invoked per request with the request's context; nil
+// callbacks disable the corresponding endpoint with 404.
+type HandlerConfig struct {
+	// Metrics backs /metrics (Prometheus text format v0.0.4).
+	Metrics *Registry
+	// Reporters backs /statusz; called per request so snapshots are live.
+	Reporters func() []Reporter
+	// Spans backs /timeline; it should return every span recorded so far
+	// (typically the GCS span table after a tracer flush).
+	Spans func(ctx context.Context) ([]Span, error)
+}
+
+// NewHandler returns an http.Handler serving /metrics, /statusz,
+// /timeline, and /debug/pprof/* on its own mux (nothing is registered on
+// http.DefaultServeMux).
+func NewHandler(cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Metrics == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Response writer errors mean the client went away; nothing to do.
+		_ = cfg.Metrics.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Reporters == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Response writer errors mean the client went away; nothing to do.
+		_ = WriteStatusz(w, cfg.Reporters())
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Spans == nil {
+			http.NotFound(w, req)
+			return
+		}
+		spans, err := cfg.Spans(req.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Response writer errors mean the client went away; nothing to do.
+		_ = WriteChromeTrace(w, spans)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,334 @@
+// Package telemetry is the cluster-wide observability layer: a stdlib-only
+// metrics registry (counters, gauges, bounded-bucket histograms with
+// p50/p99 snapshots), a task-lifecycle tracer whose spans export as Chrome
+// trace-event JSON, and helpers that expose both — plus the per-subsystem
+// Stats() structs — over HTTP.
+//
+// The package deliberately imports nothing from the rest of the repository
+// so every subsystem (gcs, scheduler, objectmanager, worker, serve) can
+// depend on it without cycles. All hot-path operations are single atomic
+// instructions; the registry mutex is touched only at metric-creation and
+// exposition time.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable;
+// a Counter obtained from a nil *Registry still counts, it is just never
+// exposed.
+type Counter struct {
+	name string //guard:init
+	help string //guard:init
+	v    atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative) to the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (queue depth, slot occupancy).
+// The zero value is usable.
+type Gauge struct {
+	name string //guard:init
+	help string //guard:init
+	v    atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefLatencyBuckets are the default histogram bounds for latencies measured
+// in seconds: 100µs up to ~10s, roughly ×2.5 per step. They bracket both
+// the sub-millisecond local dispatch path and slow multi-second transfers.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets are the default histogram bounds for sizes measured in
+// units (batch entries, bytes/1024, ...): powers of four from 1 to ~1M.
+var DefSizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// Histogram is a fixed-bucket histogram. Observations land in the first
+// bucket whose upper bound is >= the value; values above every bound land
+// in the implicit +Inf bucket. All writes are single atomic adds, so
+// concurrent observers never block each other.
+type Histogram struct {
+	name   string    //guard:init
+	help   string    //guard:init
+	bounds []float64 //guard:init — sorted ascending, +Inf implicit
+
+	counts []atomic.Int64 //guard:init — slice header; len(bounds)+1 slots, last is +Inf
+	count  atomic.Int64
+	sumBit atomic.Uint64 // sum of observations as math.Float64bits
+}
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{name: name, help: help, bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h.bounds == nil {
+		// Zero-value / nil-registry histogram: count only, no buckets.
+		h.count.Add(1)
+		h.addSum(v)
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.addSum(v)
+}
+
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sumBit.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBit.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time view of a
+// histogram: per-bucket cumulative counts plus estimated quantiles.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   float64
+	// Bounds are the finite bucket upper bounds; Cumulative[i] counts
+	// observations <= Bounds[i]. Cumulative has one extra trailing slot for
+	// the +Inf bucket.
+	Bounds     []float64
+	Cumulative []int64
+	P50        float64
+	P99        float64
+}
+
+// Snapshot captures the histogram state and estimates p50/p99 by linear
+// interpolation within the bucket containing each quantile.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: h.bounds}
+	s.Cumulative = make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBit.Load())
+	total := int64(0)
+	if n := len(s.Cumulative); n > 0 {
+		total = s.Cumulative[n-1]
+	}
+	s.P50 = quantile(h.bounds, s.Cumulative, total, 0.50)
+	s.P99 = quantile(h.bounds, s.Cumulative, total, 0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from cumulative bucket counts,
+// interpolating linearly inside the owning bucket. The +Inf bucket reports
+// the largest finite bound (there is no upper edge to interpolate toward).
+func quantile(bounds []float64, cumulative []int64, total int64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	for i, c := range cumulative {
+		if float64(c) < rank {
+			continue
+		}
+		if i >= len(bounds) { // +Inf bucket
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		var below int64
+		if i > 0 {
+			lower = bounds[i-1]
+			below = cumulative[i-1]
+		}
+		inBucket := c - below
+		if inBucket <= 0 {
+			return bounds[i]
+		}
+		frac := (rank - float64(below)) / float64(inBucket)
+		return lower + (bounds[i]-lower)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Registry is a named collection of metrics. Constructors are memoized by
+// name and safe on a nil receiver: a nil registry hands back detached,
+// fully functional metrics, so instrumentation sites never nil-check.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter   //guard:by mu
+	gauges map[string]*Gauge     //guard:by mu
+	hists  map[string]*Histogram //guard:by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. On a nil registry it returns a working, unexposed counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return &Counter{name: name, help: help}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{name: name, help: help}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return &Gauge{name: name, help: help}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name, help: help}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (nil bounds selects
+// DefLatencyBuckets). Bounds are fixed at creation; later callers get the
+// existing instance regardless of the bounds they pass.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return newHistogram(name, help, bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(name, help, bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format v0.0.4, sorted by metric name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counts := make([]*Counter, 0, len(r.counts))
+	for _, c := range r.counts {
+		counts = append(counts, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counts, func(i, j int) bool { return counts[i].name < counts[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	for _, c := range counts {
+		if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if err := writeHeader(w, h.name, h.help, "histogram"); err != nil {
+			return err
+		}
+		s := h.Snapshot()
+		for i, b := range s.Bounds {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), s.Cumulative[i]); err != nil {
+				return err
+			}
+		}
+		var infCum int64
+		if n := len(s.Cumulative); n > 0 {
+			infCum = s.Cumulative[n-1]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, infCum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.name, formatFloat(s.Sum), h.name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, kind string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

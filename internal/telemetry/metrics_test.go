@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram("test_seconds", "", []float64{0.001, 0.01, 0.1, 1})
+
+	// Exactly on a bound lands in that bound's bucket (le semantics).
+	cases := []struct {
+		v      float64
+		bucket int // index into counts; len(bounds) == +Inf
+	}{
+		{0.0005, 0}, // below first bound
+		{0.001, 0},  // exactly first bound
+		{0.0011, 1},
+		{0.01, 1},
+		{0.05, 2},
+		{0.1, 2},
+		{0.5, 3},
+		{1, 3},
+		{1.5, 4}, // +Inf
+		{100, 4}, // +Inf
+	}
+	for _, c := range cases {
+		before := make([]int64, len(h.counts))
+		for i := range h.counts {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(c.v)
+		for i := range h.counts {
+			want := before[i]
+			if i == c.bucket {
+				want++
+			}
+			if got := h.counts[i].Load(); got != want {
+				t.Errorf("Observe(%v): bucket %d count = %d, want %d", c.v, i, got, want)
+			}
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", s.Count, len(cases))
+	}
+	// Cumulative counts must be non-decreasing and end at Count.
+	var prev int64
+	for i, c := range s.Cumulative {
+		if c < prev {
+			t.Errorf("Cumulative[%d] = %d decreased from %d", i, c, prev)
+		}
+		prev = c
+	}
+	if prev != s.Count {
+		t.Errorf("final cumulative = %d, want Count %d", prev, s.Count)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram("test_seconds", "", []float64{1, 2, 3, 4})
+	// 100 observations uniform over (0,4]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	// p50 should interpolate to ~2.0, p99 to ~3.96.
+	if s.P50 < 1.8 || s.P50 > 2.2 {
+		t.Errorf("P50 = %v, want ~2.0", s.P50)
+	}
+	if s.P99 < 3.8 || s.P99 > 4.0 {
+		t.Errorf("P99 = %v, want ~3.96", s.P99)
+	}
+	if math.Abs(s.Sum-202) > 1e-6 { // sum_{i=1..100} i*0.04 = 202
+		t.Errorf("Sum = %v, want 202", s.Sum)
+	}
+}
+
+func TestHistogramQuantileInfBucket(t *testing.T) {
+	h := newHistogram("test_seconds", "", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(50) // all in +Inf
+	}
+	s := h.Snapshot()
+	// No upper edge to interpolate toward: report the largest finite bound.
+	if s.P50 != 2 || s.P99 != 2 {
+		t.Errorf("P50/P99 = %v/%v, want 2/2 for +Inf-bucket mass", s.P50, s.P99)
+	}
+}
+
+func TestHistogramConcurrentWriters(t *testing.T) {
+	h := newHistogram("test_seconds", "", DefLatencyBuckets)
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64((seed*perWriter+i)%1000) * 0.001)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must not race with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s := h.Snapshot()
+			if s.Count < 0 {
+				t.Error("negative count")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Errorf("Count = %d, want %d", s.Count, writers*perWriter)
+	}
+	var bucketTotal int64
+	if n := len(s.Cumulative); n > 0 {
+		bucketTotal = s.Cumulative[n-1]
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+	// Every writer observes the same value distribution; sum must be exact
+	// because float adds of these values are order-independent enough to
+	// stay within a tight tolerance.
+	expect := float64(writers) * 0.001 * (999 * 1000 / 2) * (perWriter / 1000)
+	if math.Abs(s.Sum-expect) > 1e-3 {
+		t.Errorf("Sum = %v, want ~%v", s.Sum, expect)
+	}
+}
+
+func TestCountersAndGaugesConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	g := r.Gauge("test_depth", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}
+
+func TestRegistryMemoizesAndNilSafe(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a_total", "") != r.Counter("a_total", "") {
+		t.Error("counter not memoized")
+	}
+	if r.Gauge("b", "") != r.Gauge("b", "") {
+		t.Error("gauge not memoized")
+	}
+	if r.Histogram("c_seconds", "", nil) != r.Histogram("c_seconds", "", nil) {
+		t.Error("histogram not memoized")
+	}
+
+	var nilReg *Registry
+	nc := nilReg.Counter("x_total", "")
+	nc.Inc()
+	if nc.Value() != 1 {
+		t.Error("nil-registry counter does not count")
+	}
+	nh := nilReg.Histogram("y_seconds", "", nil)
+	nh.Observe(0.5)
+	if nh.Snapshot().Count != 1 {
+		t.Error("nil-registry histogram does not count")
+	}
+	if err := nilReg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ray_test_total", "a counter").Add(3)
+	r.Gauge("ray_test_depth", "a gauge").Set(7)
+	h := r.Histogram("ray_test_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ray_test_total counter",
+		"ray_test_total 3",
+		"# TYPE ray_test_depth gauge",
+		"ray_test_depth 7",
+		"# TYPE ray_test_seconds histogram",
+		`ray_test_seconds_bucket{le="0.1"} 1`,
+		`ray_test_seconds_bucket{le="1"} 2`,
+		`ray_test_seconds_bucket{le="+Inf"} 3`,
+		"ray_test_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Counters sort before reuse: output must be deterministic.
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("WritePrometheus output not deterministic")
+	}
+}

@@ -1,0 +1,62 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Reporter is implemented by every subsystem that exposes a Stats()
+// snapshot (node, gcs, objectstore, objectmanager, job manager, worker
+// pool, scheduler, lineage, cluster). It lets /statusz and tests enumerate
+// all of them generically instead of hand-wiring each struct.
+type Reporter interface {
+	// StatsName is a stable, unique identifier ("gcs", "node/ab12/scheduler").
+	StatsName() string
+	// StatsSnapshot returns the subsystem's stats struct; it must be
+	// JSON-serializable.
+	StatsSnapshot() any
+}
+
+// WriteStatusz renders every reporter's snapshot as one JSON object keyed
+// by StatsName, sorted for deterministic output.
+func WriteStatusz(w io.Writer, reporters []Reporter) error {
+	byName := make(map[string]any, len(reporters))
+	names := make([]string, 0, len(reporters))
+	for _, r := range reporters {
+		if r == nil {
+			continue
+		}
+		name := r.StatsName()
+		if _, dup := byName[name]; !dup {
+			names = append(names, name)
+		}
+		byName[name] = r.StatsSnapshot()
+	}
+	sort.Strings(names)
+	ordered := make(map[string]json.RawMessage, len(names))
+	for _, name := range names {
+		raw, err := json.Marshal(byName[name])
+		if err != nil {
+			return err
+		}
+		ordered[name] = raw
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}
+
+// prefixed namespaces a Reporter's name (e.g. per-node subsystems:
+// "node:ab12/scheduler").
+type prefixed struct {
+	prefix string   //guard:init
+	r      Reporter //guard:init
+}
+
+func (p prefixed) StatsName() string  { return p.prefix + p.r.StatsName() }
+func (p prefixed) StatsSnapshot() any { return p.r.StatsSnapshot() }
+
+// Prefixed wraps r so its StatsName gains the given prefix, letting one
+// subsystem type appear once per node in /statusz without name collisions.
+func Prefixed(prefix string, r Reporter) Reporter { return prefixed{prefix: prefix, r: r} }

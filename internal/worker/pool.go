@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ray/internal/codec"
 	"ray/internal/gcs"
 	"ray/internal/objectmanager"
 	"ray/internal/task"
+	"ray/internal/telemetry"
 	"ray/internal/types"
 )
 
@@ -27,6 +29,8 @@ type PoolConfig struct {
 	// GCS task table. Disabling it removes two GCS writes per task for the
 	// raw-throughput microbenchmark; every correctness experiment keeps it on.
 	RecordLineage bool
+	// Tracer records result-stored spans; nil disables span recording.
+	Tracer *telemetry.Tracer
 }
 
 // Pool executes tasks on behalf of a node: it is the node's set of workers
@@ -192,6 +196,21 @@ func (p *Pool) unpinAll(pinned []types.ObjectID) {
 // storeOutputs writes the task's outputs (or its error) to the object store
 // and records completion in the GCS task table.
 func (p *Pool) storeOutputs(ctx context.Context, spec *task.Spec, outs [][]byte, appErr error) error {
+	if p.cfg.Tracer.Sampled(spec.ID[15]) {
+		storeStart := time.Now()
+		defer func() {
+			var bytes int64
+			for _, out := range outs {
+				bytes += int64(len(out))
+			}
+			p.cfg.Tracer.Record(telemetry.Span{
+				Task: spec.ID.String(), Name: spec.Function, Phase: telemetry.PhaseStore,
+				Node: p.cfg.NodeID.String(), Job: spec.Job.String(),
+				StartUnixNano: storeStart.UnixNano(), DurationNanos: time.Since(storeStart).Nanoseconds(),
+				Bytes: bytes,
+			})
+		}()
+	}
 	returns := spec.Returns()
 	status := types.TaskFinished
 	if appErr != nil {
@@ -406,20 +425,22 @@ func (p *Pool) ActorIDs() []types.ActorID {
 
 // PoolStats is a snapshot of worker pool counters.
 type PoolStats struct {
-	TasksRun       int64
-	MethodsRun     int64
-	AppErrors      int64
-	ActorsHosted   int
-	MethodsByActor map[types.ActorID]int64
+	TasksRun     int64
+	MethodsRun   int64
+	AppErrors    int64
+	ActorsHosted int
+	// MethodsByActor is keyed by ActorID.String() so the snapshot
+	// JSON-serializes (json map keys must be strings) for /statusz.
+	MethodsByActor map[string]int64
 }
 
 // Stats returns a snapshot of pool counters.
 func (p *Pool) Stats() PoolStats {
 	p.actorsMu.RLock()
 	defer p.actorsMu.RUnlock()
-	byActor := make(map[types.ActorID]int64, len(p.actors))
+	byActor := make(map[string]int64, len(p.actors))
 	for id, proc := range p.actors {
-		byActor[id] = proc.methodsExecuted()
+		byActor[id.String()] = proc.methodsExecuted()
 	}
 	return PoolStats{
 		TasksRun:       p.tasksRun.Load(),
@@ -429,3 +450,9 @@ func (p *Pool) Stats() PoolStats {
 		MethodsByActor: byActor,
 	}
 }
+
+// StatsName implements telemetry.Reporter (namespaced per node by callers).
+func (p *Pool) StatsName() string { return "workers" }
+
+// StatsSnapshot implements telemetry.Reporter.
+func (p *Pool) StatsSnapshot() any { return p.Stats() }

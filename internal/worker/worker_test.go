@@ -571,7 +571,7 @@ func TestActorLifecycle(t *testing.T) {
 	}
 	// Stats.
 	st := env.pool.Stats()
-	if st.ActorsHosted != 1 || st.MethodsRun != 6 || st.MethodsByActor[h.ID] != 6 {
+	if st.ActorsHosted != 1 || st.MethodsRun != 6 || st.MethodsByActor[h.ID.String()] != 6 {
 		t.Fatalf("pool stats wrong: %+v", st)
 	}
 	if ids := env.pool.ActorIDs(); len(ids) != 1 || ids[0] != h.ID {
